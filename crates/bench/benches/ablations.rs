@@ -1,0 +1,46 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! the refined vs. simple iteration estimator, and the user-effort vs.
+//! max-partitions objective.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qfe_bench::{candidates_for, default_params, run_session, Scale};
+use qfe_core::{CostModelKind, IterationEstimator};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let candidates = candidates_for(&workload.database, &target, 19);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, estimator) in [
+        ("estimator_simple", IterationEstimator::Simple),
+        ("estimator_refined", IterationEstimator::Refined),
+    ] {
+        let params = default_params(scale).with_estimator(estimator);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_session(&workload.database, &result, &candidates, &target, &params, true)
+                    .total_modification_cost()
+            })
+        });
+    }
+    for (name, model) in [
+        ("objective_user_effort", CostModelKind::UserEffort),
+        ("objective_max_partitions", CostModelKind::MaxPartitions),
+    ] {
+        let params = default_params(scale).with_model(model);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_session(&workload.database, &result, &candidates, &target, &params, true)
+                    .total_modification_cost()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

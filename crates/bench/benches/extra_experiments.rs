@@ -1,0 +1,93 @@
+//! Benches for the Section 7.7 experiments: initial-pair size, active-domain
+//! entropy, and the simulated user study (QFE vs. the alternative cost
+//! model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfe_bench::{candidates_for, default_params, run_session, Scale};
+use qfe_core::{CostModelKind, OracleUser, QfeSession};
+use qfe_datasets::{child_table_subset, entropy_variant};
+use qfe_query::evaluate;
+
+fn bench_initial_size(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let params = default_params(scale);
+    let target = workload.query("Q2").unwrap().clone();
+    let mut group = c.benchmark_group("extra_initial_size");
+    group.sample_size(10);
+    for fraction in [0.5f64, 1.0] {
+        let db = child_table_subset(&workload.database, fraction);
+        let result = evaluate(&target, &db).unwrap();
+        if result.is_empty() {
+            continue;
+        }
+        let candidates = candidates_for(&db, &target, 12);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fraction}")),
+            &(db, result, candidates),
+            |b, (db, result, candidates)| {
+                b.iter(|| run_session(db, result, candidates, &target, &params, true).iterations())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let params = default_params(scale);
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let mut group = c.benchmark_group("extra_entropy");
+    group.sample_size(10);
+    for fraction in [1.0f64, 0.4] {
+        let db = entropy_variant(&workload.database, "PmTE_ALL_DE", "logFC_P", fraction, &target);
+        let candidates = candidates_for(&db, &target, 12);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fraction}")),
+            &(db, candidates),
+            |b, (db, candidates)| {
+                b.iter(|| run_session(db, &result, candidates, &target, &params, true).iterations())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_user_study(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.adult();
+    let mut group = c.benchmark_group("extra_user_study");
+    group.sample_size(10);
+    let target = workload.query("U1").unwrap().clone();
+    let result = workload.example_result("U1").unwrap();
+    if result.is_empty() {
+        group.finish();
+        return;
+    }
+    let candidates = candidates_for(&workload.database, &target, 10);
+    for (name, model) in [
+        ("user_effort", CostModelKind::UserEffort),
+        ("max_partitions", CostModelKind::MaxPartitions),
+    ] {
+        let params = default_params(scale).with_model(model);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let session = QfeSession::builder(workload.database.clone(), result.clone())
+                    .with_candidates(candidates.clone())
+                    .with_params(params.clone())
+                    .build()
+                    .unwrap();
+                session
+                    .run(&OracleUser::new(target.clone()))
+                    .map(|o| o.report.iterations())
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_initial_size, bench_entropy, bench_user_study);
+criterion_main!(benches);

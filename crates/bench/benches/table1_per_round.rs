@@ -1,0 +1,35 @@
+//! Table 1 bench: one full worst-case QFE session (all feedback rounds) on
+//! the scientific workload for Q1 and Q2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qfe_bench::{candidates_for, default_params, run_session, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let params = default_params(scale);
+    let mut group = c.benchmark_group("table1_per_round");
+    group.sample_size(10);
+    for label in ["Q1", "Q2"] {
+        let target = workload.query(label).unwrap().clone();
+        let result = workload.example_result(label).unwrap();
+        let candidates = candidates_for(&workload.database, &target, 19);
+        group.bench_function(format!("session_{label}"), |b| {
+            b.iter(|| {
+                run_session(
+                    &workload.database,
+                    &result,
+                    &candidates,
+                    &target,
+                    &params,
+                    true,
+                )
+                .iterations()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 2 bench: worst-case QFE sessions on the baseball workload while the
+//! scale factor β varies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qfe_bench::{candidates_for, default_params, run_session, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.baseball();
+    let mut group = c.benchmark_group("table2_beta");
+    group.sample_size(10);
+    let target = workload.query("Q3").unwrap().clone();
+    let result = workload.example_result("Q3").unwrap();
+    let candidates = candidates_for(&workload.database, &target, 12);
+    for beta in [1u32, 3, 5] {
+        let params = default_params(scale).with_beta(beta as f64);
+        group.bench_function(format!("q3_beta_{beta}"), |b| {
+            b.iter(|| {
+                run_session(
+                    &workload.database,
+                    &result,
+                    &candidates,
+                    &target,
+                    &params,
+                    true,
+                )
+                .total_modification_cost()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

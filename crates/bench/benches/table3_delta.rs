@@ -1,0 +1,28 @@
+//! Table 3 bench: the skyline enumeration (Algorithm 3) under different time
+//! thresholds δ on the scientific workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qfe_bench::{candidates_for, Scale};
+use qfe_core::{skyline_stc_dtc_pairs, GenerationContext};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let candidates = candidates_for(&workload.database, &target, 19);
+    let ctx = GenerationContext::new(&workload.database, &result, &candidates).unwrap();
+
+    let mut group = c.benchmark_group("table3_delta");
+    group.sample_size(10);
+    for delta_ms in [5u64, 25, 100] {
+        group.bench_function(format!("skyline_delta_{delta_ms}ms"), |b| {
+            b.iter(|| skyline_stc_dtc_pairs(&ctx, Duration::from_millis(delta_ms)).pairs.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

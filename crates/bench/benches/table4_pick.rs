@@ -1,0 +1,33 @@
+//! Table 4 bench: Algorithm 4 (Pick-STC-DTC-Subset) on the skyline pairs of
+//! the scientific workload's first iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qfe_bench::{candidates_for, default_params, Scale};
+use qfe_core::{pick_stc_dtc_subset, skyline_stc_dtc_pairs, GenerationContext};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let params = default_params(scale);
+    let mut group = c.benchmark_group("table4_pick");
+    group.sample_size(10);
+    for label in ["Q1", "Q2"] {
+        let target = workload.query(label).unwrap().clone();
+        let result = workload.example_result(label).unwrap();
+        let candidates = candidates_for(&workload.database, &target, 19);
+        let ctx = GenerationContext::new(&workload.database, &result, &candidates).unwrap();
+        let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_millis(100));
+        group.bench_function(format!("pick_{label}"), |b| {
+            b.iter(|| {
+                pick_stc_dtc_subset(&ctx, &skyline.pairs, &params, skyline.best_binary_x)
+                    .map(|o| o.cost_evaluations)
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 5 bench: Algorithm 4 execution time as the skyline-pair set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfe_bench::{candidates_for, default_params, Scale};
+use qfe_core::{pick_stc_dtc_subset, skyline_stc_dtc_pairs, GenerationContext};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let params = default_params(scale);
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let candidates = candidates_for(&workload.database, &target, 19);
+    let ctx = GenerationContext::new(&workload.database, &result, &candidates).unwrap();
+    let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(5));
+
+    let mut group = c.benchmark_group("table5_skyline_scaling");
+    group.sample_size(10);
+    for size in [25usize, 50, 100, 200] {
+        let take = size.min(skyline.pairs.len());
+        if take == 0 {
+            continue;
+        }
+        let subset = skyline.pairs[..take].to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(take), &subset, |b, subset| {
+            b.iter(|| {
+                pick_stc_dtc_subset(&ctx, subset, &params, skyline.best_binary_x)
+                    .map(|o| o.cost_evaluations)
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

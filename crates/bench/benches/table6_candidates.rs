@@ -1,0 +1,40 @@
+//! Table 6 bench: full worst-case sessions as the candidate-set size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfe_bench::{candidates_for, default_params, run_session, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let workload = scale.scientific();
+    let params = default_params(scale);
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let full = candidates_for(&workload.database, &target, 40);
+
+    let mut group = c.benchmark_group("table6_candidates");
+    group.sample_size(10);
+    for size in [5usize, 10, 20, 40] {
+        let candidates: Vec<_> = full.iter().take(size.min(full.len())).cloned().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(candidates.len()),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    run_session(
+                        &workload.database,
+                        &result,
+                        candidates,
+                        &target,
+                        &params,
+                        true,
+                    )
+                    .iterations()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

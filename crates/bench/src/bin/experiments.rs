@@ -1,0 +1,73 @@
+//! Prints the paper's evaluation tables regenerated against the synthetic
+//! workloads.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation] [--paper-scale]
+//! ```
+//!
+//! The default scale is `Small` (reduced cardinalities, runs in seconds);
+//! `--paper-scale` uses the paper's dataset cardinalities and δ = 1 s.
+
+use qfe_bench::{
+    ablation_estimator, extra_entropy, extra_initial_size, table1, table2, table3, table4, table5,
+    table6, table7, user_study, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper-scale") {
+        Scale::Paper
+    } else {
+        Scale::Small
+    };
+    let selections: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let selections = if selections.is_empty() {
+        vec!["all"]
+    } else {
+        selections
+    };
+
+    let run_all = selections.contains(&"all");
+    let want = |name: &str| run_all || selections.contains(&name);
+
+    println!("QFE reproduction experiments (scale: {scale:?})\n");
+    if want("table1") {
+        println!("{}", table1(scale));
+    }
+    if want("table2") {
+        println!("{}", table2(scale));
+    }
+    if want("table3") {
+        println!("{}", table3(scale));
+    }
+    if want("table4") {
+        println!("{}", table4(scale));
+    }
+    if want("table5") {
+        println!("{}", table5(scale));
+    }
+    if want("table6") {
+        println!("{}", table6(scale));
+    }
+    if want("table7") {
+        println!("{}", table7(scale));
+    }
+    if want("initial-size") {
+        println!("{}", extra_initial_size(scale));
+    }
+    if want("entropy") {
+        println!("{}", extra_entropy(scale));
+    }
+    if want("user-study") {
+        println!("{}", user_study(scale));
+    }
+    if want("ablation") {
+        println!("{}", ablation_estimator(scale));
+    }
+}

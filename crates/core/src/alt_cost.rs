@@ -1,0 +1,51 @@
+//! The alternative cost model used as the user-study baseline (Section 7.7).
+//!
+//! The paper compares its user-effort cost model against "an alternative cost
+//! model that aims to reduce both the size of query subsets as well as the
+//! number of iterations by choosing data modifications to maximize the number
+//! of partitioned query subsets".  This module packages that alternative as a
+//! preset of [`CostParams`] so that experiments can switch between the two
+//! with a single call.
+
+use crate::cost::{CostModelKind, CostParams};
+
+/// Preset factory for the two cost models compared in the paper's user study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AltCostModel;
+
+impl AltCostModel {
+    /// Parameters for the paper's proposed user-effort cost model.
+    pub fn qfe_params() -> CostParams {
+        CostParams::default().with_model(CostModelKind::UserEffort)
+    }
+
+    /// Parameters for the alternative, maximize-the-number-of-partitions
+    /// model.
+    pub fn alternative_params() -> CostParams {
+        CostParams::default().with_model(CostModelKind::MaxPartitions)
+    }
+
+    /// Both presets, labeled — convenient for sweeping experiments.
+    pub fn both() -> Vec<(&'static str, CostParams)> {
+        vec![
+            ("qfe-user-effort", Self::qfe_params()),
+            ("max-partitions", Self::alternative_params()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_objective() {
+        let a = AltCostModel::qfe_params();
+        let b = AltCostModel::alternative_params();
+        assert_eq!(a.model, CostModelKind::UserEffort);
+        assert_eq!(b.model, CostModelKind::MaxPartitions);
+        assert_eq!(a.beta, b.beta);
+        assert_eq!(a.skyline_time_budget, b.skyline_time_budget);
+        assert_eq!(AltCostModel::both().len(), 2);
+    }
+}

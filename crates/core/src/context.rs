@@ -1,0 +1,475 @@
+//! Shared per-iteration state of the database generator.
+//!
+//! At each feedback iteration the database generator works with the original
+//! pair `(D, R)`, the surviving candidate queries `QC'`, their shared
+//! foreign-key join, the join index (for side-effect accounting), and the
+//! tuple-class space derived from `QC'`.  [`GenerationContext`] bundles that
+//! state and provides the cheap, class-level reasoning (query/class matching,
+//! outcome signatures, balance scores) that Algorithms 3 and 4 are built on.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use qfe_query::{BoundQuery, QueryResult, SpjQuery};
+use qfe_relation::{foreign_key_join, Database, JoinIndex, JoinedRelation, Tuple};
+
+use crate::cost::balance_score;
+use crate::error::{QfeError, Result};
+use crate::tuple_class::{TupleClass, TupleClassSpace};
+
+/// A candidate single-tuple modification at the tuple-class level: a
+/// (source-tuple-class, destination-tuple-class) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassPair {
+    /// The source tuple class (some tuple of `D` belongs to it).
+    pub source: TupleClass,
+    /// The destination tuple class the tuple is modified into.
+    pub destination: TupleClass,
+    /// Positions (into the selection-attribute list) changed by the pair.
+    pub changed_attributes: Vec<usize>,
+}
+
+impl ClassPair {
+    /// The pair's minimum edit cost: one attribute modification per changed
+    /// attribute.
+    pub fn edit_cost(&self) -> usize {
+        self.changed_attributes.len()
+    }
+}
+
+/// The abstract effect of a single-tuple modification on one query's result
+/// (the four cases of Lemma 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The query's result is unchanged.
+    Unchanged,
+    /// The modified tuple newly satisfies the query: one row added.
+    Added,
+    /// The tuple no longer satisfies the query: one row removed.
+    Removed,
+    /// The tuple satisfies the query before and after, but its projected
+    /// value changed: one row replaced.
+    Replaced,
+}
+
+/// Per-iteration state shared by the skyline search (Algorithm 3), the subset
+/// selection (Algorithm 4) and the realization of modifications.
+#[derive(Debug)]
+pub struct GenerationContext {
+    db: Database,
+    original_result: QueryResult,
+    queries: Vec<SpjQuery>,
+    join_tables: Vec<String>,
+    join: JoinedRelation,
+    join_index: JoinIndex,
+    bound: Vec<BoundQuery>,
+    space: TupleClassSpace,
+    source_classes: BTreeMap<TupleClass, Vec<usize>>,
+    modifiable: Vec<bool>,
+    projection_columns: BTreeSet<usize>,
+    match_cache: RefCell<HashMap<TupleClass, Vec<bool>>>,
+}
+
+impl GenerationContext {
+    /// Builds the context for one iteration.
+    ///
+    /// All candidate queries must share the same join schema (the Section 5
+    /// assumption); [`QfeError::MixedJoinSchemas`] is returned otherwise.
+    pub fn new(
+        db: &Database,
+        original_result: &QueryResult,
+        queries: &[SpjQuery],
+    ) -> Result<Self> {
+        if queries.is_empty() {
+            return Err(QfeError::NoCandidates);
+        }
+        let join_tables = queries[0].join_signature();
+        if queries.iter().any(|q| q.join_signature() != join_tables) {
+            return Err(QfeError::MixedJoinSchemas);
+        }
+        let join = foreign_key_join(db, &join_tables)?;
+        let join_index = JoinIndex::build(&join);
+        let bound: Vec<BoundQuery> = queries
+            .iter()
+            .map(|q| BoundQuery::bind(q, &join))
+            .collect::<std::result::Result<_, _>>()?;
+        let space = TupleClassSpace::build(&join, queries)?;
+        let source_classes = space.source_classes(&join);
+
+        // Projection columns (shared by all candidates: R determines ℓ).
+        let projection_columns: BTreeSet<usize> =
+            bound[0].projection_indices().iter().copied().collect();
+
+        // An attribute is modifiable unless its base column participates in a
+        // primary key or a foreign key: modifying key columns would change the
+        // join structure or violate integrity constraints (Section 6.3).
+        let modifiable: Vec<bool> = space
+            .attributes()
+            .iter()
+            .map(|attr| {
+                let in_fk = db.foreign_keys().iter().any(|fk| {
+                    (fk.child_table == attr.table && fk.child_columns.contains(&attr.base_column))
+                        || (fk.parent_table == attr.table
+                            && fk.parent_columns.contains(&attr.base_column))
+                });
+                let in_pk = db
+                    .table(&attr.table)
+                    .ok()
+                    .map(|t| {
+                        t.schema()
+                            .primary_key()
+                            .iter()
+                            .any(|&i| t.schema().columns()[i].name == attr.base_column)
+                    })
+                    .unwrap_or(false);
+                !(in_fk || in_pk)
+            })
+            .collect();
+
+        Ok(GenerationContext {
+            db: db.clone(),
+            original_result: original_result.clone(),
+            queries: queries.to_vec(),
+            join_tables,
+            join,
+            join_index,
+            bound,
+            space,
+            source_classes,
+            modifiable,
+            projection_columns,
+            match_cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The original database `D`.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The original example result `R`.
+    pub fn original_result(&self) -> &QueryResult {
+        &self.original_result
+    }
+
+    /// The surviving candidate queries.
+    pub fn queries(&self) -> &[SpjQuery] {
+        &self.queries
+    }
+
+    /// The shared join schema (sorted table names).
+    pub fn join_tables(&self) -> &[String] {
+        &self.join_tables
+    }
+
+    /// The foreign-key join of the candidate queries' tables over `D`.
+    pub fn join(&self) -> &JoinedRelation {
+        &self.join
+    }
+
+    /// The join index of [`Self::join`].
+    pub fn join_index(&self) -> &JoinIndex {
+        &self.join_index
+    }
+
+    /// The candidate queries bound against [`Self::join`].
+    pub fn bound_queries(&self) -> &[BoundQuery] {
+        &self.bound
+    }
+
+    /// The tuple-class space for the candidate set.
+    pub fn class_space(&self) -> &TupleClassSpace {
+        &self.space
+    }
+
+    /// The source-tuple classes and their member join rows.
+    pub fn source_classes(&self) -> &BTreeMap<TupleClass, Vec<usize>> {
+        &self.source_classes
+    }
+
+    /// Which selection attributes may be modified (non-key attributes).
+    pub fn modifiable_attributes(&self) -> &[bool] {
+        &self.modifiable
+    }
+
+    /// Join-column indices projected by the candidate queries.
+    pub fn projection_columns(&self) -> &BTreeSet<usize> {
+        &self.projection_columns
+    }
+
+    /// Whether a tuple of `class` satisfies candidate query `query_idx`
+    /// (memoized).
+    pub fn class_matches(&self, class: &TupleClass, query_idx: usize) -> bool {
+        {
+            let cache = self.match_cache.borrow();
+            if let Some(row) = cache.get(class) {
+                return row[query_idx];
+            }
+        }
+        let row: Vec<bool> = self
+            .bound
+            .iter()
+            .map(|b| self.space.class_matches(class, b))
+            .collect();
+        let result = row[query_idx];
+        self.match_cache.borrow_mut().insert(class.clone(), row);
+        result
+    }
+
+    /// The abstract outcome of modifying one tuple from `pair.source` to
+    /// `pair.destination` for query `query_idx` (Lemma 5.1).
+    pub fn outcome(&self, pair: &ClassPair, query_idx: usize) -> Outcome {
+        let s = self.class_matches(&pair.source, query_idx);
+        let d = self.class_matches(&pair.destination, query_idx);
+        // Did the modification touch a projected column?
+        let projection_changed = pair.changed_attributes.iter().any(|&pos| {
+            let col = self.space.attributes()[pos].column;
+            self.projection_columns.contains(&col)
+        });
+        match (s, d) {
+            (false, false) => Outcome::Unchanged,
+            (false, true) => Outcome::Added,
+            (true, false) => Outcome::Removed,
+            (true, true) => {
+                if projection_changed {
+                    Outcome::Replaced
+                } else {
+                    Outcome::Unchanged
+                }
+            }
+        }
+    }
+
+    /// The sizes of the query subsets induced (at the class level) by a set
+    /// of pairs: queries are grouped by their vector of per-pair outcomes.
+    pub fn partition_sizes(&self, pairs: &[ClassPair]) -> Vec<usize> {
+        let mut groups: BTreeMap<Vec<Outcome>, usize> = BTreeMap::new();
+        for q in 0..self.queries.len() {
+            let signature: Vec<Outcome> = pairs.iter().map(|p| self.outcome(p, q)).collect();
+            *groups.entry(signature).or_insert(0) += 1;
+        }
+        groups.into_values().collect()
+    }
+
+    /// The balance score of the class-level partitioning induced by `pairs`.
+    pub fn balance(&self, pairs: &[ClassPair]) -> f64 {
+        balance_score(&self.partition_sizes(pairs))
+    }
+
+    /// All single-attribute-change destination pairs for one source class.
+    pub fn destination_pairs(&self, source: &TupleClass, modify_count: usize) -> Vec<ClassPair> {
+        self.space
+            .destination_classes(source, modify_count, &self.modifiable)
+            .into_iter()
+            .map(|(destination, changed_attributes)| ClassPair {
+                source: source.clone(),
+                destination,
+                changed_attributes,
+            })
+            .collect()
+    }
+
+    /// Applies a set of cell edits *virtually* to the joined relation: for
+    /// every joined row containing an edited base tuple, returns
+    /// `(join row index, original tuple, patched tuple)`.
+    pub fn patched_join_rows(
+        &self,
+        edits: &[crate::realize::CellEdit],
+    ) -> Vec<(usize, Tuple, Tuple)> {
+        let mut patched: BTreeMap<usize, Tuple> = BTreeMap::new();
+        for edit in edits {
+            for &jrow in self.join_index.joined_rows_of(&edit.table, edit.row) {
+                let entry = patched
+                    .entry(jrow)
+                    .or_insert_with(|| self.join.rows()[jrow].tuple.clone());
+                // Patch every join column that originates from the edited
+                // base cell.
+                for (col_idx, col) in self.join.columns().iter().enumerate() {
+                    if col.table == edit.table
+                        && col.column == edit.column
+                        && self.join.rows()[jrow].provenance.get(&edit.table) == Some(&edit.row)
+                    {
+                        entry.set(col_idx, edit.new_value.clone());
+                    }
+                }
+            }
+        }
+        patched
+            .into_iter()
+            .map(|(jrow, tuple)| (jrow, self.join.rows()[jrow].tuple.clone(), tuple))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_query::{ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{tuple, ColumnDef, DataType, Table, TableSchema};
+
+    fn employee_context() -> GenerationContext {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("gender", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        let q = |p| SpjQuery::new(vec!["Employee"], vec!["name"], p);
+        let queries = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+        ];
+        let result = qfe_query::evaluate(&queries[0], &db).unwrap();
+        GenerationContext::new(&db, &result, &queries).unwrap()
+    }
+
+    #[test]
+    fn construction_exposes_shared_state() {
+        let ctx = employee_context();
+        assert_eq!(ctx.queries().len(), 3);
+        assert_eq!(ctx.join_tables(), &["Employee".to_string()]);
+        assert_eq!(ctx.join().len(), 4);
+        assert_eq!(ctx.bound_queries().len(), 3);
+        assert_eq!(ctx.class_space().attribute_count(), 3);
+        assert_eq!(ctx.source_classes().len(), 2);
+        assert_eq!(ctx.database().table_count(), 1);
+        assert_eq!(ctx.original_result().len(), 2);
+        assert_eq!(ctx.projection_columns().len(), 1);
+        assert!(!ctx.join_index().is_empty());
+    }
+
+    #[test]
+    fn key_attributes_are_locked() {
+        let ctx = employee_context();
+        // None of gender/dept/salary is a key: all modifiable.
+        assert!(ctx.modifiable_attributes().iter().all(|&m| m));
+    }
+
+    #[test]
+    fn mixed_join_schemas_rejected() {
+        let ctx = employee_context();
+        let mut queries = ctx.queries().to_vec();
+        queries.push(SpjQuery::new(
+            vec!["Other"],
+            vec!["name"],
+            DnfPredicate::always_true(),
+        ));
+        let err =
+            GenerationContext::new(ctx.database(), ctx.original_result(), &queries).unwrap_err();
+        assert!(matches!(err, QfeError::MixedJoinSchemas));
+        let err = GenerationContext::new(ctx.database(), ctx.original_result(), &[]).unwrap_err();
+        assert!(matches!(err, QfeError::NoCandidates));
+    }
+
+    #[test]
+    fn class_matching_is_consistent_and_cached() {
+        let ctx = employee_context();
+        // Bob/Darren's class matches every candidate; Alice/Celina's matches none.
+        let bob_class = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        let alice_class = ctx.class_space().classify(&ctx.join().rows()[0].tuple).unwrap();
+        for q in 0..3 {
+            assert!(ctx.class_matches(&bob_class, q));
+            assert!(!ctx.class_matches(&alice_class, q));
+            // Second call exercises the cache path.
+            assert!(ctx.class_matches(&bob_class, q));
+        }
+    }
+
+    #[test]
+    fn outcomes_follow_lemma_5_1() {
+        let ctx = employee_context();
+        let bob_class = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        // Destination pairs changing a single attribute from Bob's class.
+        let pairs = ctx.destination_pairs(&bob_class, 1);
+        assert!(!pairs.is_empty());
+        for pair in &pairs {
+            assert_eq!(pair.edit_cost(), 1);
+            for q in 0..3 {
+                let o = ctx.outcome(pair, q);
+                // The projection (name) is never a selection attribute here,
+                // so Replaced is impossible.
+                assert_ne!(o, Outcome::Replaced);
+            }
+        }
+        // A pair that moves Bob out of the "salary > 4000" block must Remove
+        // him from Q2's result while leaving Q1 and Q3 unchanged.
+        let salary_pos = ctx
+            .class_space()
+            .attributes()
+            .iter()
+            .position(|a| a.base_column == "salary")
+            .unwrap();
+        let salary_pair = pairs
+            .iter()
+            .find(|p| p.changed_attributes == vec![salary_pos])
+            .unwrap();
+        assert_eq!(ctx.outcome(salary_pair, 0), Outcome::Unchanged);
+        assert_eq!(ctx.outcome(salary_pair, 1), Outcome::Removed);
+        assert_eq!(ctx.outcome(salary_pair, 2), Outcome::Unchanged);
+    }
+
+    #[test]
+    fn partition_sizes_and_balance_for_single_pair() {
+        let ctx = employee_context();
+        let bob_class = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        let salary_pos = ctx
+            .class_space()
+            .attributes()
+            .iter()
+            .position(|a| a.base_column == "salary")
+            .unwrap();
+        let pair = ctx
+            .destination_pairs(&bob_class, 1)
+            .into_iter()
+            .find(|p| p.changed_attributes == vec![salary_pos])
+            .unwrap();
+        // The salary change separates Q2 from {Q1, Q3}: sizes {1, 2}.
+        let mut sizes = ctx.partition_sizes(std::slice::from_ref(&pair));
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 2]);
+        assert!(ctx.balance(std::slice::from_ref(&pair)).is_finite());
+        // No pairs: single group, infinite balance.
+        assert!(ctx.balance(&[]).is_infinite());
+    }
+
+    #[test]
+    fn patched_join_rows_applies_edits_virtually() {
+        let ctx = employee_context();
+        let edits = vec![crate::realize::CellEdit {
+            table: "Employee".to_string(),
+            row: 1,
+            column: "salary".to_string(),
+            new_value: qfe_relation::Value::Int(3900),
+        }];
+        let patched = ctx.patched_join_rows(&edits);
+        assert_eq!(patched.len(), 1);
+        let (jrow, old, new) = &patched[0];
+        assert_eq!(*jrow, 1);
+        let salary_col = ctx.join().resolve_column("salary").unwrap();
+        assert_eq!(old.get(salary_col), Some(&qfe_relation::Value::Int(4200)));
+        assert_eq!(new.get(salary_col), Some(&qfe_relation::Value::Int(3900)));
+    }
+}

@@ -1,0 +1,509 @@
+//! Domain partitioning `P_QC(A_i)` (Section 5.1 of the paper).
+//!
+//! For each attribute `A_i` appearing in the selection predicates of the
+//! candidate queries, the attribute's domain is partitioned into a minimum
+//! collection of disjoint blocks such that, within each block, every
+//! predicate term on `A_i` is either satisfied by all values or by none.
+//! Tuple classes (one block per attribute) are then the unit at which the
+//! database generator reasons about modifications.
+
+use std::collections::BTreeMap;
+
+use qfe_query::Term;
+use qfe_relation::Value;
+
+/// One block of an attribute's domain partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainBlock {
+    /// A numeric interval with optional bounds (`None` = unbounded).
+    Interval {
+        /// Lower bound (value, inclusive?) or `None` for −∞.
+        lower: Option<(Value, bool)>,
+        /// Upper bound (value, inclusive?) or `None` for +∞.
+        upper: Option<(Value, bool)>,
+        /// A concrete value inside the block, preferring values that occur in
+        /// the attribute's active domain.
+        representative: Value,
+    },
+    /// A set of categorical values with identical truth values for every
+    /// predicate term on the attribute.
+    ValueSet {
+        /// The member values.
+        values: Vec<Value>,
+        /// A concrete member used when realizing modifications.
+        representative: Value,
+    },
+}
+
+impl DomainBlock {
+    /// A concrete value belonging to the block.
+    pub fn representative(&self) -> &Value {
+        match self {
+            DomainBlock::Interval { representative, .. }
+            | DomainBlock::ValueSet { representative, .. } => representative,
+        }
+    }
+
+    /// Whether `v` belongs to this block.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            DomainBlock::Interval { lower, upper, .. } => {
+                if v.is_null() {
+                    return false;
+                }
+                if let Some((lo, inclusive)) = lower {
+                    if v < lo || (v == lo && !inclusive) {
+                        return false;
+                    }
+                }
+                if let Some((hi, inclusive)) = upper {
+                    if v > hi || (v == hi && !inclusive) {
+                        return false;
+                    }
+                }
+                true
+            }
+            DomainBlock::ValueSet { values, .. } => values.contains(v),
+        }
+    }
+}
+
+impl std::fmt::Display for DomainBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainBlock::Interval { lower, upper, .. } => {
+                match lower {
+                    Some((v, true)) => write!(f, "[{v}, ")?,
+                    Some((v, false)) => write!(f, "({v}, ")?,
+                    None => write!(f, "(-inf, ")?,
+                }
+                match upper {
+                    Some((v, true)) => write!(f, "{v}]"),
+                    Some((v, false)) => write!(f, "{v})"),
+                    None => write!(f, "+inf)"),
+                }
+            }
+            DomainBlock::ValueSet { values, .. } => {
+                write!(f, "{{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Partitions a *numeric* attribute's domain given the terms on it and the
+/// attribute's active domain (used to pick representatives).
+///
+/// The construction creates elementary regions from the sorted predicate
+/// constants — `(-∞,c1), [c1,c1], (c1,c2), …, (cm,+∞)` — and merges adjacent
+/// regions whose truth vector over the terms is identical, yielding the
+/// minimum partition required by the paper's definition.
+pub fn partition_numeric_domain(terms: &[&Term], active_domain: &[Value]) -> Vec<DomainBlock> {
+    // Collect constants mentioned by the terms.
+    let mut constants: Vec<Value> = terms
+        .iter()
+        .flat_map(|t| t.constants().into_iter().cloned())
+        .filter(|v| !v.is_null())
+        .collect();
+    constants.sort();
+    constants.dedup();
+
+    if constants.is_empty() {
+        let representative = pick_numeric_representative(None, None, active_domain);
+        return vec![DomainBlock::Interval {
+            lower: None,
+            upper: None,
+            representative,
+        }];
+    }
+
+    // Elementary regions: open intervals between constants plus the point
+    // regions at the constants themselves.
+    #[derive(Clone)]
+    struct Region {
+        lower: Option<(Value, bool)>,
+        upper: Option<(Value, bool)>,
+        probe: Value,
+    }
+    let mut regions: Vec<Region> = Vec::with_capacity(2 * constants.len() + 1);
+    let below = probe_below(&constants[0]);
+    regions.push(Region {
+        lower: None,
+        upper: Some((constants[0].clone(), false)),
+        probe: below,
+    });
+    for (i, c) in constants.iter().enumerate() {
+        regions.push(Region {
+            lower: Some((c.clone(), true)),
+            upper: Some((c.clone(), true)),
+            probe: c.clone(),
+        });
+        if let Some(next) = constants.get(i + 1) {
+            regions.push(Region {
+                lower: Some((c.clone(), false)),
+                upper: Some((next.clone(), false)),
+                probe: probe_between(c, next),
+            });
+        }
+    }
+    regions.push(Region {
+        lower: Some((constants[constants.len() - 1].clone(), false)),
+        upper: None,
+        probe: probe_above(&constants[constants.len() - 1]),
+    });
+
+    // Truth vector of each region, then merge adjacent regions with equal
+    // vectors.
+    let truth = |probe: &Value| -> Vec<bool> { terms.iter().map(|t| t.eval(probe)).collect() };
+    let mut blocks: Vec<(Option<(Value, bool)>, Option<(Value, bool)>, Vec<bool>)> = Vec::new();
+    for r in regions {
+        let tv = truth(&r.probe);
+        match blocks.last_mut() {
+            Some((_, upper, last_tv)) if *last_tv == tv => {
+                *upper = r.upper.clone();
+            }
+            _ => blocks.push((r.lower.clone(), r.upper.clone(), tv)),
+        }
+    }
+
+    blocks
+        .into_iter()
+        .map(|(lower, upper, _)| {
+            let representative =
+                pick_numeric_representative(lower.as_ref(), upper.as_ref(), active_domain);
+            DomainBlock::Interval {
+                lower,
+                upper,
+                representative,
+            }
+        })
+        .collect()
+}
+
+/// Partitions a *categorical* attribute's domain given the terms on it and
+/// the attribute's active domain. Values (active-domain values plus constants
+/// mentioned by the terms, plus one synthetic "fresh" value when it realizes
+/// a truth vector not otherwise present) are grouped by their truth vector
+/// over the terms.
+pub fn partition_categorical_domain(terms: &[&Term], active_domain: &[Value]) -> Vec<DomainBlock> {
+    let mut universe: Vec<Value> = active_domain
+        .iter()
+        .filter(|v| !v.is_null())
+        .cloned()
+        .collect();
+    for t in terms {
+        for c in t.constants() {
+            if !c.is_null() && !universe.contains(c) {
+                universe.push(c.clone());
+            }
+        }
+    }
+    universe.sort();
+    universe.dedup();
+
+    // A synthetic fresh value (not in the universe) lets modifications move a
+    // tuple to "none of the mentioned values" even when every known value
+    // satisfies some term.
+    let fresh = synthesize_fresh_value(&universe);
+    let fresh_truth: Vec<bool> = terms.iter().map(|t| t.eval(&fresh)).collect();
+
+    let mut groups: BTreeMap<Vec<bool>, Vec<Value>> = BTreeMap::new();
+    for v in &universe {
+        let tv: Vec<bool> = terms.iter().map(|t| t.eval(v)).collect();
+        groups.entry(tv).or_default().push(v.clone());
+    }
+    if !groups.contains_key(&fresh_truth) {
+        groups.insert(fresh_truth, vec![fresh]);
+    }
+
+    groups
+        .into_values()
+        .map(|values| {
+            // Prefer a representative from the active domain.
+            let representative = values
+                .iter()
+                .find(|v| active_domain.contains(v))
+                .unwrap_or(&values[0])
+                .clone();
+            DomainBlock::ValueSet {
+                values,
+                representative,
+            }
+        })
+        .collect()
+}
+
+/// Picks a concrete value inside a numeric interval, preferring active-domain
+/// values.
+fn pick_numeric_representative(
+    lower: Option<&(Value, bool)>,
+    upper: Option<&(Value, bool)>,
+    active_domain: &[Value],
+) -> Value {
+    let in_range = |v: &Value| -> bool {
+        if v.is_null() {
+            return false;
+        }
+        if let Some((lo, inc)) = lower {
+            if v < lo || (v == lo && !inc) {
+                return false;
+            }
+        }
+        if let Some((hi, inc)) = upper {
+            if v > hi || (v == hi && !inc) {
+                return false;
+            }
+        }
+        true
+    };
+    if let Some(v) = active_domain.iter().find(|v| in_range(v)) {
+        return v.clone();
+    }
+    match (lower, upper) {
+        (Some((lo, lo_inc)), Some((hi, hi_inc))) => {
+            if lo == hi {
+                return lo.clone();
+            }
+            let a = lo.as_f64().unwrap_or(0.0);
+            let b = hi.as_f64().unwrap_or(0.0);
+            let mid = (a + b) / 2.0;
+            // Prefer integer representatives when both bounds are integers and
+            // an integer strictly between them exists.
+            if let (Value::Int(ai), Value::Int(bi)) = (lo, hi) {
+                if bi - ai >= 2 {
+                    return Value::Int(ai + (bi - ai) / 2);
+                }
+                if *lo_inc {
+                    return lo.clone();
+                }
+                if *hi_inc {
+                    return hi.clone();
+                }
+            }
+            Value::Float(mid)
+        }
+        (Some((lo, inc)), None) => {
+            if *inc {
+                lo.clone()
+            } else {
+                match lo {
+                    Value::Int(i) => Value::Int(i + 1),
+                    other => Value::Float(other.as_f64().unwrap_or(0.0) + 1.0),
+                }
+            }
+        }
+        (None, Some((hi, inc))) => {
+            if *inc {
+                hi.clone()
+            } else {
+                match hi {
+                    Value::Int(i) => Value::Int(i - 1),
+                    other => Value::Float(other.as_f64().unwrap_or(0.0) - 1.0),
+                }
+            }
+        }
+        (None, None) => Value::Int(0),
+    }
+}
+
+fn probe_below(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i - 1),
+        other => Value::Float(other.as_f64().unwrap_or(0.0) - 1.0),
+    }
+}
+
+fn probe_above(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i + 1),
+        other => Value::Float(other.as_f64().unwrap_or(0.0) + 1.0),
+    }
+}
+
+fn probe_between(a: &Value, b: &Value) -> Value {
+    let x = a.as_f64().unwrap_or(0.0);
+    let y = b.as_f64().unwrap_or(0.0);
+    Value::Float((x + y) / 2.0)
+}
+
+fn synthesize_fresh_value(universe: &[Value]) -> Value {
+    let mut candidate = "qfe_fresh".to_string();
+    while universe.iter().any(|v| v.as_str() == Some(candidate.as_str())) {
+        candidate.push('_');
+    }
+    Value::Text(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_query::ComparisonOp;
+
+    /// Example 5.1 of the paper: Q1 = σ(A≤50 ∧ B>60), Q2 = σ(A∈(40,80] ∧ B≤20).
+    /// P_QC(A) = {[-∞,40], (40,50], (50,80], (80,∞]}.
+    #[test]
+    fn example_5_1_attribute_a() {
+        let t1 = Term::compare("A", ComparisonOp::Le, 50i64);
+        let t2 = Term::compare("A", ComparisonOp::Gt, 40i64);
+        let t3 = Term::compare("A", ComparisonOp::Le, 80i64);
+        let terms = vec![&t1, &t2, &t3];
+        let blocks = partition_numeric_domain(&terms, &[]);
+        assert_eq!(blocks.len(), 4, "{blocks:?}");
+        // Check the block boundaries by probing values.
+        let find = |v: i64| blocks.iter().position(|b| b.contains(&Value::Int(v))).unwrap();
+        assert_eq!(find(40), find(0));
+        assert_eq!(find(41), find(50));
+        assert_ne!(find(40), find(41));
+        assert_eq!(find(51), find(80));
+        assert_ne!(find(50), find(51));
+        assert_eq!(find(81), find(1000));
+        assert_ne!(find(80), find(81));
+    }
+
+    /// Example 5.1, attribute B: P_QC(B) = {[-∞,20], (20,60], (60,∞]}.
+    #[test]
+    fn example_5_1_attribute_b() {
+        let t1 = Term::compare("B", ComparisonOp::Gt, 60i64);
+        let t2 = Term::compare("B", ComparisonOp::Le, 20i64);
+        let terms = vec![&t1, &t2];
+        let blocks = partition_numeric_domain(&terms, &[]);
+        assert_eq!(blocks.len(), 3, "{blocks:?}");
+    }
+
+    /// An attribute with no predicate terms has a single unbounded block
+    /// (Example 5.1's attribute C).
+    #[test]
+    fn attribute_without_terms_is_one_block() {
+        let blocks = partition_numeric_domain(&[], &[Value::Int(5)]);
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].contains(&Value::Int(-1_000_000)));
+        assert!(blocks[0].contains(&Value::Float(1e12)));
+        assert_eq!(blocks[0].representative(), &Value::Int(5));
+    }
+
+    /// Example 5.2: categorical domain {a..g}, Q1 = σ A∈{b,c,e}, Q2 = σ A∈{a,b,d,e}
+    /// partitions into {a,d}, {b,e}, {c}, {f,g}.
+    #[test]
+    fn example_5_2_categorical_partition() {
+        let dom: Vec<Value> = ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .map(|s| Value::Text(s.to_string()))
+            .collect();
+        let t1 = Term::is_in("A", vec!["b".into(), "c".into(), "e".into()]);
+        let t2 = Term::is_in("A", vec!["a".into(), "b".into(), "d".into(), "e".into()]);
+        let blocks = partition_categorical_domain(&[&t1, &t2], &dom);
+        assert_eq!(blocks.len(), 4, "{blocks:?}");
+        let block_of = |s: &str| {
+            blocks
+                .iter()
+                .position(|b| b.contains(&Value::Text(s.to_string())))
+                .unwrap()
+        };
+        assert_eq!(block_of("a"), block_of("d"));
+        assert_eq!(block_of("b"), block_of("e"));
+        assert_eq!(block_of("f"), block_of("g"));
+        assert_ne!(block_of("a"), block_of("b"));
+        assert_ne!(block_of("b"), block_of("c"));
+        assert_ne!(block_of("c"), block_of("f"));
+    }
+
+    #[test]
+    fn categorical_partition_adds_fresh_block_when_needed() {
+        // Every active-domain value satisfies the single equality term's
+        // complement except "IT"; but if the domain is exactly {"IT"} the
+        // "does not satisfy" truth vector needs a synthetic fresh value.
+        let t1 = Term::eq("dept", "IT");
+        let dom = vec![Value::Text("IT".into())];
+        let blocks = partition_categorical_domain(&[&t1], &dom);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().any(|b| b.contains(&Value::Text("IT".into()))));
+        assert!(blocks
+            .iter()
+            .any(|b| matches!(b, DomainBlock::ValueSet { values, .. } if values
+                .iter()
+                .all(|v| v.as_str().is_some_and(|s| s.starts_with("qfe_fresh"))))));
+    }
+
+    #[test]
+    fn representatives_prefer_active_domain_values() {
+        let t1 = Term::compare("salary", ComparisonOp::Gt, 4000i64);
+        let dom = vec![Value::Int(3000), Value::Int(3700), Value::Int(4200), Value::Int(5000)];
+        let blocks = partition_numeric_domain(&[&t1], &dom);
+        assert_eq!(blocks.len(), 2);
+        for b in &blocks {
+            let rep = b.representative();
+            assert!(b.contains(rep));
+            assert!(dom.contains(rep), "representative {rep} should come from the active domain");
+        }
+    }
+
+    #[test]
+    fn interval_membership_respects_bounds() {
+        let b = DomainBlock::Interval {
+            lower: Some((Value::Int(40), false)),
+            upper: Some((Value::Int(50), true)),
+            representative: Value::Int(45),
+        };
+        assert!(!b.contains(&Value::Int(40)));
+        assert!(b.contains(&Value::Int(41)));
+        assert!(b.contains(&Value::Int(50)));
+        assert!(!b.contains(&Value::Int(51)));
+        assert!(!b.contains(&Value::Null));
+        assert!(b.to_string().contains("(40, 50]"));
+    }
+
+    #[test]
+    fn value_set_membership_and_display() {
+        let b = DomainBlock::ValueSet {
+            values: vec![Value::Text("a".into()), Value::Text("b".into())],
+            representative: Value::Text("a".into()),
+        };
+        assert!(b.contains(&Value::Text("b".into())));
+        assert!(!b.contains(&Value::Text("z".into())));
+        assert_eq!(b.to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_cover_probes() {
+        // Disjointness/coverage sanity over a grid of probe values.
+        let t1 = Term::compare("A", ComparisonOp::Ge, -2i64);
+        let t2 = Term::compare("A", ComparisonOp::Lt, 7i64);
+        let t3 = Term::eq("A", 3i64);
+        let blocks = partition_numeric_domain(&[&t1, &t2, &t3], &[]);
+        for probe in -10..15 {
+            let v = Value::Int(probe);
+            let hits = blocks.iter().filter(|b| b.contains(&v)).count();
+            assert_eq!(hits, 1, "value {probe} must fall in exactly one block");
+        }
+        // Truth values of each term are constant within each block.
+        for b in &blocks {
+            let rep_truth: Vec<bool> = [&t1, &t2, &t3].iter().map(|t| t.eval(b.representative())).collect();
+            for probe in -10..15 {
+                let v = Value::Int(probe);
+                if b.contains(&v) {
+                    let tv: Vec<bool> = [&t1, &t2, &t3].iter().map(|t| t.eval(&v)).collect();
+                    assert_eq!(tv, rep_truth);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_constants_partition() {
+        let t1 = Term::compare("logFC", ComparisonOp::Lt, 0.5f64);
+        let t2 = Term::compare("logFC", ComparisonOp::Gt, -0.5f64);
+        let blocks = partition_numeric_domain(&[&t1, &t2], &[Value::Float(0.0), Value::Float(2.0)]);
+        // (-inf,-0.5), [-0.5,-0.5], (-0.5,0.5), [0.5,0.5], (0.5,inf) merged by
+        // truth vectors -> {<-0.5 incl -0.5? } check membership distinctness:
+        let idx_of = |x: f64| blocks.iter().position(|b| b.contains(&Value::Float(x))).unwrap();
+        assert_eq!(idx_of(0.0), idx_of(0.2));
+        assert_ne!(idx_of(0.0), idx_of(0.6));
+        assert_ne!(idx_of(-0.6), idx_of(0.0));
+    }
+}

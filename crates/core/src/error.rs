@@ -1,0 +1,113 @@
+//! Error type for the QFE core.
+
+use std::fmt;
+
+use qfe_qbo::QboError;
+use qfe_query::QueryError;
+use qfe_relation::RelationError;
+
+/// Errors raised while running QFE.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum QfeError {
+    /// The relational substrate reported an error.
+    Relation(RelationError),
+    /// Query evaluation reported an error.
+    Query(QueryError),
+    /// Candidate-query generation reported an error.
+    Qbo(QboError),
+    /// The candidate set is empty.
+    NoCandidates,
+    /// The remaining candidate queries cannot be distinguished by any valid
+    /// database modification (they are equivalent over every database the
+    /// generator can reach). The surviving queries are reported.
+    NoDistinguishingDatabase { remaining: Vec<String> },
+    /// The user reported that none of the presented results matches the
+    /// intended query: the target query is not in the candidate set.
+    TargetNotInCandidates,
+    /// Candidate queries use different join schemas; run QFE per join group
+    /// (Section 6.2) or enable the grouped driver.
+    MixedJoinSchemas,
+    /// An internal invariant was violated (a bug in the caller or in QFE).
+    Internal { message: String },
+}
+
+impl fmt::Display for QfeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QfeError::Relation(e) => write!(f, "{e}"),
+            QfeError::Query(e) => write!(f, "{e}"),
+            QfeError::Qbo(e) => write!(f, "{e}"),
+            QfeError::NoCandidates => write!(f, "the candidate query set is empty"),
+            QfeError::NoDistinguishingDatabase { remaining } => write!(
+                f,
+                "no valid database modification distinguishes the {} remaining candidate queries",
+                remaining.len()
+            ),
+            QfeError::TargetNotInCandidates => write!(
+                f,
+                "none of the presented results matches the target query; it is not in the candidate set"
+            ),
+            QfeError::MixedJoinSchemas => write!(
+                f,
+                "candidate queries use different join schemas; use the grouped driver (Section 6.2)"
+            ),
+            QfeError::Internal { message } => write!(f, "internal QFE error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QfeError {}
+
+impl From<RelationError> for QfeError {
+    fn from(e: RelationError) -> Self {
+        QfeError::Relation(e)
+    }
+}
+
+impl From<QueryError> for QfeError {
+    fn from(e: QueryError) -> Self {
+        QfeError::Query(e)
+    }
+}
+
+impl From<QboError> for QfeError {
+    fn from(e: QboError) -> Self {
+        QfeError::Qbo(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, QfeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QfeError::NoCandidates.to_string().contains("empty"));
+        assert!(QfeError::TargetNotInCandidates
+            .to_string()
+            .contains("not in the candidate set"));
+        assert!(QfeError::MixedJoinSchemas.to_string().contains("join schemas"));
+        let e = QfeError::NoDistinguishingDatabase {
+            remaining: vec!["Q1".into(), "Q2".into()],
+        };
+        assert!(e.to_string().contains("2 remaining"));
+        let e = QfeError::Internal {
+            message: "oops".into(),
+        };
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: QfeError = RelationError::UnknownTable { table: "T".into() }.into();
+        assert!(matches!(e, QfeError::Relation(_)));
+        let e: QfeError = QueryError::NoTables.into();
+        assert!(matches!(e, QfeError::Query(_)));
+        let e: QfeError = QboError::EmptyResult.into();
+        assert!(matches!(e, QfeError::Qbo(_)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Candidate queries with different join schemas (Section 6.2).
+//!
+//! The core database generator assumes all candidates share one join schema.
+//! When they do not, the paper's simplest strategy is divide and conquer:
+//! partition the candidates into groups by join schema, process the groups in
+//! non-ascending size order (the target is more likely to be in a larger
+//! group), and stop as soon as the target query is identified in some group.
+
+use std::collections::BTreeMap;
+
+use qfe_query::{QueryResult, SpjQuery};
+use qfe_relation::Database;
+
+use crate::cost::CostParams;
+use crate::driver::{QfeOutcome, QfeSession};
+use crate::error::{QfeError, Result};
+use crate::feedback::FeedbackUser;
+
+/// Partitions candidate queries by their join signature, largest group first.
+pub fn group_by_join_schema(queries: &[SpjQuery]) -> Vec<Vec<SpjQuery>> {
+    let mut groups: BTreeMap<Vec<String>, Vec<SpjQuery>> = BTreeMap::new();
+    for q in queries {
+        groups.entry(q.join_signature()).or_default().push(q.clone());
+    }
+    let mut groups: Vec<Vec<SpjQuery>> = groups.into_values().collect();
+    groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    groups
+}
+
+/// Runs QFE over a candidate set whose queries may use different join
+/// schemas, processing one join group at a time (Section 6.2).
+///
+/// Groups are tried in non-ascending size order. A group is abandoned when
+/// the user reports that none of the presented results is correct
+/// ([`QfeError::TargetNotInCandidates`]) or when its queries cannot be
+/// distinguished; the next group is then tried. Singleton groups are only
+/// accepted once every multi-query group has been ruled out (there is no
+/// feedback that could confirm them earlier).
+pub fn run_grouped(
+    database: &Database,
+    result: &QueryResult,
+    candidates: &[SpjQuery],
+    params: &CostParams,
+    user: &dyn FeedbackUser,
+) -> Result<QfeOutcome> {
+    if candidates.is_empty() {
+        return Err(QfeError::NoCandidates);
+    }
+    let groups = group_by_join_schema(candidates);
+    let mut singletons: Vec<SpjQuery> = Vec::new();
+    let mut last_error = QfeError::TargetNotInCandidates;
+
+    for group in &groups {
+        if group.len() == 1 {
+            singletons.push(group[0].clone());
+            continue;
+        }
+        let session = QfeSession::builder(database.clone(), result.clone())
+            .with_candidates(group.clone())
+            .with_params(params.clone())
+            .build()?;
+        match session.run(user) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e @ QfeError::TargetNotInCandidates)
+            | Err(e @ QfeError::NoDistinguishingDatabase { .. }) => {
+                last_error = e;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+
+    // All multi-query groups ruled out: if exactly one singleton remains it is
+    // the only viable explanation; otherwise report failure.
+    if singletons.len() == 1 {
+        let session = QfeSession::builder(database.clone(), result.clone())
+            .with_candidates(singletons)
+            .with_params(params.clone())
+            .build()?;
+        return session.run(user);
+    }
+    Err(last_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::OracleUser;
+    use qfe_query::{evaluate, ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{tuple, ColumnDef, DataType, ForeignKey, Table, TableSchema};
+
+    /// Dept(did, dname) ⋈ Emp(eid, did, level, bonus): candidates over either
+    /// Emp alone or Dept ⋈ Emp.
+    fn two_schema_db() -> Database {
+        let dept = Table::with_rows(
+            TableSchema::new(
+                "Dept",
+                vec![
+                    ColumnDef::new("did", DataType::Int),
+                    ColumnDef::new("dname", DataType::Text),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["did"])
+            .unwrap(),
+            vec![tuple![1i64, "IT"], tuple![2i64, "Sales"]],
+        )
+        .unwrap();
+        let emp = Table::with_rows(
+            TableSchema::new(
+                "Emp",
+                vec![
+                    ColumnDef::new("eid", DataType::Int),
+                    ColumnDef::new("did", DataType::Int),
+                    ColumnDef::new("level", DataType::Int),
+                    ColumnDef::new("bonus", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["eid"])
+            .unwrap(),
+            vec![
+                tuple![10i64, 1i64, 3i64, 100i64],
+                tuple![11i64, 1i64, 4i64, 250i64],
+                tuple![12i64, 2i64, 5i64, 50i64],
+                tuple![13i64, 2i64, 6i64, 75i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(dept).unwrap();
+        db.add_table(emp).unwrap();
+        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did")).unwrap();
+        db
+    }
+
+    fn mixed_candidates() -> Vec<SpjQuery> {
+        vec![
+            // Single-table group (2 queries): eid of employees with high bonus
+            // vs high level.
+            SpjQuery::new(
+                vec!["Emp"],
+                vec!["eid"],
+                DnfPredicate::single(Term::compare("bonus", ComparisonOp::Ge, 100i64)),
+            )
+            .with_label("E1"),
+            SpjQuery::new(
+                vec!["Emp"],
+                vec!["eid"],
+                DnfPredicate::single(Term::compare("level", ComparisonOp::Le, 4i64)),
+            )
+            .with_label("E2"),
+            // Two-table group (2 queries): eid of IT employees vs eid of
+            // employees in department 1.
+            SpjQuery::new(
+                vec!["Dept", "Emp"],
+                vec!["eid"],
+                DnfPredicate::single(Term::eq("dname", "IT")),
+            )
+            .with_label("J1"),
+            SpjQuery::new(
+                vec!["Dept", "Emp"],
+                vec!["eid"],
+                DnfPredicate::single(Term::compare("Dept.did", ComparisonOp::Le, 1i64)),
+            )
+            .with_label("J2"),
+        ]
+    }
+
+    #[test]
+    fn grouping_is_by_join_signature_largest_first() {
+        let mut queries = mixed_candidates();
+        queries.push(
+            SpjQuery::new(vec!["Emp"], vec!["eid"], DnfPredicate::always_true()).with_label("E3"),
+        );
+        let groups = group_by_join_schema(&queries);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 3); // the Emp-only group is larger
+        assert_eq!(groups[1].len(), 2);
+    }
+
+    #[test]
+    fn queries_used_for_this_test_agree_on_the_original_database() {
+        let db = two_schema_db();
+        let candidates = mixed_candidates();
+        let r0 = evaluate(&candidates[0], &db).unwrap();
+        for q in &candidates {
+            assert!(
+                evaluate(q, &db).unwrap().bag_equal(&r0),
+                "candidate {q} must reproduce the example result"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_driver_finds_targets_in_either_group() {
+        let db = two_schema_db();
+        let candidates = mixed_candidates();
+        let result = evaluate(&candidates[0], &db).unwrap();
+        for target in &candidates {
+            let outcome = run_grouped(
+                &db,
+                &result,
+                &candidates,
+                &CostParams::default(),
+                &OracleUser::new(target.clone()),
+            );
+            match outcome {
+                Ok(outcome) => {
+                    // Whatever query is identified must be consistent with
+                    // every piece of feedback, and in particular reproduce the
+                    // original example result.
+                    assert!(
+                        evaluate(&outcome.query, &db).unwrap().bag_equal(&result),
+                        "identified query must reproduce R"
+                    );
+                    // Targets in the first-processed (two-table) group are
+                    // pinned down exactly; a target in a later group may be
+                    // answered by an earlier query that the feedback could not
+                    // tell apart from it.
+                    if target.tables.len() == 2 {
+                        assert_eq!(outcome.query.label, target.label);
+                    }
+                }
+                Err(QfeError::TargetNotInCandidates)
+                | Err(QfeError::NoDistinguishingDatabase { .. }) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let db = two_schema_db();
+        let result = QueryResult::empty(vec!["eid".to_string()]);
+        assert!(matches!(
+            run_grouped(&db, &result, &[], &CostParams::default(), &crate::feedback::WorstCaseUser),
+            Err(QfeError::NoCandidates)
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! # qfe-core — Query From Examples
+//!
+//! The core of the reproduction of *"Query From Examples: An Iterative,
+//! Data-Driven Approach to Query Construction"* (Li, Chan, Maier — PVLDB
+//! 8(13), 2015).
+//!
+//! QFE helps a non-SQL user construct a select-project-join query from a
+//! single example database-result pair `(D, R)`:
+//!
+//! 1. a candidate set `QC` of queries with `Q(D) = R` is generated
+//!    (`qfe-qbo`);
+//! 2. at each feedback round the **Database Generator** ([`DatabaseGenerator`],
+//!    Algorithm 2) computes a minimally modified database `D'` that splits the
+//!    surviving candidates into subsets with distinct results, minimizing the
+//!    **user-effort cost model** ([`CostParams`], Section 3) via a search over
+//!    **tuple classes** ([`TupleClassSpace`], Section 5): skyline (STC, DTC)
+//!    pairs ([`skyline_stc_dtc_pairs`], Algorithm 3) followed by a
+//!    balance-pruned subset search ([`pick_stc_dtc_subset`], Algorithm 4);
+//! 3. the **Result Feedback** module ([`FeedbackUser`]) shows the user
+//!    `Δ(D, D')` and the candidate results `Δ(R, R_i)`; the chosen result
+//!    prunes the false positives, and the loop ([`QfeSession`], Algorithm 1)
+//!    repeats until one query remains.
+//!
+//! ## Example
+//!
+//! ```
+//! use qfe_core::{OracleUser, QfeSession};
+//! use qfe_query::{evaluate, parse_sql};
+//! use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+//!
+//! // The paper's Example 1.1.
+//! let mut db = Database::new();
+//! db.add_table(
+//!     Table::with_rows(
+//!         TableSchema::new(
+//!             "Employee",
+//!             vec![
+//!                 ColumnDef::new("Eid", DataType::Int),
+//!                 ColumnDef::new("name", DataType::Text),
+//!                 ColumnDef::new("gender", DataType::Text),
+//!                 ColumnDef::new("dept", DataType::Text),
+//!                 ColumnDef::new("salary", DataType::Int),
+//!             ],
+//!         )
+//!         .unwrap()
+//!         .with_primary_key(&["Eid"])
+//!         .unwrap(),
+//!         vec![
+//!             tuple![1i64, "Alice", "F", "Sales", 3700i64],
+//!             tuple![2i64, "Bob", "M", "IT", 4200i64],
+//!             tuple![3i64, "Celina", "F", "Service", 3000i64],
+//!             tuple![4i64, "Darren", "M", "IT", 5000i64],
+//!         ],
+//!     )
+//!     .unwrap(),
+//! )
+//! .unwrap();
+//!
+//! let target = parse_sql("SELECT name FROM Employee WHERE salary > 4000").unwrap();
+//! let example_result = evaluate(&target, &db).unwrap();
+//!
+//! let session = QfeSession::builder(db, example_result)
+//!     .ensure_candidate(target.clone())
+//!     .build()
+//!     .unwrap();
+//! let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+//! // The identified query returns the same rows as the intended one.
+//! assert_eq!(outcome.query.projection, target.projection);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alt_cost;
+mod context;
+mod cost;
+mod dbgen;
+mod delta;
+mod domain;
+mod driver;
+mod error;
+mod feedback;
+mod join_groups;
+mod pick;
+mod realize;
+mod set_semantics;
+mod skyline;
+mod stats;
+mod tuple_class;
+
+pub use alt_cost::AltCostModel;
+pub use context::{ClassPair, GenerationContext, Outcome};
+pub use cost::{
+    balance_score, estimate_iterations, objective, user_effort_cost, CostInputs, CostModelKind,
+    CostParams, IterationEstimator,
+};
+pub use dbgen::{DatabaseGenerator, GeneratedDatabase};
+pub use delta::{DatabaseDelta, ResultDelta};
+pub use domain::{partition_categorical_domain, partition_numeric_domain, DomainBlock};
+pub use driver::{QfeOutcome, QfeSession, QfeSessionBuilder, DEFAULT_MAX_ITERATIONS};
+pub use error::{QfeError, Result};
+pub use feedback::{
+    FeedbackChoice, FeedbackRound, FeedbackUser, InteractiveUser, OracleUser, SimulatedHumanUser,
+    WorstCaseUser,
+};
+pub use join_groups::{group_by_join_schema, run_grouped};
+pub use pick::{pick_stc_dtc_subset, PickOutcome};
+pub use realize::{
+    apply_edits, edits_to_ops, evaluate_modification, group_result, realize_pairs, CellEdit,
+    GroupEffect, ModificationEvaluation, RealizedModification,
+};
+pub use set_semantics::{all_set_semantics, mixed_semantics, with_set_semantics};
+pub use skyline::{skyline_stc_dtc_pairs, SkylineOutcome};
+pub use stats::{IterationStats, SessionReport};
+pub use tuple_class::{SelectionAttribute, TupleClass, TupleClassSpace};

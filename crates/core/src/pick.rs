@@ -1,0 +1,292 @@
+//! Algorithm 4: `Pick-STC-DTC-Subset`.
+//!
+//! Given the skyline pairs produced by Algorithm 3, selects a subset of
+//! (STC, DTC) pairs that minimizes the user-effort cost (Equation 5).  The
+//! search starts from single-pair sets and extends them one pair at a time,
+//! keeping only extensions that improve the class-level balance score —
+//! the pruning heuristic that keeps the search space small in practice
+//! (Section 5.4). Ties on cost are broken by the lowest balance score.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use crate::context::{ClassPair, GenerationContext};
+use crate::cost::{objective, CostInputs, CostParams};
+use crate::error::{QfeError, Result};
+use crate::realize::{evaluate_modification, realize_pairs, ModificationEvaluation, RealizedModification};
+
+/// Safety cap on the number of candidate sets kept per extension level.
+/// The paper relies purely on the balance-pruning heuristic; the cap only
+/// guards against pathological inputs and is far above what the heuristic
+/// retains on the evaluation workloads.
+const MAX_SETS_PER_LEVEL: usize = 256;
+
+/// Safety cap on the total number of cost evaluations per invocation.
+const MAX_COST_EVALUATIONS: usize = 4096;
+
+/// The subset of pairs chosen by Algorithm 4 together with its realization.
+#[derive(Debug, Clone)]
+pub struct PickOutcome {
+    /// The chosen (STC, DTC) pairs `S_opt`.
+    pub chosen: Vec<ClassPair>,
+    /// Concrete cell edits realizing `S_opt`.
+    pub realized: RealizedModification,
+    /// The induced partition/result-cost evaluation of the realization.
+    pub evaluation: ModificationEvaluation,
+    /// The objective value (Equation 5, or the alternative model's objective).
+    pub cost: f64,
+    /// Number of candidate sets whose cost was evaluated.
+    pub cost_evaluations: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+struct EvaluatedSet {
+    indices: Vec<usize>,
+    pairs: Vec<ClassPair>,
+    realized: RealizedModification,
+    evaluation: ModificationEvaluation,
+    cost: f64,
+    abstract_balance: f64,
+}
+
+/// Runs Algorithm 4 over the skyline pairs.
+///
+/// `best_binary_x` is Lemma 3.1's bound computed during the skyline
+/// enumeration; it feeds the refined iteration estimate of the cost model.
+pub fn pick_stc_dtc_subset(
+    ctx: &GenerationContext,
+    skyline: &[ClassPair],
+    params: &CostParams,
+    best_binary_x: Option<usize>,
+) -> Result<PickOutcome> {
+    let start = Instant::now();
+    if skyline.is_empty() {
+        return Err(QfeError::NoDistinguishingDatabase {
+            remaining: ctx.queries().iter().map(|q| q.display_name()).collect(),
+        });
+    }
+
+    let cost_evaluations = std::cell::Cell::new(0usize);
+
+    // Evaluates one candidate set (realize, partition incrementally, cost).
+    let evaluate_set = |indices: &[usize]| -> Option<EvaluatedSet> {
+        if cost_evaluations.get() >= MAX_COST_EVALUATIONS {
+            return None;
+        }
+        cost_evaluations.set(cost_evaluations.get() + 1);
+        let pairs: Vec<ClassPair> = indices.iter().map(|&i| skyline[i].clone()).collect();
+        let realized = realize_pairs(ctx, &pairs)?;
+        let evaluation = evaluate_modification(ctx, &realized.edits);
+        // A realization that fails to split the candidates is useless.
+        if evaluation.group_count() <= 1 {
+            return None;
+        }
+        let inputs = CostInputs {
+            db_edit_cost: realized.db_edit_cost,
+            modified_relations: realized.modified_relations,
+            modified_tuples: realized.modified_tuples,
+            result_edit_costs: evaluation.result_edit_costs(),
+            partition_sizes: evaluation.partition_sizes(),
+            best_binary_x,
+        };
+        let cost = objective(params, &inputs);
+        let abstract_balance = ctx.balance(&pairs);
+        Some(EvaluatedSet {
+            indices: indices.to_vec(),
+            pairs,
+            realized,
+            evaluation,
+            cost,
+            abstract_balance,
+        })
+    };
+
+    // Steps 1–8: single-pair sets.
+    let mut best: Vec<EvaluatedSet> = Vec::new();
+    let mut min_cost = f64::INFINITY;
+    let mut current_level: Vec<(Vec<usize>, f64)> = Vec::new(); // (indices, abstract balance)
+    for i in 0..skyline.len() {
+        let abstract_balance = ctx.balance(std::slice::from_ref(&skyline[i]));
+        current_level.push((vec![i], abstract_balance));
+        if let Some(eval) = evaluate_set(&[i]) {
+            if eval.cost < min_cost {
+                min_cost = eval.cost;
+                best = vec![eval];
+            } else if eval.cost == min_cost {
+                best.push(eval);
+            }
+        }
+    }
+
+    // Steps 9–21: extend sets while the balance score improves.
+    loop {
+        let mut next_level: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for (indices, balance) in &current_level {
+            for p in 0..skyline.len() {
+                if indices.contains(&p) {
+                    continue;
+                }
+                let mut extended = indices.clone();
+                extended.push(p);
+                extended.sort_unstable();
+                if !seen.insert(extended.clone()) {
+                    continue;
+                }
+                let pairs: Vec<ClassPair> =
+                    extended.iter().map(|&i| skyline[i].clone()).collect();
+                let extended_balance = ctx.balance(&pairs);
+                if extended_balance < *balance {
+                    if let Some(eval) = evaluate_set(&extended) {
+                        if eval.cost < min_cost {
+                            min_cost = eval.cost;
+                            best = vec![eval];
+                        } else if eval.cost == min_cost {
+                            best.push(eval);
+                        }
+                    }
+                    next_level.push((extended, extended_balance));
+                    if next_level.len() >= MAX_SETS_PER_LEVEL {
+                        break;
+                    }
+                }
+            }
+            if next_level.len() >= MAX_SETS_PER_LEVEL {
+                break;
+            }
+        }
+        if next_level.is_empty() || cost_evaluations.get() >= MAX_COST_EVALUATIONS {
+            break;
+        }
+        current_level = next_level;
+    }
+
+    // Step 22: among the minimum-cost sets, pick the one with the lowest
+    // balance score.
+    let chosen = best
+        .into_iter()
+        .min_by(|a, b| {
+            a.abstract_balance
+                .partial_cmp(&b.abstract_balance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.indices.len().cmp(&b.indices.len()))
+                .then_with(|| a.indices.cmp(&b.indices))
+        })
+        .ok_or_else(|| QfeError::NoDistinguishingDatabase {
+            remaining: ctx.queries().iter().map(|q| q.display_name()).collect(),
+        })?;
+
+    Ok(PickOutcome {
+        chosen: chosen.pairs,
+        realized: chosen.realized,
+        evaluation: chosen.evaluation,
+        cost: chosen.cost,
+        cost_evaluations: cost_evaluations.get(),
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::skyline_stc_dtc_pairs;
+    use qfe_query::{evaluate, ComparisonOp, DnfPredicate, SpjQuery, Term};
+    use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+
+    fn employee_context() -> GenerationContext {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("gender", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        let q = |p| SpjQuery::new(vec!["Employee"], vec!["name"], p);
+        let queries = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+        ];
+        let result = evaluate(&queries[0], &db).unwrap();
+        GenerationContext::new(&db, &result, &queries).unwrap()
+    }
+
+    #[test]
+    fn picks_a_discriminating_low_cost_modification() {
+        let ctx = employee_context();
+        let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(5));
+        let outcome =
+            pick_stc_dtc_subset(&ctx, &skyline.pairs, &CostParams::default(), skyline.best_binary_x)
+                .unwrap();
+        assert!(!outcome.chosen.is_empty());
+        assert!(outcome.evaluation.group_count() >= 2);
+        assert!(outcome.cost.is_finite());
+        assert!(outcome.cost_evaluations >= skyline.pairs.len().min(MAX_COST_EVALUATIONS));
+        // On Example 1.1 at most two single-attribute changes are needed
+        // (either a 2/1 split with one change or a full 1/1/1 split with two).
+        assert!(outcome.realized.db_edit_cost <= 2);
+        assert_eq!(outcome.realized.modified_relations, 1);
+    }
+
+    #[test]
+    fn empty_skyline_is_an_error() {
+        let ctx = employee_context();
+        let err = pick_stc_dtc_subset(&ctx, &[], &CostParams::default(), None).unwrap_err();
+        assert!(matches!(err, QfeError::NoDistinguishingDatabase { .. }));
+    }
+
+    #[test]
+    fn alternative_cost_model_can_prefer_more_partitions() {
+        use crate::cost::CostModelKind;
+        let ctx = employee_context();
+        let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(5));
+        let effort = pick_stc_dtc_subset(
+            &ctx,
+            &skyline.pairs,
+            &CostParams::default(),
+            skyline.best_binary_x,
+        )
+        .unwrap();
+        let maxpart = pick_stc_dtc_subset(
+            &ctx,
+            &skyline.pairs,
+            &CostParams::default().with_model(CostModelKind::MaxPartitions),
+            skyline.best_binary_x,
+        )
+        .unwrap();
+        assert!(maxpart.evaluation.group_count() >= effort.evaluation.group_count());
+    }
+
+    #[test]
+    fn larger_skyline_never_hurts_cost() {
+        let ctx = employee_context();
+        let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(5));
+        let params = CostParams::default();
+        let full = pick_stc_dtc_subset(&ctx, &skyline.pairs, &params, skyline.best_binary_x).unwrap();
+        let half: Vec<ClassPair> = skyline.pairs[..skyline.pairs.len().max(1) / 2 + 1].to_vec();
+        let partial = pick_stc_dtc_subset(&ctx, &half, &params, skyline.best_binary_x).unwrap();
+        assert!(full.cost <= partial.cost + 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Queries with set-based semantics (Section 6.1).
+//!
+//! The core algorithms assume bag semantics (duplicates preserved).  For
+//! `SELECT DISTINCT` candidates, a modification that removes one of several
+//! duplicate-supporting tuples does not change the (set) result, so the paper
+//! proposes distinguishing such queries by modifications that make a tuple
+//! *newly* match one query but not another (the "second approach" of
+//! Section 6.1).  In this reproduction the exact evaluation used by the
+//! database generator already reflects set semantics (candidate results are
+//! deduplicated before grouping), so non-discriminating removals are
+//! automatically rejected; the helpers here switch candidate sets to set
+//! semantics and check which semantics a candidate set uses.
+
+use qfe_query::SpjQuery;
+
+/// Whether every candidate uses set semantics (`SELECT DISTINCT`).
+pub fn all_set_semantics(queries: &[SpjQuery]) -> bool {
+    !queries.is_empty() && queries.iter().all(|q| q.distinct)
+}
+
+/// Whether the candidate set mixes bag- and set-semantics queries. QFE treats
+/// the two differently when comparing results, so mixing them in one
+/// candidate set is usually a sign of a malformed input.
+pub fn mixed_semantics(queries: &[SpjQuery]) -> bool {
+    queries.iter().any(|q| q.distinct) && queries.iter().any(|q| !q.distinct)
+}
+
+/// Returns the candidate set with every query switched to set semantics.
+pub fn with_set_semantics(queries: &[SpjQuery]) -> Vec<SpjQuery> {
+    queries
+        .iter()
+        .map(|q| q.clone().with_distinct(true))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::QfeSession;
+    use crate::feedback::OracleUser;
+    use qfe_query::{evaluate, ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+
+    fn db_with_duplicates() -> Database {
+        // Two IT employees share the same name, so a DISTINCT projection of
+        // names has fewer rows than the bag projection.
+        let t = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "Sales", 3700i64],
+                tuple![2i64, "Bob", "IT", 4200i64],
+                tuple![3i64, "Bob", "IT", 4900i64],
+                tuple![4i64, "Celina", "Service", 3000i64],
+                tuple![5i64, "Darren", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(t).unwrap();
+        db
+    }
+
+    fn distinct_candidates() -> Vec<SpjQuery> {
+        let q = |label: &str, p| {
+            SpjQuery::new(vec!["Employee"], vec!["name"], p)
+                .with_distinct(true)
+                .with_label(label)
+        };
+        vec![
+            q("Qd1", DnfPredicate::single(Term::eq("dept", "IT"))),
+            q(
+                "Qd2",
+                DnfPredicate::single(Term::compare("salary", ComparisonOp::Gt, 4000i64)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn semantics_predicates() {
+        let qs = distinct_candidates();
+        assert!(all_set_semantics(&qs));
+        assert!(!mixed_semantics(&qs));
+        let mut mixed = qs.clone();
+        mixed.push(SpjQuery::new(
+            vec!["Employee"],
+            vec!["name"],
+            DnfPredicate::always_true(),
+        ));
+        assert!(!all_set_semantics(&mixed));
+        assert!(mixed_semantics(&mixed));
+        assert!(!all_set_semantics(&[]));
+        let converted = with_set_semantics(&mixed);
+        assert!(all_set_semantics(&converted));
+    }
+
+    #[test]
+    fn driver_distinguishes_distinct_queries() {
+        // Both DISTINCT candidates produce {Bob, Darren} on D; QFE must find a
+        // modification that separates them even though removing one Bob-tuple
+        // would not change either set-result.
+        let db = db_with_duplicates();
+        let candidates = distinct_candidates();
+        let result = evaluate(&candidates[0], &db).unwrap();
+        assert!(result.bag_equal(&evaluate(&candidates[1], &db).unwrap()));
+        for target in &candidates {
+            let session = QfeSession::builder(db.clone(), result.clone())
+                .with_candidates(candidates.clone())
+                .build()
+                .unwrap();
+            let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+            assert_eq!(outcome.query.label, target.label);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The Adult-census workload used by the paper's user study (Section 7.7).
+//!
+//! The study extracts a 5227-tuple `Adult` relation from the 1994 Census
+//! database and runs three synthetic target queries over it.  This module
+//! synthesizes an Adult-like single-table dataset of the same cardinality
+//! with the usual census attributes and three target queries of increasing
+//! predicate complexity.
+
+use qfe_query::{ComparisonOp, Conjunct, DnfPredicate, SpjQuery, Term};
+use qfe_relation::{ColumnDef, Database, DataType, Table, TableSchema, Tuple, Value};
+use rand::Rng;
+
+use crate::workload::{seeded_rng, Workload};
+
+/// The paper's Adult extract cardinality.
+pub const ADULT_ROWS: usize = 5227;
+
+/// Builds the Adult workload at the paper's scale.
+pub fn adult(seed: u64) -> Workload {
+    adult_scaled(seed, ADULT_ROWS)
+}
+
+/// Builds a smaller Adult workload for fast tests.
+pub fn adult_small(seed: u64) -> Workload {
+    adult_scaled(seed, 500)
+}
+
+/// Builds the Adult workload with an explicit row count.
+pub fn adult_scaled(seed: u64, rows: usize) -> Workload {
+    let mut rng = seeded_rng(seed);
+    let workclasses = ["Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov"];
+    let educations = ["Bachelors", "HS-grad", "Masters", "Some-college", "Doctorate", "11th"];
+    let maritals = ["Married", "Never-married", "Divorced", "Widowed"];
+    let occupations = [
+        "Tech-support",
+        "Craft-repair",
+        "Sales",
+        "Exec-managerial",
+        "Prof-specialty",
+        "Adm-clerical",
+        "Machine-op-inspct",
+    ];
+    let races = ["White", "Black", "Asian-Pac-Islander", "Other"];
+    let countries = ["United-States", "Mexico", "Philippines", "Germany", "Canada"];
+
+    let schema = TableSchema::new(
+        "Adult",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("age", DataType::Int),
+            ColumnDef::new("workclass", DataType::Text),
+            ColumnDef::new("education", DataType::Text),
+            ColumnDef::new("education_num", DataType::Int),
+            ColumnDef::new("marital_status", DataType::Text),
+            ColumnDef::new("occupation", DataType::Text),
+            ColumnDef::new("race", DataType::Text),
+            ColumnDef::new("sex", DataType::Text),
+            ColumnDef::new("hours_per_week", DataType::Int),
+            ColumnDef::new("native_country", DataType::Text),
+            ColumnDef::new("capital_gain", DataType::Int),
+        ],
+    )
+    .expect("adult schema")
+    .with_primary_key(&["id"])
+    .expect("adult key");
+
+    let mut rows_v: Vec<Tuple> = Vec::with_capacity(rows);
+    for id in 0..rows {
+        rows_v.push(Tuple::new(vec![
+            Value::Int(id as i64 + 1),
+            Value::Int(rng.gen_range(17..90)),
+            Value::Text(workclasses[rng.gen_range(0..workclasses.len())].to_string()),
+            Value::Text(educations[rng.gen_range(0..educations.len())].to_string()),
+            Value::Int(rng.gen_range(3..17)),
+            Value::Text(maritals[rng.gen_range(0..maritals.len())].to_string()),
+            Value::Text(occupations[rng.gen_range(0..occupations.len())].to_string()),
+            Value::Text(races[rng.gen_range(0..races.len())].to_string()),
+            Value::Text(if rng.gen_bool(0.55) { "Male" } else { "Female" }.to_string()),
+            Value::Int(rng.gen_range(10..80)),
+            Value::Text(countries[rng.gen_range(0..countries.len())].to_string()),
+            Value::Int(if rng.gen_bool(0.85) { 0 } else { rng.gen_range(1000..60_000) }),
+        ]));
+    }
+
+    let mut database = Database::new();
+    database
+        .add_table(Table::with_rows(schema, rows_v).expect("adult rows"))
+        .expect("add Adult");
+
+    let queries = vec![user_study_u1(), user_study_u2(), user_study_u3()];
+    Workload {
+        name: "adult".to_string(),
+        database,
+        queries,
+    }
+}
+
+/// U1: elderly doctorate holders (simple two-term conjunction).
+pub fn user_study_u1() -> SpjQuery {
+    SpjQuery::new(
+        vec!["Adult"],
+        vec!["id", "age", "occupation"],
+        DnfPredicate::conjunction(vec![
+            Term::compare("age", ComparisonOp::Gt, 80i64),
+            Term::eq("education", "Doctorate"),
+        ]),
+    )
+    .with_label("U1")
+}
+
+/// U2: long-hours federal employees with capital gains (three-term
+/// conjunction mixing numeric and categorical attributes).
+pub fn user_study_u2() -> SpjQuery {
+    SpjQuery::new(
+        vec!["Adult"],
+        vec!["id", "hours_per_week", "workclass"],
+        DnfPredicate::conjunction(vec![
+            Term::eq("workclass", "Federal-gov"),
+            Term::compare("hours_per_week", ComparisonOp::Gt, 70i64),
+            Term::compare("capital_gain", ComparisonOp::Gt, 0i64),
+        ]),
+    )
+    .with_label("U2")
+}
+
+/// U3: a disjunctive target (young tech-support workers or widowed
+/// executives), exercising multi-conjunct predicates in the user study.
+pub fn user_study_u3() -> SpjQuery {
+    SpjQuery::new(
+        vec!["Adult"],
+        vec!["id", "age", "occupation"],
+        DnfPredicate::new(vec![
+            Conjunct::new(vec![
+                Term::eq("occupation", "Tech-support"),
+                Term::compare("age", ComparisonOp::Lt, 20i64),
+            ]),
+            Conjunct::new(vec![
+                Term::eq("occupation", "Exec-managerial"),
+                Term::eq("marital_status", "Widowed"),
+                Term::compare("age", ComparisonOp::Gt, 84i64),
+            ]),
+        ]),
+    )
+    .with_label("U3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_integrity() {
+        let w = adult_small(5);
+        let t = w.database.table("Adult").unwrap();
+        assert_eq!(t.arity(), 12);
+        assert_eq!(t.len(), 500);
+        assert!(w.database.check_integrity().is_ok());
+        assert_eq!(w.queries.len(), 3);
+    }
+
+    #[test]
+    fn user_study_queries_return_small_results() {
+        let w = adult_small(5);
+        for label in ["U1", "U2", "U3"] {
+            let r = w.example_result(label).unwrap();
+            assert!(r.len() <= 40, "{label} should stay small, got {}", r.len());
+        }
+        // At least one of the three returns something on the default seed.
+        assert!(["U1", "U2", "U3"]
+            .iter()
+            .any(|l| !w.example_result(l).unwrap().is_empty()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = adult_small(9);
+        let b = adult_small(9);
+        assert_eq!(
+            a.database.table("Adult").unwrap().rows()[..10],
+            b.database.table("Adult").unwrap().rows()[..10]
+        );
+    }
+
+    #[test]
+    #[ignore = "full paper-scale dataset; run with --ignored"]
+    fn full_scale_cardinality() {
+        let w = adult(5);
+        assert_eq!(w.database.table("Adult").unwrap().len(), ADULT_ROWS);
+    }
+}

@@ -1,0 +1,412 @@
+//! The baseball (Lahman-like) workload.
+//!
+//! The paper's second dataset is the Lahman Major-League-Baseball archive,
+//! restricted to three tables: Manager (200 rows × 11 columns), Team
+//! (252 rows × 29 columns) and Batting (6977 rows × 15 columns), whose
+//! foreign-key join has 8810 rows.  This module synthesizes tables with the
+//! same shapes and foreign-key graph plus analogues of the paper's four
+//! synthetic queries Q3–Q6 (equality/range predicates over two relations,
+//! `IN`-style disjunction over three relations, conjunctions and a nested
+//! disjunction).
+
+use qfe_query::{ComparisonOp, Conjunct, DnfPredicate, SpjQuery, Term};
+use qfe_relation::{ColumnDef, Database, DataType, ForeignKey, Table, TableSchema, Tuple, Value};
+use rand::Rng;
+
+use crate::workload::{rounded_uniform, seeded_rng, Workload};
+
+/// Paper cardinalities.
+pub const MANAGER_ROWS: usize = 200;
+/// Team-table cardinality used by the paper.
+pub const TEAM_ROWS: usize = 252;
+/// Batting-table cardinality used by the paper.
+pub const BATTING_ROWS: usize = 6977;
+
+/// Builds the baseball workload at the paper's scale.
+pub fn baseball(seed: u64) -> Workload {
+    baseball_scaled(seed, MANAGER_ROWS, TEAM_ROWS, BATTING_ROWS)
+}
+
+/// Builds a smaller baseball workload for fast tests.
+pub fn baseball_small(seed: u64) -> Workload {
+    baseball_scaled(seed, 30, 36, 700)
+}
+
+/// Builds the baseball workload with explicit cardinalities.
+pub fn baseball_scaled(
+    seed: u64,
+    manager_rows: usize,
+    team_rows: usize,
+    batting_rows: usize,
+) -> Workload {
+    let mut rng = seeded_rng(seed);
+    let team_codes = [
+        "CIN", "NYA", "BOS", "LAN", "CHN", "SLN", "PIT", "PHI", "DET", "BAL", "OAK", "SEA",
+    ];
+
+    // ----- Team: 29 columns ---------------------------------------------
+    let mut team_cols = vec![
+        ColumnDef::new("team_key", DataType::Int),
+        ColumnDef::new("teamID", DataType::Text),
+        ColumnDef::new("year", DataType::Int),
+        ColumnDef::new("lgID", DataType::Text),
+        ColumnDef::new("Rank", DataType::Int),
+        ColumnDef::new("G", DataType::Int),
+        ColumnDef::new("W", DataType::Int),
+        ColumnDef::new("L", DataType::Int),
+        ColumnDef::new("R", DataType::Int),
+        ColumnDef::new("RA", DataType::Int),
+        ColumnDef::new("IP", DataType::Int),
+        ColumnDef::new("BBA", DataType::Int),
+        ColumnDef::new("SOA", DataType::Int),
+        ColumnDef::new("E", DataType::Int),
+        ColumnDef::new("attendance", DataType::Int),
+    ];
+    for i in team_cols.len()..29 {
+        team_cols.push(ColumnDef::new(format!("team_stat_{i}"), DataType::Float));
+    }
+    let team_schema = TableSchema::new("Team", team_cols)
+        .expect("team schema")
+        .with_primary_key(&["team_key"])
+        .expect("team key");
+    let mut team_rows_v: Vec<Tuple> = Vec::with_capacity(team_rows);
+    for key in 0..team_rows {
+        let year = 1970 + (key % 25) as i64;
+        let mut values = vec![
+            Value::Int(key as i64 + 1),
+            Value::Text(team_codes[key % team_codes.len()].to_string()),
+            Value::Int(year),
+            Value::Text(if key % 2 == 0 { "NL" } else { "AL" }.to_string()),
+            Value::Int(rng.gen_range(1..8)),
+            Value::Int(162),
+            Value::Int(rng.gen_range(50..110)),
+            Value::Int(rng.gen_range(50..110)),
+            Value::Int(rng.gen_range(550..950)),
+            Value::Int(rng.gen_range(550..950)),
+            Value::Int(rng.gen_range(4200..4600)),
+            Value::Int(rng.gen_range(350..650)),
+            Value::Int(rng.gen_range(700..1300)),
+            Value::Int(rng.gen_range(70..180)),
+            Value::Int(rng.gen_range(800_000..3_200_000)),
+        ];
+        for _ in values.len()..29 {
+            values.push(Value::Float(rounded_uniform(&mut rng, 0.0, 10.0)));
+        }
+        team_rows_v.push(Tuple::new(values));
+    }
+
+    // ----- Manager: 11 columns -------------------------------------------
+    let manager_schema = TableSchema::new(
+        "Manager",
+        vec![
+            ColumnDef::new("mgr_key", DataType::Int),
+            ColumnDef::new("managerID", DataType::Text),
+            ColumnDef::new("team_key", DataType::Int),
+            ColumnDef::new("year", DataType::Int),
+            ColumnDef::new("G", DataType::Int),
+            ColumnDef::new("W", DataType::Int),
+            ColumnDef::new("L", DataType::Int),
+            ColumnDef::new("Rank", DataType::Int),
+            ColumnDef::new("plyrMgr", DataType::Text),
+            ColumnDef::new("lgID", DataType::Text),
+            ColumnDef::new("R", DataType::Int),
+        ],
+    )
+    .expect("manager schema")
+    .with_primary_key(&["mgr_key"])
+    .expect("manager key");
+    let mut manager_rows_v: Vec<Tuple> = Vec::with_capacity(manager_rows);
+    for key in 0..manager_rows {
+        // Managers cover the first `manager_rows` teams (some teams have a
+        // second, mid-season manager to give the three-way join a fan-out a
+        // little above 1, as in the real data).
+        let team_key = if key < team_rows {
+            key as i64 + 1
+        } else {
+            rng.gen_range(1..=team_rows as i64)
+        };
+        let year = 1970 + ((team_key - 1) % 25);
+        manager_rows_v.push(Tuple::new(vec![
+            Value::Int(key as i64 + 1),
+            Value::Text(format!("mgr{:03}", key % 120)),
+            Value::Int(team_key),
+            Value::Int(year),
+            Value::Int(162),
+            Value::Int(rng.gen_range(50..110)),
+            Value::Int(rng.gen_range(50..110)),
+            Value::Int(rng.gen_range(1..8)),
+            Value::Text(if rng.gen_bool(0.1) { "Y" } else { "N" }.to_string()),
+            Value::Text(if key % 2 == 0 { "NL" } else { "AL" }.to_string()),
+            Value::Int(rng.gen_range(550..950)),
+        ]));
+    }
+
+    // ----- Batting: 15 columns --------------------------------------------
+    let batting_schema = TableSchema::new(
+        "Batting",
+        vec![
+            ColumnDef::new("bat_key", DataType::Int),
+            ColumnDef::new("playerID", DataType::Text),
+            ColumnDef::new("team_key", DataType::Int),
+            ColumnDef::new("year", DataType::Int),
+            ColumnDef::new("G", DataType::Int),
+            ColumnDef::new("AB", DataType::Int),
+            ColumnDef::new("R", DataType::Int),
+            ColumnDef::new("H", DataType::Int),
+            ColumnDef::new("B2", DataType::Int),
+            ColumnDef::new("B3", DataType::Int),
+            ColumnDef::new("HR", DataType::Int),
+            ColumnDef::new("RBI", DataType::Int),
+            ColumnDef::new("SB", DataType::Int),
+            ColumnDef::new("BB", DataType::Int),
+            ColumnDef::new("SO", DataType::Int),
+        ],
+    )
+    .expect("batting schema")
+    .with_primary_key(&["bat_key"])
+    .expect("batting key");
+    // Player pool: a few hundred recurring IDs, including the paper's named
+    // players.
+    let named_players = ["rosepe01", "esaskni01", "sotoma01", "brownto05", "pariske01", "welshch01"];
+    let pool_size = (batting_rows / 12).max(named_players.len() + 1);
+    let mut batting_rows_v: Vec<Tuple> = Vec::with_capacity(batting_rows);
+    for key in 0..batting_rows {
+        let pid = key % pool_size;
+        let player = if pid < named_players.len() {
+            named_players[pid].to_string()
+        } else {
+            format!("player{pid:04}")
+        };
+        // Managers only exist for the first manager_rows.min(team_rows) teams;
+        // point most batting rows at those so the three-way join keeps most of
+        // the Batting table (the paper's join has ~1.26 rows per batting row).
+        let covered = manager_rows.min(team_rows).max(1);
+        let team_key = rng.gen_range(1..=covered as i64);
+        let year = 1970 + ((team_key - 1) % 25);
+        batting_rows_v.push(Tuple::new(vec![
+            Value::Int(key as i64 + 1),
+            Value::Text(player),
+            Value::Int(team_key),
+            Value::Int(year),
+            Value::Int(rng.gen_range(20..162)),
+            Value::Int(rng.gen_range(50..650)),
+            Value::Int(rng.gen_range(0..120)),
+            Value::Int(rng.gen_range(10..220)),
+            Value::Int(rng.gen_range(0..45)),
+            Value::Int(rng.gen_range(0..12)),
+            Value::Int(rng.gen_range(0..45)),
+            Value::Int(rng.gen_range(0..130)),
+            Value::Int(rng.gen_range(0..60)),
+            Value::Int(rng.gen_range(0..110)),
+            Value::Int(rng.gen_range(10..180)),
+        ]));
+    }
+
+    let mut database = Database::new();
+    database
+        .add_table(Table::with_rows(team_schema, team_rows_v).expect("team rows"))
+        .expect("add Team");
+    database
+        .add_table(Table::with_rows(manager_schema, manager_rows_v).expect("manager rows"))
+        .expect("add Manager");
+    database
+        .add_table(Table::with_rows(batting_schema, batting_rows_v).expect("batting rows"))
+        .expect("add Batting");
+    database
+        .add_foreign_key(ForeignKey::new("Manager", "team_key", "Team", "team_key"))
+        .expect("manager fk");
+    database
+        .add_foreign_key(ForeignKey::new("Batting", "team_key", "Team", "team_key"))
+        .expect("batting fk");
+
+    let queries = vec![q3(&database), q4(), q5(&database), q6(&database)];
+    Workload {
+        name: "baseball".to_string(),
+        database,
+        queries,
+    }
+}
+
+/// Q3: managers of a specific franchise in a year range (Manager ⋈ Team,
+/// conjunction of an equality and two range terms, mirroring the paper's
+/// `teamID = "CIN" ∧ year > 1982 ∧ year <= 1987`). The year window is
+/// calibrated against the generated data so the result is small but nonempty.
+pub fn q3(database: &Database) -> SpjQuery {
+    // Years of the CIN franchise present in the generated Team table.
+    let mut cin_years: Vec<i64> = database
+        .table("Team")
+        .ok()
+        .map(|t| {
+            t.rows()
+                .iter()
+                .filter(|r| r.get(1).and_then(Value::as_str) == Some("CIN"))
+                .filter_map(|r| r.get(2).and_then(Value::as_i64))
+                .collect()
+        })
+        .unwrap_or_default();
+    cin_years.sort();
+    cin_years.dedup();
+    let (lo, hi) = match cin_years.as_slice() {
+        [] => (1982, 1987),
+        years => {
+            let lo = years[0];
+            let hi = years[(years.len() - 1).min(4)];
+            (lo - 1, hi)
+        }
+    };
+    SpjQuery::new(
+        vec!["Manager", "Team"],
+        vec!["managerID", "Team.year", "Team.R"],
+        DnfPredicate::conjunction(vec![
+            Term::eq("teamID", "CIN"),
+            Term::compare("Team.year", ComparisonOp::Gt, lo),
+            Term::compare("Team.year", ComparisonOp::Le, hi),
+        ]),
+    )
+    .with_label("Q3")
+}
+
+/// Q4: managers of the teams a set of named players batted for
+/// (Manager ⋈ Team ⋈ Batting, a 4-way disjunction of equalities).
+pub fn q4() -> SpjQuery {
+    let players = ["sotoma01", "brownto05", "pariske01", "welshch01"];
+    SpjQuery::new(
+        vec!["Manager", "Team", "Batting"],
+        vec!["managerID", "Team.year", "B2"],
+        DnfPredicate::new(
+            players
+                .iter()
+                .map(|p| Conjunct::new(vec![Term::eq("playerID", *p)]))
+                .collect(),
+        ),
+    )
+    .with_label("Q4")
+}
+
+/// Q5: one player's high-HR, low-doubles seasons (3-way join, conjunction of
+/// an equality and two numeric comparisons). The numeric thresholds are
+/// calibrated against the generated data so the result stays small (~4 rows).
+pub fn q5(database: &Database) -> SpjQuery {
+    let hr_threshold = column_quantile(database, "Batting", "HR", 0.5).unwrap_or(1.0);
+    let b2_threshold = column_quantile(database, "Batting", "B2", 0.6).unwrap_or(3.0);
+    SpjQuery::new(
+        vec!["Manager", "Team", "Batting"],
+        vec!["managerID", "Team.year", "HR"],
+        DnfPredicate::conjunction(vec![
+            Term::eq("playerID", "rosepe01"),
+            Term::compare("HR", ComparisonOp::Gt, hr_threshold),
+            Term::compare("B2", ComparisonOp::Le, b2_threshold),
+        ]),
+    )
+    .with_label("Q5")
+}
+
+/// Q6: one player's seasons filtered by a nested disjunction over team
+/// pitching statistics (3-way join, DNF with two conjuncts).
+pub fn q6(database: &Database) -> SpjQuery {
+    let ip = column_quantile(database, "Team", "IP", 0.5).unwrap_or(4380.0);
+    let bba = column_quantile(database, "Team", "BBA", 0.4).unwrap_or(485.0);
+    SpjQuery::new(
+        vec!["Manager", "Team", "Batting"],
+        vec!["managerID", "Team.year", "B3"],
+        DnfPredicate::new(vec![
+            Conjunct::new(vec![
+                Term::eq("playerID", "esaskni01"),
+                Term::compare("IP", ComparisonOp::Gt, ip),
+            ]),
+            Conjunct::new(vec![
+                Term::eq("playerID", "esaskni01"),
+                Term::compare("IP", ComparisonOp::Le, ip),
+                Term::compare("BBA", ComparisonOp::Le, bba),
+            ]),
+        ]),
+    )
+    .with_label("Q6")
+}
+
+/// The q-quantile of a numeric column, as a float.
+fn column_quantile(database: &Database, table: &str, column: &str, q: f64) -> Option<f64> {
+    let mut values: Vec<f64> = database
+        .table(table)
+        .ok()?
+        .column_values(column)
+        .ok()?
+        .iter()
+        .filter_map(Value::as_f64)
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((values.len() - 1) as f64 * q).round() as usize;
+    Some(values[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_relation::foreign_key_join;
+
+    #[test]
+    fn small_workload_shape_and_integrity() {
+        let w = baseball_small(11);
+        assert_eq!(w.database.table("Manager").unwrap().arity(), 11);
+        assert_eq!(w.database.table("Team").unwrap().arity(), 29);
+        assert_eq!(w.database.table("Batting").unwrap().arity(), 15);
+        assert!(w.database.check_integrity().is_ok());
+        assert_eq!(w.queries.len(), 4);
+    }
+
+    #[test]
+    fn three_way_join_has_fanout_at_least_batting_coverage() {
+        let w = baseball_small(11);
+        let join = foreign_key_join(
+            &w.database,
+            &["Manager".to_string(), "Team".to_string(), "Batting".to_string()],
+        )
+        .unwrap();
+        // Every batting row whose team has a manager appears at least once.
+        assert!(join.len() >= w.database.table("Batting").unwrap().len() / 2);
+    }
+
+    #[test]
+    fn queries_return_small_nonempty_results() {
+        let w = baseball_small(11);
+        for label in ["Q3", "Q4", "Q5", "Q6"] {
+            let r = w.example_result(label).unwrap();
+            assert!(!r.is_empty(), "{label} must return at least one row");
+            assert!(r.len() <= 80, "{label} must stay small, got {}", r.len());
+        }
+    }
+
+    #[test]
+    fn q3_is_two_way_and_q4_to_q6_are_three_way() {
+        let w = baseball_small(11);
+        assert_eq!(w.query("Q3").unwrap().join_signature().len(), 2);
+        for label in ["Q4", "Q5", "Q6"] {
+            assert_eq!(w.query(label).unwrap().join_signature().len(), 3, "{label}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = baseball_small(3);
+        let b = baseball_small(3);
+        assert_eq!(
+            a.database.table("Batting").unwrap().rows()[..20],
+            b.database.table("Batting").unwrap().rows()[..20]
+        );
+    }
+
+    #[test]
+    #[ignore = "full paper-scale dataset; run with --ignored"]
+    fn full_scale_cardinalities() {
+        let w = baseball(11);
+        assert_eq!(w.database.table("Manager").unwrap().len(), MANAGER_ROWS);
+        assert_eq!(w.database.table("Team").unwrap().len(), TEAM_ROWS);
+        assert_eq!(w.database.table("Batting").unwrap().len(), BATTING_ROWS);
+        for label in ["Q3", "Q4", "Q5", "Q6"] {
+            assert!(!w.example_result(label).unwrap().is_empty());
+        }
+    }
+}

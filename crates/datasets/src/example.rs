@@ -1,0 +1,77 @@
+//! The paper's running example (Example 1.1): the Employee table, its result
+//! `R = {Bob, Darren}` and the three candidate queries Q1–Q3.
+
+use qfe_query::{evaluate, ComparisonOp, DnfPredicate, QueryResult, SpjQuery, Term};
+use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+
+/// Builds Example 1.1: returns `(D, R, QC, target)` where the target is the
+/// paper's Q2 (`salary > 4000`).
+pub fn example_1_1() -> (Database, QueryResult, Vec<SpjQuery>, SpjQuery) {
+    let employee = Table::with_rows(
+        TableSchema::new(
+            "Employee",
+            vec![
+                ColumnDef::new("Eid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("gender", DataType::Text),
+                ColumnDef::new("dept", DataType::Text),
+                ColumnDef::new("salary", DataType::Int),
+            ],
+        )
+        .expect("schema")
+        .with_primary_key(&["Eid"])
+        .expect("key"),
+        vec![
+            tuple![1i64, "Alice", "F", "Sales", 3700i64],
+            tuple![2i64, "Bob", "M", "IT", 4200i64],
+            tuple![3i64, "Celina", "F", "Service", 3000i64],
+            tuple![4i64, "Darren", "M", "IT", 5000i64],
+        ],
+    )
+    .expect("rows");
+    let mut database = Database::new();
+    database.add_table(employee).expect("add Employee");
+
+    let q = |label: &str, predicate| {
+        SpjQuery::new(vec!["Employee"], vec!["name"], predicate).with_label(label)
+    };
+    let candidates = vec![
+        q("Q1", DnfPredicate::single(Term::eq("gender", "M"))),
+        q(
+            "Q2",
+            DnfPredicate::single(Term::compare("salary", ComparisonOp::Gt, 4000i64)),
+        ),
+        q("Q3", DnfPredicate::single(Term::eq("dept", "IT"))),
+    ];
+    let target = candidates[1].clone();
+    let result = evaluate(&candidates[0], &database).expect("evaluate Q1");
+    (database, result, candidates, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_candidates_reproduce_the_example_result() {
+        let (db, result, candidates, target) = example_1_1();
+        assert_eq!(result.len(), 2);
+        assert_eq!(candidates.len(), 3);
+        assert_eq!(target.label.as_deref(), Some("Q2"));
+        for q in &candidates {
+            assert!(evaluate(q, &db).unwrap().bag_equal(&result), "{q}");
+        }
+    }
+
+    #[test]
+    fn result_contains_bob_and_darren() {
+        let (_db, result, _qc, _t) = example_1_1();
+        let mut names: Vec<String> = result
+            .rows()
+            .iter()
+            .filter_map(|r| r.get(0).and_then(|v| v.as_str().map(String::from)))
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Bob".to_string(), "Darren".to_string()]);
+    }
+}

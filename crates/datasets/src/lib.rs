@@ -1,0 +1,47 @@
+//! # qfe-datasets — evaluation workloads for the QFE reproduction
+//!
+//! Seeded synthetic stand-ins for the datasets of the paper's evaluation
+//! (Section 7), preserving table shapes, cardinalities, foreign-key graphs
+//! and the structure of the target queries:
+//!
+//! * [`scientific`] — the SQLShare biology database (PmTE_ALL_DE 3926×16,
+//!   companion table 424×3, foreign-key join of 417 rows) with the two real
+//!   biologist queries Q1 and Q2;
+//! * [`baseball`] — the Lahman-style Manager/Team/Batting database
+//!   (200×11, 252×29, 6977×15) with the four synthetic queries Q3–Q6;
+//! * [`adult`] — the 5227-row Adult census extract with the three
+//!   user-study target queries;
+//! * [`example_1_1`] — the paper's running Employee example;
+//! * [`initial_size_variants`] / [`entropy_variants`] — the subset and
+//!   active-domain-entropy variants used by the Section 7.7 sensitivity
+//!   experiments.
+//!
+//! All generators take a seed and are fully deterministic. `*_small` variants
+//! generate the same shapes at reduced cardinality for fast tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adult;
+mod baseball;
+mod example;
+mod scientific;
+mod variants;
+mod workload;
+
+pub use adult::{
+    adult, adult_scaled, adult_small, user_study_u1, user_study_u2, user_study_u3, ADULT_ROWS,
+};
+pub use baseball::{
+    baseball, baseball_scaled, baseball_small, q3, q4, q5, q6, BATTING_ROWS, MANAGER_ROWS,
+    TEAM_ROWS,
+};
+pub use example::example_1_1;
+pub use scientific::{
+    scientific, scientific_q1, scientific_q2, scientific_scaled, scientific_small, COMPANION_ROWS,
+    JOIN_ROWS, PMTE_ROWS,
+};
+pub use variants::{
+    child_table_subset, entropy_variant, entropy_variants, initial_size_variants,
+};
+pub use workload::{seeded_rng, Workload};

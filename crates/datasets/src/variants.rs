@@ -1,0 +1,220 @@
+//! Dataset variants for the Section 7.7 sensitivity experiments.
+//!
+//! * **Initial-pair size** — subsets `D_1 ⊂ D_2 ⊂ D_3 ⊂ D_4 = D` built by
+//!   keeping a prefix of the rows of every table that is not referenced by a
+//!   foreign key (so referential integrity is preserved and
+//!   `Q(D_i) ⊆ Q(D_{i+1})` for monotone selections).
+//! * **Active-domain entropy** — variants that reduce the number of distinct
+//!   values of one attribute while preserving the result of a reference query
+//!   (values are only merged within the same truth assignment of the query's
+//!   terms on that attribute, so `Q(D_i) = Q(D_j)` holds by construction).
+
+use qfe_query::{SpjQuery, Term};
+use qfe_relation::{Database, Value};
+
+/// Builds a database subset keeping roughly `fraction` of the rows of every
+/// table that is not referenced by any foreign key (child/leaf tables);
+/// referenced (parent) tables are kept whole so that no dangling references
+/// are introduced.
+pub fn child_table_subset(database: &Database, fraction: f64) -> Database {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let referenced: Vec<String> = database
+        .foreign_keys()
+        .iter()
+        .map(|fk| fk.parent_table.clone())
+        .collect();
+    let mut subset = database.clone();
+    let table_names: Vec<String> = database.table_names().iter().map(|s| s.to_string()).collect();
+    for name in table_names {
+        if referenced.contains(&name) {
+            continue;
+        }
+        let keep = ((database.table(&name).map(|t| t.len()).unwrap_or(0) as f64) * fraction)
+            .ceil() as usize;
+        let table = subset.table_mut(&name).expect("table exists");
+        while table.len() > keep.max(1) {
+            let last = table.len() - 1;
+            table.delete_row(last).expect("row exists");
+        }
+    }
+    subset
+}
+
+/// The four nested subsets `(¼, ½, ¾, 1) × D` used by the initial-pair-size
+/// experiment, smallest first.
+pub fn initial_size_variants(database: &Database) -> Vec<(String, Database)> {
+    [0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&f| (format!("D{}", (f * 4.0) as usize), child_table_subset(database, f)))
+        .collect()
+}
+
+/// Reduces the number of distinct values of `table.column` to roughly
+/// `distinct_fraction` of the original count, merging values only when they
+/// satisfy exactly the same terms of `reference_query` on that column — so
+/// the reference query's result is unchanged.
+pub fn entropy_variant(
+    database: &Database,
+    table: &str,
+    column: &str,
+    distinct_fraction: f64,
+    reference_query: &SpjQuery,
+) -> Database {
+    let mut variant = database.clone();
+    let Ok(original_table) = database.table(table) else {
+        return variant;
+    };
+    let Ok(values) = original_table.active_domain(column) else {
+        return variant;
+    };
+    if values.is_empty() {
+        return variant;
+    }
+    // Terms of the reference query on this column (by bare or qualified name).
+    let terms: Vec<&Term> = reference_query
+        .predicate
+        .all_terms()
+        .into_iter()
+        .filter(|t| {
+            let a = t.attribute();
+            a == column || a.ends_with(&format!(".{column}")) || a == format!("{table}.{column}")
+        })
+        .collect();
+    let truth = |v: &Value| -> Vec<bool> { terms.iter().map(|t| t.eval(v)).collect() };
+
+    // Group the active domain by truth vector, then map each value to one of
+    // the first ceil(fraction * group size) representatives of its group.
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<Vec<bool>, Vec<Value>> = BTreeMap::new();
+    for v in &values {
+        groups.entry(truth(v)).or_default().push(v.clone());
+    }
+    let mut mapping: BTreeMap<Value, Value> = BTreeMap::new();
+    for group in groups.values() {
+        let keep = ((group.len() as f64) * distinct_fraction.clamp(0.05, 1.0)).ceil() as usize;
+        let keep = keep.max(1).min(group.len());
+        for (i, v) in group.iter().enumerate() {
+            mapping.insert(v.clone(), group[i % keep].clone());
+        }
+    }
+
+    let col_idx = original_table
+        .schema()
+        .column_index(column)
+        .expect("column exists");
+    let table_mut = variant.table_mut(table).expect("table exists");
+    for row in 0..table_mut.len() {
+        let current = table_mut.row(row).and_then(|r| r.get(col_idx).cloned());
+        if let Some(current) = current {
+            if let Some(new_value) = mapping.get(&current) {
+                if *new_value != current {
+                    table_mut
+                        .update_cell_at(row, col_idx, new_value.clone())
+                        .expect("value conforms");
+                }
+            }
+        }
+    }
+    variant
+}
+
+/// The five decreasing-entropy variants (distinct fractions 1.0, 0.8, 0.6,
+/// 0.4, 0.2) used by the entropy experiment, highest entropy first.
+pub fn entropy_variants(
+    database: &Database,
+    table: &str,
+    column: &str,
+    reference_query: &SpjQuery,
+) -> Vec<(String, Database)> {
+    [1.0, 0.8, 0.6, 0.4, 0.2]
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            (
+                format!("E{}", i + 1),
+                entropy_variant(database, table, column, f, reference_query),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scientific::scientific_small;
+    use qfe_query::evaluate;
+
+    #[test]
+    fn child_subsets_preserve_integrity_and_shrink_children() {
+        let w = scientific_small(42);
+        let quarter = child_table_subset(&w.database, 0.25);
+        assert!(quarter.check_integrity().is_ok());
+        let full_child = w
+            .database
+            .table("table_Psemu1FL_RT_spgp_gp_ok")
+            .unwrap()
+            .len();
+        let quarter_child = quarter.table("table_Psemu1FL_RT_spgp_gp_ok").unwrap().len();
+        assert!(quarter_child < full_child);
+        assert_eq!(
+            quarter.table("PmTE_ALL_DE").unwrap().len(),
+            w.database.table("PmTE_ALL_DE").unwrap().len(),
+            "parent tables are kept whole"
+        );
+    }
+
+    #[test]
+    fn initial_size_variants_are_nested() {
+        let w = scientific_small(42);
+        let variants = initial_size_variants(&w.database);
+        assert_eq!(variants.len(), 4);
+        let sizes: Vec<usize> = variants
+            .iter()
+            .map(|(_, d)| d.table("table_Psemu1FL_RT_spgp_gp_ok").unwrap().len())
+            .collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert_eq!(
+            sizes[3],
+            w.database.table("table_Psemu1FL_RT_spgp_gp_ok").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn entropy_variants_preserve_the_reference_query_result() {
+        let w = scientific_small(42);
+        let q2 = w.query("Q2").unwrap().clone();
+        let original = evaluate(&q2, &w.database).unwrap();
+        let variants = entropy_variants(&w.database, "PmTE_ALL_DE", "logFC_P", &q2);
+        assert_eq!(variants.len(), 5);
+        let mut distinct_counts = Vec::new();
+        for (_, variant) in &variants {
+            let r = evaluate(&q2, variant).unwrap();
+            assert!(r.bag_equal(&original), "entropy variant must preserve Q(D)");
+            distinct_counts.push(
+                variant
+                    .table("PmTE_ALL_DE")
+                    .unwrap()
+                    .active_domain("logFC_P")
+                    .unwrap()
+                    .len(),
+            );
+        }
+        // Distinct-value counts are non-increasing across the variants.
+        for pair in distinct_counts.windows(2) {
+            assert!(pair[1] <= pair[0]);
+        }
+        assert!(distinct_counts[4] < distinct_counts[0]);
+    }
+
+    #[test]
+    fn entropy_variant_with_unknown_column_is_identity() {
+        let w = scientific_small(42);
+        let q2 = w.query("Q2").unwrap().clone();
+        let v = entropy_variant(&w.database, "PmTE_ALL_DE", "no_such_column", 0.5, &q2);
+        assert_eq!(&v, &w.database);
+        let v = entropy_variant(&w.database, "NoTable", "logFC_P", 0.5, &q2);
+        assert_eq!(&v, &w.database);
+    }
+}

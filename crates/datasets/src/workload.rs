@@ -1,0 +1,112 @@
+//! Common workload representation and seeded random helpers.
+
+use qfe_query::{evaluate, QueryResult, SpjQuery};
+use qfe_relation::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A benchmark workload: a database plus the labeled target queries the
+/// paper's evaluation runs against it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name ("scientific", "baseball", "adult").
+    pub name: String,
+    /// The database `D`.
+    pub database: Database,
+    /// The target queries, labeled as in the paper (Q1, Q2, …).
+    pub queries: Vec<SpjQuery>,
+}
+
+impl Workload {
+    /// The target query with the given label.
+    pub fn query(&self, label: &str) -> Option<&SpjQuery> {
+        self.queries
+            .iter()
+            .find(|q| q.label.as_deref() == Some(label))
+    }
+
+    /// Evaluates the labeled target query, producing the example result `R`
+    /// used to seed a QFE session.
+    pub fn example_result(&self, label: &str) -> Option<QueryResult> {
+        let q = self.query(label)?;
+        evaluate(q, &self.database).ok()
+    }
+}
+
+/// Deterministic RNG used by all generators: fixed seeds give fixed datasets,
+/// so experiments are reproducible run to run.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a rounded float in `[lo, hi)` with three decimal places — keeps the
+/// synthetic measurements readable when presented to a (simulated) user.
+pub fn rounded_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let x: f64 = rng.gen_range(lo..hi);
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Picks one element of a slice.
+#[allow(dead_code)]
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_query::DnfPredicate;
+    use qfe_relation::{tuple, ColumnDef, DataType, Table, TableSchema};
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(7);
+        let mut b = seeded_rng(7);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = seeded_rng(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn rounded_uniform_stays_in_range_and_rounded() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let x = rounded_uniform(&mut rng, -2.0, 2.0);
+            assert!((-2.0..2.0).contains(&x));
+            assert!(((x * 1000.0).round() - x * 1000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_lookup_and_example_result() {
+        let t = Table::with_rows(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+            )
+            .unwrap(),
+            vec![tuple![1i64, 10i64], tuple![2i64, 20i64]],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(t).unwrap();
+        let q = SpjQuery::new(vec!["T"], vec!["id"], DnfPredicate::always_true()).with_label("Q1");
+        let w = Workload {
+            name: "tiny".into(),
+            database: db,
+            queries: vec![q],
+        };
+        assert!(w.query("Q1").is_some());
+        assert!(w.query("Q9").is_none());
+        assert_eq!(w.example_result("Q1").unwrap().len(), 2);
+        assert!(w.example_result("Q9").is_none());
+        let mut rng = seeded_rng(3);
+        let xs = [1, 2, 3];
+        assert!(xs.contains(pick(&mut rng, &xs)));
+    }
+}

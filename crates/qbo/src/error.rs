@@ -1,0 +1,76 @@
+//! Error type for candidate-query generation.
+
+use std::fmt;
+
+use qfe_query::QueryError;
+use qfe_relation::RelationError;
+
+/// Errors raised by the query generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum QboError {
+    /// An underlying query evaluation failed.
+    Query(QueryError),
+    /// An underlying relational operation failed.
+    Relation(RelationError),
+    /// No projection of any candidate join can produce the example result.
+    NoProjection,
+    /// No candidate query reproduces the example result under the configured
+    /// search bounds.
+    NoCandidates,
+    /// The example result is empty; reverse engineering needs at least one
+    /// output row to constrain the search.
+    EmptyResult,
+}
+
+impl fmt::Display for QboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QboError::Query(e) => write!(f, "{e}"),
+            QboError::Relation(e) => write!(f, "{e}"),
+            QboError::NoProjection => {
+                write!(f, "no projection over any foreign-key join matches the example result")
+            }
+            QboError::NoCandidates => write!(
+                f,
+                "no candidate query reproduces the example result within the configured bounds"
+            ),
+            QboError::EmptyResult => {
+                write!(f, "the example result is empty; provide at least one output row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QboError {}
+
+impl From<QueryError> for QboError {
+    fn from(e: QueryError) -> Self {
+        QboError::Query(e)
+    }
+}
+
+impl From<RelationError> for QboError {
+    fn from(e: RelationError) -> Self {
+        QboError::Relation(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, QboError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(QboError::NoProjection.to_string().contains("no projection"));
+        assert!(QboError::NoCandidates.to_string().contains("no candidate"));
+        assert!(QboError::EmptyResult.to_string().contains("empty"));
+        let e: QboError = QueryError::NoTables.into();
+        assert!(matches!(e, QboError::Query(_)));
+        let e: QboError = RelationError::UnknownTable { table: "T".into() }.into();
+        assert!(matches!(e, QboError::Relation(_)));
+    }
+}

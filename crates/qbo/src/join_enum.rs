@@ -1,0 +1,122 @@
+//! Enumeration of candidate join schemas.
+//!
+//! A candidate query joins a subset of the database's relations along
+//! foreign keys; the subset must be connected in the foreign-key graph for
+//! the join to be meaningful. This module enumerates those connected subsets
+//! in increasing size.
+
+use qfe_relation::Database;
+
+/// Enumerates the connected subsets of the database's foreign-key graph, up
+/// to `max_tables` tables per subset. Subsets are returned in increasing
+/// size, each sorted by table name, and the whole list is deterministic.
+pub fn connected_table_subsets(db: &Database, max_tables: usize) -> Vec<Vec<String>> {
+    let names: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
+    let n = names.len();
+    let connected = |subset: &[usize]| -> bool {
+        if subset.len() <= 1 {
+            return true;
+        }
+        // BFS over foreign keys restricted to the subset.
+        let mut visited = vec![false; subset.len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        while let Some(i) = stack.pop() {
+            for (j, vis) in visited.iter_mut().enumerate() {
+                if !*vis
+                    && !db
+                        .foreign_keys_between(&names[subset[i]], &names[subset[j]])
+                        .is_empty()
+                {
+                    *vis = true;
+                    stack.push(j);
+                }
+            }
+        }
+        visited.into_iter().all(|v| v)
+    };
+
+    let mut result: Vec<Vec<String>> = Vec::new();
+    // Enumerate all subsets via bitmask (databases here have a handful of
+    // tables); keep connected ones within the size bound.
+    let limit = 1usize << n.min(16);
+    let mut by_size: Vec<Vec<Vec<String>>> = vec![Vec::new(); max_tables + 1];
+    for mask in 1..limit {
+        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if subset.is_empty() || subset.len() > max_tables {
+            continue;
+        }
+        if connected(&subset) {
+            by_size[subset.len()].push(subset.iter().map(|&i| names[i].clone()).collect());
+        }
+    }
+    for bucket in by_size.into_iter().skip(1) {
+        result.extend(bucket);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_relation::{tuple, ColumnDef, DataType, ForeignKey, Table, TableSchema};
+
+    fn chain_db() -> Database {
+        // A - B - C chain plus isolated D.
+        let mk = |name: &str| {
+            Table::with_rows(
+                TableSchema::new(
+                    name,
+                    vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::new("ref", DataType::Int),
+                    ],
+                )
+                .unwrap()
+                .with_primary_key(&["id"])
+                .unwrap(),
+                vec![tuple![1i64, 1i64]],
+            )
+            .unwrap()
+        };
+        let mut db = Database::new();
+        for n in ["A", "B", "C", "D"] {
+            db.add_table(mk(n)).unwrap();
+        }
+        db.add_foreign_key(ForeignKey::new("B", "ref", "A", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("C", "ref", "B", "id")).unwrap();
+        db
+    }
+
+    #[test]
+    fn singletons_always_included() {
+        let db = chain_db();
+        let subsets = connected_table_subsets(&db, 1);
+        assert_eq!(subsets.len(), 4);
+        assert!(subsets.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn only_connected_pairs_and_triples() {
+        let db = chain_db();
+        let subsets = connected_table_subsets(&db, 3);
+        // size 1: 4; size 2: AB, BC (AC and anything with D are not connected);
+        // size 3: ABC only.
+        let pairs: Vec<_> = subsets.iter().filter(|s| s.len() == 2).collect();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&&vec!["A".to_string(), "B".to_string()]));
+        assert!(pairs.contains(&&vec!["B".to_string(), "C".to_string()]));
+        let triples: Vec<_> = subsets.iter().filter(|s| s.len() == 3).collect();
+        assert_eq!(triples, vec![&vec!["A".to_string(), "B".to_string(), "C".to_string()]]);
+    }
+
+    #[test]
+    fn results_ordered_by_size() {
+        let db = chain_db();
+        let subsets = connected_table_subsets(&db, 3);
+        let sizes: Vec<usize> = subsets.iter().map(Vec::len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        assert_eq!(sizes, sorted);
+    }
+}

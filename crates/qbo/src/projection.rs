@@ -1,0 +1,198 @@
+//! Inferring the projection list of candidate queries.
+//!
+//! The example result `R` determines the projection list `ℓ` (Section 5:
+//! "since `R` determines the projection list ℓ").  When `R`'s column names
+//! resolve against the candidate join those names are used directly; when
+//! they do not (anonymous or renamed result columns), candidate projections
+//! are inferred by value containment.
+
+use std::collections::BTreeSet;
+
+use qfe_relation::{JoinedRelation, Value};
+use qfe_query::QueryResult;
+
+/// Maximum number of value-inferred projection combinations to explore.
+const MAX_INFERRED_PROJECTIONS: usize = 16;
+
+/// Returns candidate projection lists (as column references resolvable
+/// against `join`) that could produce `result`.
+///
+/// Name-based matching is attempted first; when every result column resolves
+/// against the join, that single projection is returned. Otherwise (and when
+/// `by_values` is set) projections are inferred by matching each result
+/// column's value set against join columns of a compatible type.
+pub fn candidate_projections(
+    join: &JoinedRelation,
+    result: &QueryResult,
+    by_values: bool,
+) -> Vec<Vec<String>> {
+    // 1. Name-based.
+    let mut named = Vec::with_capacity(result.columns().len());
+    let mut all_resolved = true;
+    for col in result.columns() {
+        if join.resolve_column(col).is_ok() {
+            named.push(col.clone());
+        } else {
+            all_resolved = false;
+            break;
+        }
+    }
+    if all_resolved && !named.is_empty() {
+        return vec![named];
+    }
+    if !by_values {
+        return Vec::new();
+    }
+
+    // 2. Value-based: for each result column, the join columns whose active
+    //    domain is a superset of the result column's values.
+    let mut per_column_candidates: Vec<Vec<usize>> = Vec::new();
+    for col_pos in 0..result.arity() {
+        let needed: BTreeSet<Value> = result
+            .rows()
+            .iter()
+            .filter_map(|r| r.get(col_pos).cloned())
+            .collect();
+        let mut candidates = Vec::new();
+        for (join_col, _meta) in join.columns().iter().enumerate() {
+            let domain: BTreeSet<Value> = join.active_domain(join_col).into_iter().collect();
+            if needed.is_subset(&domain) {
+                candidates.push(join_col);
+            }
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        per_column_candidates.push(candidates);
+    }
+
+    // 3. Cartesian product, bounded, rejecting duplicate columns within one
+    //    projection.
+    let mut projections: Vec<Vec<String>> = Vec::new();
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    for candidates in &per_column_candidates {
+        let mut next = Vec::new();
+        for partial in &stack {
+            for &c in candidates {
+                if partial.contains(&c) {
+                    continue;
+                }
+                let mut ext = partial.clone();
+                ext.push(c);
+                next.push(ext);
+                if next.len() >= MAX_INFERRED_PROJECTIONS {
+                    break;
+                }
+            }
+            if next.len() >= MAX_INFERRED_PROJECTIONS {
+                break;
+            }
+        }
+        stack = next;
+        if stack.is_empty() {
+            return Vec::new();
+        }
+    }
+    for combo in stack {
+        projections.push(
+            combo
+                .into_iter()
+                .map(|i| join.columns()[i].qualified_name())
+                .collect(),
+        );
+    }
+    projections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_relation::{
+        foreign_key_join, tuple, ColumnDef, Database, DataType, Table, TableSchema, Tuple,
+    };
+
+    fn employee_join() -> JoinedRelation {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "Sales", 3700i64],
+                tuple![2i64, "Bob", "IT", 4200i64],
+                tuple![4i64, "Darren", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        foreign_key_join(&db, &["Employee".to_string()]).unwrap()
+    }
+
+    #[test]
+    fn name_based_projection_wins_when_resolvable() {
+        let join = employee_join();
+        let r = QueryResult::new(vec!["name".to_string()], vec![tuple!["Bob"]]);
+        let projs = candidate_projections(&join, &r, true);
+        assert_eq!(projs, vec![vec!["name".to_string()]]);
+    }
+
+    #[test]
+    fn value_based_projection_finds_matching_columns() {
+        let join = employee_join();
+        let r = QueryResult::new(vec!["anonymous".to_string()], vec![tuple!["Bob"], tuple!["Darren"]]);
+        let projs = candidate_projections(&join, &r, true);
+        assert_eq!(projs, vec![vec!["Employee.name".to_string()]]);
+    }
+
+    #[test]
+    fn value_based_respects_flag_and_absence() {
+        let join = employee_join();
+        let r = QueryResult::new(vec!["anonymous".to_string()], vec![tuple!["Bob"]]);
+        assert!(candidate_projections(&join, &r, false).is_empty());
+        let r = QueryResult::new(
+            vec!["anonymous".to_string()],
+            vec![Tuple::new(vec![Value::Text("Nobody".into())])],
+        );
+        assert!(candidate_projections(&join, &r, true).is_empty());
+    }
+
+    #[test]
+    fn multi_column_value_inference_avoids_reusing_a_column() {
+        let join = employee_join();
+        // Two columns both containing the value "IT": dept is the only source,
+        // so a two-column projection cannot reuse it and must pair it with a
+        // different column — there is none containing "IT", so no projection.
+        let r = QueryResult::new(
+            vec!["c1".to_string(), "c2".to_string()],
+            vec![tuple!["IT", "IT"]],
+        );
+        assert!(candidate_projections(&join, &r, true).is_empty());
+        // A (name, dept) pair is inferable.
+        let r = QueryResult::new(
+            vec!["c1".to_string(), "c2".to_string()],
+            vec![tuple!["Bob", "IT"]],
+        );
+        let projs = candidate_projections(&join, &r, true);
+        assert!(projs.contains(&vec![
+            "Employee.name".to_string(),
+            "Employee.dept".to_string()
+        ]));
+    }
+
+    #[test]
+    fn numeric_result_columns_match_numeric_join_columns() {
+        let join = employee_join();
+        let r = QueryResult::new(vec!["x".to_string()], vec![tuple![4200i64], tuple![5000i64]]);
+        let projs = candidate_projections(&join, &r, true);
+        assert_eq!(projs, vec![vec!["Employee.salary".to_string()]]);
+    }
+}

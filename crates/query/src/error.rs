@@ -1,0 +1,84 @@
+//! Error type for query construction, parsing and evaluation.
+
+use std::fmt;
+
+use qfe_relation::RelationError;
+
+/// Errors raised while building, parsing or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum QueryError {
+    /// The underlying relational operation failed (unknown table/column,
+    /// disconnected join, …).
+    Relation(RelationError),
+    /// A column reference could not be resolved against the query's join.
+    UnknownColumn { column: String },
+    /// A query referenced no tables.
+    NoTables,
+    /// SQL text could not be parsed.
+    Parse { message: String, position: usize },
+    /// The SQL statement is outside the supported SPJ fragment.
+    Unsupported { feature: String },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Relation(e) => write!(f, "{e}"),
+            QueryError::UnknownColumn { column } => {
+                write!(f, "unknown column '{column}' in query")
+            }
+            QueryError::NoTables => write!(f, "query must reference at least one table"),
+            QueryError::Parse { message, position } => {
+                write!(f, "SQL parse error at offset {position}: {message}")
+            }
+            QueryError::Unsupported { feature } => {
+                write!(f, "unsupported SQL feature: {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for QueryError {
+    fn from(e: RelationError) -> Self {
+        QueryError::Relation(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QueryError::UnknownColumn {
+            column: "x".into(),
+        };
+        assert!(e.to_string().contains("unknown column 'x'"));
+        let e = QueryError::from(RelationError::UnknownTable { table: "T".into() });
+        assert!(e.to_string().contains("unknown table"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        let e = QueryError::Parse {
+            message: "bad token".into(),
+            position: 7,
+        };
+        assert!(e.to_string().contains("offset 7"));
+        assert!(QueryError::NoTables.to_string().contains("at least one table"));
+        assert!(QueryError::Unsupported { feature: "GROUP BY".into() }
+            .to_string()
+            .contains("GROUP BY"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Query evaluation against databases and precomputed joins.
+
+use qfe_relation::{foreign_key_join, Database, JoinedRelation, Value};
+
+use crate::error::{QueryError, Result};
+use crate::predicate::DnfPredicate;
+use crate::result::QueryResult;
+use crate::spj::SpjQuery;
+
+/// A query whose column references have been resolved against a specific
+/// joined relation.
+///
+/// QFE evaluates *many* candidate queries against the *same* join (all
+/// candidates in a group share a join schema), so resolution — mapping
+/// attribute names to column positions — is done once per query and reused
+/// for every row and every modified database that preserves the join's shape.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    projection_idx: Vec<usize>,
+    projection_names: Vec<String>,
+    /// (attribute name, resolved column index) for every predicate attribute.
+    attribute_idx: Vec<(String, usize)>,
+    predicate: DnfPredicate,
+    distinct: bool,
+}
+
+impl BoundQuery {
+    /// Resolves `query` against `join`.
+    pub fn bind(query: &SpjQuery, join: &JoinedRelation) -> Result<Self> {
+        let mut projection_idx = Vec::with_capacity(query.projection.len());
+        for col in &query.projection {
+            let idx = join
+                .resolve_column(col)
+                .map_err(|_| QueryError::UnknownColumn { column: col.clone() })?;
+            projection_idx.push(idx);
+        }
+        let mut attribute_idx = Vec::new();
+        for attr in query.selection_attributes() {
+            let idx = join
+                .resolve_column(&attr)
+                .map_err(|_| QueryError::UnknownColumn { column: attr.clone() })?;
+            attribute_idx.push((attr, idx));
+        }
+        Ok(BoundQuery {
+            projection_idx,
+            projection_names: query.projection.clone(),
+            attribute_idx,
+            predicate: query.predicate.clone(),
+            distinct: query.distinct,
+        })
+    }
+
+    /// Positions of the projected columns in the join.
+    pub fn projection_indices(&self) -> &[usize] {
+        &self.projection_idx
+    }
+
+    /// Resolved predicate attributes as `(name, join column index)` pairs.
+    pub fn attribute_indices(&self) -> &[(String, usize)] {
+        &self.attribute_idx
+    }
+
+    /// Whether the predicate holds for a single joined row.
+    pub fn matches_row(&self, row: &qfe_relation::Tuple) -> bool {
+        let lookup = |name: &str| -> Value {
+            self.attribute_idx
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, idx)| row.get(*idx).cloned())
+                .unwrap_or(Value::Null)
+        };
+        self.predicate.eval(&lookup)
+    }
+
+    /// Evaluates the bound query over the given join.
+    pub fn evaluate(&self, join: &JoinedRelation) -> QueryResult {
+        let mut rows = Vec::new();
+        for jr in join.rows() {
+            if self.matches_row(&jr.tuple) {
+                rows.push(jr.tuple.project(&self.projection_idx));
+            }
+        }
+        let result = QueryResult::new(self.projection_names.clone(), rows);
+        if self.distinct {
+            result.deduplicated()
+        } else {
+            result
+        }
+    }
+
+    /// Indices of the joined rows satisfying the predicate.
+    pub fn matching_rows(&self, join: &JoinedRelation) -> Vec<usize> {
+        join.rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, jr)| self.matches_row(&jr.tuple))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Evaluates a query against a precomputed joined relation.
+///
+/// The join must contain (at least) the columns the query references; QFE
+/// uses the foreign-key join of the candidate queries' shared join schema.
+pub fn evaluate_on_join(query: &SpjQuery, join: &JoinedRelation) -> Result<QueryResult> {
+    Ok(BoundQuery::bind(query, join)?.evaluate(join))
+}
+
+/// Evaluates a query against a database by first computing the foreign-key
+/// join of the query's tables.
+pub fn evaluate(query: &SpjQuery, db: &Database) -> Result<QueryResult> {
+    if query.tables.is_empty() {
+        return Err(QueryError::NoTables);
+    }
+    let join = foreign_key_join(db, &query.tables)?;
+    evaluate_on_join(query, &join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{tuple, ColumnDef, DataType, ForeignKey, Table, TableSchema};
+
+    /// The Employee database of the paper's Example 1.1.
+    fn employee_db() -> Database {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("gender", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        db
+    }
+
+    fn q(pred: DnfPredicate) -> SpjQuery {
+        SpjQuery::new(vec!["Employee"], vec!["name"], pred)
+    }
+
+    #[test]
+    fn example_1_1_candidates_agree_on_original_database() {
+        let db = employee_db();
+        let q1 = q(DnfPredicate::single(Term::eq("gender", "M")));
+        let q2 = q(DnfPredicate::single(Term::compare(
+            "salary",
+            ComparisonOp::Gt,
+            4000i64,
+        )));
+        let q3 = q(DnfPredicate::single(Term::eq("dept", "IT")));
+        let r1 = evaluate(&q1, &db).unwrap();
+        let r2 = evaluate(&q2, &db).unwrap();
+        let r3 = evaluate(&q3, &db).unwrap();
+        assert!(r1.bag_equal(&r2));
+        assert!(r2.bag_equal(&r3));
+        assert_eq!(r1.len(), 2);
+        let mut names: Vec<String> = r1
+            .rows()
+            .iter()
+            .map(|t| t.get(0).unwrap().as_str().unwrap().to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["Bob", "Darren"]);
+    }
+
+    #[test]
+    fn example_1_1_modified_database_d1_distinguishes_q2() {
+        // D1: Bob's salary lowered from 4200 to 3900.
+        let mut db = employee_db();
+        db.table_mut("Employee")
+            .unwrap()
+            .update_cell(1, "salary", Value::Int(3900))
+            .unwrap();
+        let q1 = q(DnfPredicate::single(Term::eq("gender", "M")));
+        let q2 = q(DnfPredicate::single(Term::compare(
+            "salary",
+            ComparisonOp::Gt,
+            4000i64,
+        )));
+        let q3 = q(DnfPredicate::single(Term::eq("dept", "IT")));
+        let r1 = evaluate(&q1, &db).unwrap();
+        let r2 = evaluate(&q2, &db).unwrap();
+        let r3 = evaluate(&q3, &db).unwrap();
+        assert!(r1.bag_equal(&r3), "Q1 and Q3 still agree on D1");
+        assert!(!r1.bag_equal(&r2), "Q2 is distinguished on D1");
+        assert_eq!(r2.len(), 1, "only Darren earns more than 4000 in D1");
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let db = employee_db();
+        let dup = SpjQuery::new(vec!["Employee"], vec!["gender"], DnfPredicate::always_true());
+        let bag = evaluate(&dup, &db).unwrap();
+        assert_eq!(bag.len(), 4);
+        let set = evaluate(&dup.clone().with_distinct(true), &db).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn unknown_column_reported() {
+        let db = employee_db();
+        let bad = SpjQuery::new(vec!["Employee"], vec!["wage"], DnfPredicate::always_true());
+        assert!(matches!(
+            evaluate(&bad, &db).unwrap_err(),
+            QueryError::UnknownColumn { .. }
+        ));
+        let bad = q(DnfPredicate::single(Term::eq("wage", 1i64)));
+        assert!(matches!(
+            evaluate(&bad, &db).unwrap_err(),
+            QueryError::UnknownColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn no_tables_is_an_error() {
+        let db = employee_db();
+        let bad = SpjQuery::new(Vec::<String>::new(), vec!["x"], DnfPredicate::always_true());
+        assert!(matches!(evaluate(&bad, &db).unwrap_err(), QueryError::NoTables));
+    }
+
+    #[test]
+    fn evaluation_over_foreign_key_join() {
+        // Two-table database: Dept(did, dname), Emp(eid, did, salary).
+        let dept = Table::with_rows(
+            TableSchema::new(
+                "Dept",
+                vec![
+                    ColumnDef::new("did", DataType::Int),
+                    ColumnDef::new("dname", DataType::Text),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["did"])
+            .unwrap(),
+            vec![tuple![1i64, "IT"], tuple![2i64, "Sales"]],
+        )
+        .unwrap();
+        let emp = Table::with_rows(
+            TableSchema::new(
+                "Emp",
+                vec![
+                    ColumnDef::new("eid", DataType::Int),
+                    ColumnDef::new("did", DataType::Int),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, 1i64, 100i64],
+                tuple![2i64, 1i64, 200i64],
+                tuple![3i64, 2i64, 300i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(dept).unwrap();
+        db.add_table(emp).unwrap();
+        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did")).unwrap();
+
+        let query = SpjQuery::new(
+            vec!["Dept", "Emp"],
+            vec!["Emp.eid"],
+            DnfPredicate::single(Term::eq("dname", "IT")),
+        );
+        let r = evaluate(&query, &db).unwrap();
+        assert_eq!(r.len(), 2);
+
+        // Same evaluation through a precomputed join + BoundQuery.
+        let join = foreign_key_join(&db, &query.tables).unwrap();
+        let bound = BoundQuery::bind(&query, &join).unwrap();
+        assert_eq!(bound.projection_indices().len(), 1);
+        assert_eq!(bound.attribute_indices().len(), 1);
+        let r2 = bound.evaluate(&join);
+        assert!(r.bag_equal(&r2));
+        assert_eq!(bound.matching_rows(&join).len(), 2);
+    }
+
+    #[test]
+    fn bound_query_matches_row_agrees_with_evaluation() {
+        let db = employee_db();
+        let join = foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let query = q(DnfPredicate::single(Term::eq("dept", "IT")));
+        let bound = BoundQuery::bind(&query, &join).unwrap();
+        let matching = bound.matching_rows(&join);
+        assert_eq!(matching.len(), 2);
+        for (i, jr) in join.rows().iter().enumerate() {
+            assert_eq!(bound.matches_row(&jr.tuple), matching.contains(&i));
+        }
+    }
+}

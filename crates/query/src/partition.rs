@@ -1,0 +1,287 @@
+//! Partitioning a set of candidate queries by their results.
+//!
+//! Section 2 of the paper: a modified database `D'` partitions the candidate
+//! set `QC` into subsets `QC_1, …, QC_k` such that two queries fall in the
+//! same subset iff they produce the same result on `D'`, and the results
+//! `R_1, …, R_k` of the subsets are pairwise distinct.
+
+use std::collections::BTreeMap;
+
+use qfe_relation::{Database, JoinedRelation, Tuple};
+
+use crate::error::Result;
+use crate::eval::{evaluate, evaluate_on_join, BoundQuery};
+use crate::result::QueryResult;
+use crate::spj::SpjQuery;
+
+/// One block of a query partition: the queries (by index into the candidate
+/// list) that share a result, together with that result.
+#[derive(Debug, Clone)]
+pub struct QueryGroup {
+    /// Indices into the candidate-query list.
+    pub query_indices: Vec<usize>,
+    /// The common result of those queries.
+    pub result: QueryResult,
+}
+
+impl QueryGroup {
+    /// Number of queries in the group.
+    pub fn len(&self) -> usize {
+        self.query_indices.len()
+    }
+
+    /// True if the group is empty (never produced by the partitioning).
+    pub fn is_empty(&self) -> bool {
+        self.query_indices.is_empty()
+    }
+}
+
+/// The partition of a candidate set induced by one database.
+#[derive(Debug, Clone)]
+pub struct QueryPartition {
+    /// The groups, in deterministic order (by result fingerprint).
+    pub groups: Vec<QueryGroup>,
+}
+
+impl QueryPartition {
+    /// Number of groups `k`.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Sizes of the groups.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(QueryGroup::len).collect()
+    }
+
+    /// Size of the largest group (the worst-case surviving candidate count).
+    pub fn max_group_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Index of the group containing candidate query `query_idx`, if any.
+    pub fn group_of(&self, query_idx: usize) -> Option<usize> {
+        self.groups
+            .iter()
+            .position(|g| g.query_indices.contains(&query_idx))
+    }
+
+    /// The *balance score* of the inducing database (Section 3):
+    /// `σ / |C|` where `σ` is the standard deviation of the group sizes and
+    /// `|C|` the number of groups. Lower is better: many groups of similar
+    /// size. A single group (no discrimination) yields an infinite score so
+    /// that it is never preferred.
+    pub fn balance_score(&self) -> f64 {
+        let sizes = self.sizes();
+        let k = sizes.len();
+        if k <= 1 {
+            return f64::INFINITY;
+        }
+        let n = sizes.len() as f64;
+        let mean = sizes.iter().sum::<usize>() as f64 / n;
+        let var = sizes
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / n
+    }
+}
+
+/// Groups queries by their result fingerprint.
+fn partition_by_results(results: Vec<QueryResult>) -> QueryPartition {
+    let mut by_fingerprint: BTreeMap<Vec<Tuple>, QueryGroup> = BTreeMap::new();
+    for (idx, result) in results.into_iter().enumerate() {
+        let fp = result.fingerprint();
+        by_fingerprint
+            .entry(fp)
+            .or_insert_with(|| QueryGroup {
+                query_indices: Vec::new(),
+                result,
+            })
+            .query_indices
+            .push(idx);
+    }
+    QueryPartition {
+        groups: by_fingerprint.into_values().collect(),
+    }
+}
+
+/// Partitions `queries` by their results on `db`.
+pub fn partition_queries(queries: &[SpjQuery], db: &Database) -> Result<QueryPartition> {
+    let mut results = Vec::with_capacity(queries.len());
+    for q in queries {
+        results.push(evaluate(q, db)?);
+    }
+    Ok(partition_by_results(results))
+}
+
+/// Partitions `queries` by their results on a precomputed join (all queries
+/// must be expressible over that join).
+pub fn partition_queries_on_join(
+    queries: &[SpjQuery],
+    join: &JoinedRelation,
+) -> Result<QueryPartition> {
+    let mut results = Vec::with_capacity(queries.len());
+    for q in queries {
+        results.push(evaluate_on_join(q, join)?);
+    }
+    Ok(partition_by_results(results))
+}
+
+/// Partitions pre-bound queries by their results on a join. This is the hot
+/// path used by QFE's database generator, which re-evaluates the same bound
+/// candidates against many candidate modified databases.
+pub fn partition_bound_queries(bound: &[BoundQuery], join: &JoinedRelation) -> QueryPartition {
+    let results = bound.iter().map(|b| b.evaluate(join)).collect();
+    partition_by_results(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{tuple, ColumnDef, DataType, Table, TableSchema, Value};
+
+    fn employee_db() -> Database {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("gender", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        db
+    }
+
+    fn candidates() -> Vec<SpjQuery> {
+        let q = |p| SpjQuery::new(vec!["Employee"], vec!["name"], p);
+        vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+        ]
+    }
+
+    #[test]
+    fn all_candidates_agree_on_original_database() {
+        let db = employee_db();
+        let p = partition_queries(&candidates(), &db).unwrap();
+        assert_eq!(p.group_count(), 1);
+        assert_eq!(p.sizes(), vec![3]);
+        assert_eq!(p.max_group_size(), 3);
+        assert!(p.balance_score().is_infinite());
+    }
+
+    #[test]
+    fn modified_database_d1_splits_off_q2() {
+        let mut db = employee_db();
+        db.table_mut("Employee")
+            .unwrap()
+            .update_cell(1, "salary", Value::Int(3900))
+            .unwrap();
+        let p = partition_queries(&candidates(), &db).unwrap();
+        assert_eq!(p.group_count(), 2);
+        let mut sizes = p.sizes();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 2]);
+        // Q2 (index 1) is alone in its group.
+        let g = p.group_of(1).unwrap();
+        assert_eq!(p.groups[g].len(), 1);
+        assert!(p.balance_score() > 0.0 && p.balance_score().is_finite());
+        assert_eq!(p.group_of(99), None);
+    }
+
+    #[test]
+    fn modified_database_d2_splits_q1_from_q3() {
+        // D2: Bob's dept changed from IT to Service (the paper's second round).
+        let mut db = employee_db();
+        db.table_mut("Employee")
+            .unwrap()
+            .update_cell(1, "dept", Value::Text("Service".into()))
+            .unwrap();
+        let p = partition_queries(&candidates(), &db).unwrap();
+        // Q1 (gender=M) keeps {Bob,Darren}; Q3 (dept=IT) now returns {Darren};
+        // Q2 (salary>4000) also returns {Bob, Darren}.
+        assert_eq!(p.group_count(), 2);
+        assert_eq!(p.group_of(0), p.group_of(1));
+        assert_ne!(p.group_of(0), p.group_of(2));
+    }
+
+    #[test]
+    fn partition_on_precomputed_join_matches_database_partition() {
+        let db = employee_db();
+        let join = qfe_relation::foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let qs = candidates();
+        let p1 = partition_queries(&qs, &db).unwrap();
+        let p2 = partition_queries_on_join(&qs, &join).unwrap();
+        assert_eq!(p1.sizes(), p2.sizes());
+        let bound: Vec<BoundQuery> = qs.iter().map(|q| BoundQuery::bind(q, &join).unwrap()).collect();
+        let p3 = partition_bound_queries(&bound, &join);
+        assert_eq!(p1.sizes(), p3.sizes());
+    }
+
+    #[test]
+    fn balance_score_prefers_even_partitions() {
+        // 4 queries split 2/2 vs 3/1: the 2/2 split has a lower score.
+        let even = QueryPartition {
+            groups: vec![
+                QueryGroup {
+                    query_indices: vec![0, 1],
+                    result: QueryResult::empty(vec!["x".into()]),
+                },
+                QueryGroup {
+                    query_indices: vec![2, 3],
+                    result: QueryResult::empty(vec!["x".into()]),
+                },
+            ],
+        };
+        let skewed = QueryPartition {
+            groups: vec![
+                QueryGroup {
+                    query_indices: vec![0, 1, 2],
+                    result: QueryResult::empty(vec!["x".into()]),
+                },
+                QueryGroup {
+                    query_indices: vec![3],
+                    result: QueryResult::empty(vec!["x".into()]),
+                },
+            ],
+        };
+        assert!(even.balance_score() < skewed.balance_score());
+    }
+
+    #[test]
+    fn group_accessors() {
+        let g = QueryGroup {
+            query_indices: vec![1, 2],
+            result: QueryResult::empty(vec!["x".into()]),
+        };
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Query results and their comparison.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qfe_relation::{bag_equal_rows, min_edit_rows, Tuple, Value};
+
+/// The result of evaluating a query: a header plus an ordered bag of rows.
+///
+/// Row order is an evaluation artifact (join order); all comparisons are
+/// order-insensitive. Under bag semantics duplicates are significant, under
+/// set semantics (`DISTINCT`) they are not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    columns: Vec<String>,
+    rows: Vec<Tuple>,
+}
+
+impl QueryResult {
+    /// Creates a result from a header and rows.
+    pub fn new(columns: Vec<String>, rows: Vec<Tuple>) -> Self {
+        QueryResult { columns, rows }
+    }
+
+    /// An empty result with the given header.
+    pub fn empty(columns: Vec<String>) -> Self {
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Result rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows (result cardinality).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns (the result's arity — the insert/delete cost used by
+    /// the paper's `minEdit` when comparing results).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Removes duplicate rows (set semantics). Keeps the first occurrence.
+    pub fn deduplicated(&self) -> QueryResult {
+        let mut seen = std::collections::HashSet::new();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        QueryResult {
+            columns: self.columns.clone(),
+            rows,
+        }
+    }
+
+    /// Bag (multiset) equality, ignoring row order and column names.
+    pub fn bag_equal(&self, other: &QueryResult) -> bool {
+        self.arity() == other.arity() && bag_equal_rows(&self.rows, &other.rows)
+    }
+
+    /// Set equality, ignoring row order, duplicates and column names.
+    pub fn set_equal(&self, other: &QueryResult) -> bool {
+        self.deduplicated().bag_equal(&other.deduplicated())
+    }
+
+    /// A canonical fingerprint of the result under bag semantics: the sorted
+    /// multiset of rows. Two results have the same fingerprint iff they are
+    /// bag-equal — QFE's partitioning of candidate queries groups by this.
+    pub fn fingerprint(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    /// `minEdit(R, R')` between two results, per the paper's edit model
+    /// (attribute modification = 1, row insert/delete = arity).
+    pub fn min_edit(&self, other: &QueryResult) -> usize {
+        if self.arity() != other.arity() {
+            return self.len() * self.arity() + other.len() * other.arity();
+        }
+        min_edit_rows(&self.rows, &other.rows, self.arity())
+    }
+
+    /// Multiset view: row → multiplicity.
+    pub fn row_multiset(&self) -> BTreeMap<Tuple, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.rows {
+            *m.entry(r.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Rows present in `self` but not in `other` (multiset difference), and
+    /// rows present in `other` but not in `self`. Used by the feedback module
+    /// to present `Δ(R, R_i)`.
+    pub fn symmetric_difference(&self, other: &QueryResult) -> (Vec<Tuple>, Vec<Tuple>) {
+        let mut ours = self.row_multiset();
+        let mut theirs = other.row_multiset();
+        for (row, count) in ours.iter_mut() {
+            if let Some(other_count) = theirs.get_mut(row) {
+                let common = (*count).min(*other_count);
+                *count -= common;
+                *other_count -= common;
+            }
+        }
+        let removed = ours
+            .into_iter()
+            .flat_map(|(row, c)| std::iter::repeat(row).take(c))
+            .collect();
+        let added = theirs
+            .into_iter()
+            .flat_map(|(row, c)| std::iter::repeat(row).take(c))
+            .collect();
+        (removed, added)
+    }
+
+    /// Sorts rows in place into canonical order (useful for display).
+    pub fn sort_rows(&mut self) {
+        self.rows.sort();
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "| {} |", self.columns.join(" | "))?;
+        for r in &self.rows {
+            let cells: Vec<String> = r.values().iter().map(Value::to_string).collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_relation::tuple;
+
+    fn names(rows: &[&str]) -> QueryResult {
+        QueryResult::new(
+            vec!["name".to_string()],
+            rows.iter().map(|n| tuple![*n]).collect(),
+        )
+    }
+
+    #[test]
+    fn bag_equality_is_order_insensitive() {
+        let a = names(&["Bob", "Darren"]);
+        let b = names(&["Darren", "Bob"]);
+        assert!(a.bag_equal(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = names(&["Bob"]);
+        assert!(!a.bag_equal(&c));
+    }
+
+    #[test]
+    fn bag_vs_set_semantics() {
+        let a = names(&["Bob", "Bob"]);
+        let b = names(&["Bob"]);
+        assert!(!a.bag_equal(&b));
+        assert!(a.set_equal(&b));
+        assert_eq!(a.deduplicated().len(), 1);
+    }
+
+    #[test]
+    fn min_edit_between_results() {
+        let a = names(&["Bob", "Darren"]);
+        let b = names(&["Darren"]);
+        // Removing one single-attribute row costs its arity (1).
+        assert_eq!(a.min_edit(&b), 1);
+        assert_eq!(a.min_edit(&a), 0);
+
+        let wide = QueryResult::new(
+            vec!["a".into(), "b".into()],
+            vec![tuple![1i64, 2i64]],
+        );
+        // Arity mismatch: everything is replaced.
+        assert_eq!(a.min_edit(&wide), 2 * 1 + 1 * 2);
+    }
+
+    #[test]
+    fn symmetric_difference_reports_added_and_removed() {
+        let a = names(&["Bob", "Darren", "Alice"]);
+        let b = names(&["Darren", "Eve"]);
+        let (removed, added) = a.symmetric_difference(&b);
+        assert_eq!(removed.len(), 2); // Bob, Alice
+        assert_eq!(added, vec![tuple!["Eve"]]);
+        let (r2, a2) = a.symmetric_difference(&a);
+        assert!(r2.is_empty() && a2.is_empty());
+    }
+
+    #[test]
+    fn symmetric_difference_respects_multiplicity() {
+        let a = names(&["Bob", "Bob"]);
+        let b = names(&["Bob"]);
+        let (removed, added) = a.symmetric_difference(&b);
+        assert_eq!(removed, vec![tuple!["Bob"]]);
+        assert!(added.is_empty());
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let mut r = names(&["Zed", "Amy"]);
+        assert_eq!(r.arity(), 1);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.columns(), &["name".to_string()]);
+        r.sort_rows();
+        assert_eq!(r.rows()[0], tuple!["Amy"]);
+        let s = r.to_string();
+        assert!(s.contains("| name |"));
+        assert!(s.contains("| Zed |"));
+        assert!(QueryResult::empty(vec!["x".into()]).is_empty());
+    }
+
+    #[test]
+    fn row_multiset_counts() {
+        let r = names(&["Bob", "Bob", "Amy"]);
+        let m = r.row_multiset();
+        assert_eq!(m.get(&tuple!["Bob"]), Some(&2));
+        assert_eq!(m.get(&tuple!["Amy"]), Some(&1));
+    }
+}

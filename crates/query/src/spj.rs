@@ -1,0 +1,167 @@
+//! Select-project-join queries.
+
+use std::fmt;
+
+use crate::predicate::DnfPredicate;
+
+/// A select-project-join query `π_ℓ(σ_p(J))` over the foreign-key join `J`
+/// of a set of base tables (Section 4 of the paper).
+///
+/// * `tables` — the relations participating in the foreign-key join `J`;
+/// * `projection` — the projection list `ℓ` (column references, optionally
+///   `Table.column`-qualified);
+/// * `predicate` — the selection predicate `p` in disjunctive normal form;
+/// * `distinct` — `false` for bag semantics (the paper's default assumption),
+///   `true` for set semantics (Section 6.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpjQuery {
+    /// Optional human-readable label (e.g. "Q1"); not part of query identity
+    /// for evaluation purposes but carried along for reports.
+    pub label: Option<String>,
+    /// Relations joined by the query (join order is irrelevant; the join is
+    /// along declared foreign keys).
+    pub tables: Vec<String>,
+    /// Projection list.
+    pub projection: Vec<String>,
+    /// Selection predicate in DNF.
+    pub predicate: DnfPredicate,
+    /// Set semantics (`SELECT DISTINCT`) when true.
+    pub distinct: bool,
+}
+
+impl SpjQuery {
+    /// Creates a query with bag semantics and no label.
+    pub fn new(
+        tables: Vec<impl Into<String>>,
+        projection: Vec<impl Into<String>>,
+        predicate: DnfPredicate,
+    ) -> Self {
+        SpjQuery {
+            label: None,
+            tables: tables.into_iter().map(Into::into).collect(),
+            projection: projection.into_iter().map(Into::into).collect(),
+            predicate,
+            distinct: false,
+        }
+    }
+
+    /// Sets the human-readable label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Switches the query to set semantics (`SELECT DISTINCT`).
+    pub fn with_distinct(mut self, distinct: bool) -> Self {
+        self.distinct = distinct;
+        self
+    }
+
+    /// The query's label, or a rendering of the query when unlabeled.
+    pub fn display_name(&self) -> String {
+        self.label.clone().unwrap_or_else(|| self.to_string())
+    }
+
+    /// The query's *join signature*: its table set in canonical (sorted)
+    /// order. Two queries with the same signature share the same join schema
+    /// (the Section 5 assumption; Section 6.2 groups queries by this).
+    pub fn join_signature(&self) -> Vec<String> {
+        let mut t = self.tables.clone();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// The attributes appearing in the selection predicate.
+    pub fn selection_attributes(&self) -> Vec<String> {
+        self.predicate.attributes()
+    }
+
+    /// A simple structural complexity measure: number of joined tables plus
+    /// number of predicate terms (used to order candidate queries
+    /// deterministically in reports and tests).
+    pub fn complexity(&self) -> usize {
+        self.tables.len() + self.predicate.term_count()
+    }
+}
+
+impl fmt::Display for SpjQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SELECT {}{} FROM {}",
+            if self.distinct { "DISTINCT " } else { "" },
+            if self.projection.is_empty() {
+                "*".to_string()
+            } else {
+                self.projection.join(", ")
+            },
+            self.tables.join(" JOIN ")
+        )?;
+        if !self.predicate.is_always_true() {
+            write!(f, " WHERE {}", self.predicate)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ComparisonOp, Term};
+
+    fn q() -> SpjQuery {
+        SpjQuery::new(
+            vec!["Employee"],
+            vec!["name"],
+            DnfPredicate::single(Term::compare("salary", ComparisonOp::Gt, 4000i64)),
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let query = q().with_label("Q2");
+        assert_eq!(query.tables, vec!["Employee"]);
+        assert_eq!(query.projection, vec!["name"]);
+        assert!(!query.distinct);
+        assert_eq!(query.display_name(), "Q2");
+        assert_eq!(query.selection_attributes(), vec!["salary".to_string()]);
+        assert_eq!(query.complexity(), 2);
+    }
+
+    #[test]
+    fn join_signature_is_sorted_and_deduplicated() {
+        let query = SpjQuery::new(
+            vec!["Team", "Manager", "Batting", "Team"],
+            vec!["managerID"],
+            DnfPredicate::always_true(),
+        );
+        assert_eq!(
+            query.join_signature(),
+            vec!["Batting".to_string(), "Manager".to_string(), "Team".to_string()]
+        );
+    }
+
+    #[test]
+    fn display_renders_sql_shape() {
+        let s = q().to_string();
+        assert_eq!(s, "SELECT name FROM Employee WHERE salary > 4000");
+        let s = q().with_distinct(true).to_string();
+        assert!(s.starts_with("SELECT DISTINCT name"));
+        let no_proj = SpjQuery::new(
+            vec!["T"],
+            Vec::<String>::new(),
+            DnfPredicate::always_true(),
+        );
+        assert_eq!(no_proj.to_string(), "SELECT * FROM T");
+        assert_eq!(no_proj.display_name(), "SELECT * FROM T");
+    }
+
+    #[test]
+    fn equality_ignores_nothing_but_label_distinguishes() {
+        let a = q();
+        let b = q().with_label("Q");
+        assert_ne!(a, b); // labels participate in Eq (useful for bookkeeping)
+        assert_eq!(a, q());
+    }
+}

@@ -1,0 +1,190 @@
+//! Select-project-join-union (SPJU) queries — the Section 6.4 extension.
+//!
+//! An SPJU query is a union of SPJ queries with union-compatible projection
+//! lists. The paper sketches how distinguishing two SPJU queries reduces to
+//! distinguishing their SPJ components with additional membership checks;
+//! this module provides the query representation and evaluation needed for
+//! that extension.
+
+use std::fmt;
+
+use qfe_relation::Database;
+
+use crate::error::{QueryError, Result};
+use crate::eval::evaluate;
+use crate::result::QueryResult;
+use crate::spj::SpjQuery;
+
+/// A union of SPJ queries (bag union by default, set union under `distinct`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpjuQuery {
+    /// Optional label for reports.
+    pub label: Option<String>,
+    /// The union's branches. All branches must have the same projection
+    /// arity.
+    pub branches: Vec<SpjQuery>,
+    /// When true, duplicates are eliminated across branches (`UNION`);
+    /// when false, duplicates are preserved (`UNION ALL`).
+    pub distinct: bool,
+}
+
+impl SpjuQuery {
+    /// Creates a `UNION ALL` query from its branches.
+    pub fn union_all(branches: Vec<SpjQuery>) -> Self {
+        SpjuQuery {
+            label: None,
+            branches,
+            distinct: false,
+        }
+    }
+
+    /// Creates a `UNION` (distinct) query from its branches.
+    pub fn union(branches: Vec<SpjQuery>) -> Self {
+        SpjuQuery {
+            label: None,
+            branches,
+            distinct: true,
+        }
+    }
+
+    /// Sets the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Evaluates the union on a database.
+    pub fn evaluate(&self, db: &Database) -> Result<QueryResult> {
+        let first = self.branches.first().ok_or(QueryError::NoTables)?;
+        let mut combined = evaluate(first, db)?;
+        let arity = combined.arity();
+        let mut rows: Vec<_> = combined.rows().to_vec();
+        for branch in &self.branches[1..] {
+            let r = evaluate(branch, db)?;
+            if r.arity() != arity {
+                return Err(QueryError::Unsupported {
+                    feature: format!(
+                        "union of incompatible arities ({} vs {})",
+                        arity,
+                        r.arity()
+                    ),
+                });
+            }
+            rows.extend(r.rows().iter().cloned());
+        }
+        combined = QueryResult::new(combined.columns().to_vec(), rows);
+        Ok(if self.distinct {
+            combined.deduplicated()
+        } else {
+            combined
+        })
+    }
+}
+
+impl fmt::Display for SpjuQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let connector = if self.distinct { " UNION " } else { " UNION ALL " };
+        let parts: Vec<String> = self.branches.iter().map(|b| b.to_string()).collect();
+        f.write_str(&parts.join(connector))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{tuple, ColumnDef, DataType, Table, TableSchema};
+
+    fn db() -> Database {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "Sales", 3700i64],
+                tuple![2i64, "Bob", "IT", 4200i64],
+                tuple![3i64, "Celina", "Service", 3000i64],
+                tuple![4i64, "Darren", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut d = Database::new();
+        d.add_table(employee).unwrap();
+        d
+    }
+
+    fn branch(pred: DnfPredicate) -> SpjQuery {
+        SpjQuery::new(vec!["Employee"], vec!["name"], pred)
+    }
+
+    #[test]
+    fn union_all_preserves_duplicates() {
+        let q = SpjuQuery::union_all(vec![
+            branch(DnfPredicate::single(Term::eq("dept", "IT"))),
+            branch(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+        ]);
+        let r = q.evaluate(&db()).unwrap();
+        // IT: Bob, Darren; salary>4000: Bob, Darren -> 4 rows under UNION ALL.
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn union_distinct_removes_duplicates() {
+        let q = SpjuQuery::union(vec![
+            branch(DnfPredicate::single(Term::eq("dept", "IT"))),
+            branch(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+        ])
+        .with_label("U1");
+        let r = q.evaluate(&db()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(q.label.as_deref(), Some("U1"));
+    }
+
+    #[test]
+    fn empty_union_is_error() {
+        let q = SpjuQuery::union(vec![]);
+        assert!(matches!(q.evaluate(&db()).unwrap_err(), QueryError::NoTables));
+    }
+
+    #[test]
+    fn incompatible_arity_is_error() {
+        let wide = SpjQuery::new(
+            vec!["Employee"],
+            vec!["name", "dept"],
+            DnfPredicate::always_true(),
+        );
+        let q = SpjuQuery::union_all(vec![branch(DnfPredicate::always_true()), wide]);
+        assert!(matches!(
+            q.evaluate(&db()).unwrap_err(),
+            QueryError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn display_uses_union_keywords() {
+        let q = SpjuQuery::union(vec![
+            branch(DnfPredicate::single(Term::eq("dept", "IT"))),
+            branch(DnfPredicate::single(Term::eq("dept", "Sales"))),
+        ]);
+        assert!(q.to_string().contains(" UNION "));
+        let q = SpjuQuery::union_all(q.branches.clone());
+        assert!(q.to_string().contains(" UNION ALL "));
+    }
+}

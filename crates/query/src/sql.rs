@@ -1,0 +1,599 @@
+//! SQL text for SPJ queries: rendering and parsing.
+//!
+//! QFE presents the finally-identified query to the user as SQL text, and it
+//! is convenient (for examples, logs and tests) to be able to read queries
+//! back from SQL.  The supported fragment is exactly the paper's query class:
+//!
+//! ```sql
+//! SELECT [DISTINCT] col [, col ...]
+//! FROM   table [JOIN table ...]
+//! [WHERE boolean-combination of  col op literal | col [NOT] IN (lit, ...)]
+//! ```
+//!
+//! The WHERE clause may use `AND`, `OR` and parentheses; it is normalized to
+//! disjunctive normal form on parsing (the paper's assumed predicate shape).
+
+use qfe_relation::Value;
+
+use crate::error::{QueryError, Result};
+use crate::predicate::{ComparisonOp, Conjunct, DnfPredicate, Term};
+use crate::spj::SpjQuery;
+
+/// Renders a query as SQL text. (Equivalent to the query's `Display`
+/// implementation; provided as a named function for discoverability.)
+pub fn to_sql(query: &SpjQuery) -> String {
+    query.to_string()
+}
+
+/// Parses SQL text into an [`SpjQuery`].
+pub fn parse_sql(text: &str) -> Result<SpjQuery> {
+    let tokens = tokenize(text)?;
+    Parser::new(tokens).parse_query()
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    offset: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Spanned>> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' | ')' | ',' | '*' | '=' => {
+                tokens.push(Spanned {
+                    token: Token::Symbol(c),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Le, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Symbol('<'), offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Symbol('>'), offset: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse {
+                        message: "unexpected '!'".to_string(),
+                        position: start,
+                    });
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(QueryError::Parse {
+                                message: "unterminated string literal".to_string(),
+                                position: start,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            _ if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || (j > i && (bytes[j] == b'-' || bytes[j] == b'+') && matches!(bytes[j - 1], b'e' | b'E')))
+                {
+                    j += 1;
+                }
+                let lit = &text[i..j];
+                let n: f64 = lit.parse().map_err(|_| QueryError::Parse {
+                    message: format!("invalid number '{lit}'"),
+                    position: start,
+                })?;
+                tokens.push(Spanned { token: Token::Number(n), offset: start });
+                i = j;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(text[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            _ => {
+                return Err(QueryError::Parse {
+                    message: format!("unexpected character '{c}'"),
+                    position: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Intermediate boolean expression (before DNF conversion).
+#[derive(Debug, Clone)]
+enum BoolExpr {
+    Term(Term),
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.offset)
+            .unwrap_or(0)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(QueryError::Parse {
+            message: message.into(),
+            position: self.offset(),
+        })
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.advance() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => self.error(format!("expected {kw}, found {other:?}")),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse_query(&mut self) -> Result<SpjQuery> {
+        self.expect_keyword("SELECT")?;
+        let distinct = if self.keyword_is("DISTINCT") {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        let projection = self.parse_projection()?;
+        self.expect_keyword("FROM")?;
+        let tables = self.parse_tables()?;
+        let predicate = if self.keyword_is("WHERE") {
+            self.advance();
+            let expr = self.parse_or()?;
+            to_dnf(&expr)
+        } else {
+            DnfPredicate::always_true()
+        };
+        if self.pos != self.tokens.len() {
+            // Anything after the WHERE clause is outside the SPJ fragment.
+            let trailing = format!("{:?}", self.peek());
+            if self.keyword_is("GROUP") || self.keyword_is("ORDER") || self.keyword_is("HAVING") {
+                return Err(QueryError::Unsupported {
+                    feature: trailing,
+                });
+            }
+            return self.error(format!("unexpected trailing tokens: {trailing}"));
+        }
+        if tables.is_empty() {
+            return Err(QueryError::NoTables);
+        }
+        Ok(SpjQuery {
+            label: None,
+            tables,
+            projection,
+            predicate,
+            distinct,
+        })
+    }
+
+    fn parse_projection(&mut self) -> Result<Vec<String>> {
+        if let Some(Token::Symbol('*')) = self.peek() {
+            self.advance();
+            return Ok(Vec::new()); // SELECT * — projection resolved at evaluation time
+        }
+        let mut cols = Vec::new();
+        loop {
+            match self.advance() {
+                Some(Token::Ident(name)) => cols.push(name),
+                other => return self.error(format!("expected column name, found {other:?}")),
+            }
+            if let Some(Token::Symbol(',')) = self.peek() {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(cols)
+    }
+
+    fn parse_tables(&mut self) -> Result<Vec<String>> {
+        let mut tables = Vec::new();
+        loop {
+            match self.advance() {
+                Some(Token::Ident(name)) => tables.push(name),
+                other => return self.error(format!("expected table name, found {other:?}")),
+            }
+            if self.keyword_is("JOIN") {
+                self.advance();
+            } else if let Some(Token::Symbol(',')) = self.peek() {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn parse_or(&mut self) -> Result<BoolExpr> {
+        let mut left = self.parse_and()?;
+        while self.keyword_is("OR") {
+            self.advance();
+            let right = self.parse_and()?;
+            left = BoolExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<BoolExpr> {
+        let mut left = self.parse_atom()?;
+        while self.keyword_is("AND") {
+            self.advance();
+            let right = self.parse_atom()?;
+            left = BoolExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_atom(&mut self) -> Result<BoolExpr> {
+        if let Some(Token::Symbol('(')) = self.peek() {
+            self.advance();
+            let inner = self.parse_or()?;
+            match self.advance() {
+                Some(Token::Symbol(')')) => Ok(inner),
+                other => self.error(format!("expected ')', found {other:?}")),
+            }
+        } else {
+            self.parse_term().map(BoolExpr::Term)
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        let attribute = match self.advance() {
+            Some(Token::Ident(name)) => name,
+            other => return self.error(format!("expected attribute, found {other:?}")),
+        };
+        // IN / NOT IN
+        if self.keyword_is("IN") {
+            self.advance();
+            let values = self.parse_value_list()?;
+            return Ok(Term::is_in(attribute, values));
+        }
+        if self.keyword_is("NOT") {
+            self.advance();
+            self.expect_keyword("IN")?;
+            let values = self.parse_value_list()?;
+            return Ok(Term::not_in(attribute, values));
+        }
+        let op = match self.advance() {
+            Some(Token::Symbol('=')) => ComparisonOp::Eq,
+            Some(Token::Symbol('<')) => ComparisonOp::Lt,
+            Some(Token::Symbol('>')) => ComparisonOp::Gt,
+            Some(Token::Le) => ComparisonOp::Le,
+            Some(Token::Ge) => ComparisonOp::Ge,
+            Some(Token::Ne) => ComparisonOp::Ne,
+            other => return self.error(format!("expected comparison operator, found {other:?}")),
+        };
+        let value = self.parse_value()?;
+        Ok(Term::Compare {
+            attribute,
+            op,
+            value,
+        })
+    }
+
+    fn parse_value_list(&mut self) -> Result<Vec<Value>> {
+        match self.advance() {
+            Some(Token::Symbol('(')) => {}
+            other => return self.error(format!("expected '(', found {other:?}")),
+        }
+        let mut values = Vec::new();
+        loop {
+            values.push(self.parse_value()?);
+            match self.advance() {
+                Some(Token::Symbol(',')) => continue,
+                Some(Token::Symbol(')')) => break,
+                other => return self.error(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+        Ok(values)
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.advance() {
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Ok(Value::Int(n as i64))
+                } else {
+                    Ok(Value::Float(n))
+                }
+            }
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            other => self.error(format!("expected literal, found {other:?}")),
+        }
+    }
+}
+
+/// Converts a boolean expression to disjunctive normal form by distributing
+/// AND over OR.
+fn to_dnf(expr: &BoolExpr) -> DnfPredicate {
+    let conjuncts = dnf_conjuncts(expr);
+    DnfPredicate::new(conjuncts.into_iter().map(Conjunct::new).collect())
+}
+
+fn dnf_conjuncts(expr: &BoolExpr) -> Vec<Vec<Term>> {
+    match expr {
+        BoolExpr::Term(t) => vec![vec![t.clone()]],
+        BoolExpr::Or(a, b) => {
+            let mut left = dnf_conjuncts(a);
+            left.extend(dnf_conjuncts(b));
+            left
+        }
+        BoolExpr::And(a, b) => {
+            let left = dnf_conjuncts(a);
+            let right = dnf_conjuncts(b);
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut c = l.clone();
+                    c.extend(r.iter().cloned());
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let q = parse_sql("SELECT name FROM Employee WHERE salary > 4000").unwrap();
+        assert_eq!(q.tables, vec!["Employee"]);
+        assert_eq!(q.projection, vec!["name"]);
+        assert!(!q.distinct);
+        assert_eq!(q.predicate.conjuncts().len(), 1);
+        assert_eq!(q.to_string(), "SELECT name FROM Employee WHERE salary > 4000");
+    }
+
+    #[test]
+    fn parse_distinct_and_star() {
+        let q = parse_sql("SELECT DISTINCT dept FROM Employee").unwrap();
+        assert!(q.distinct);
+        let q = parse_sql("SELECT * FROM Employee").unwrap();
+        assert!(q.projection.is_empty());
+        assert!(q.predicate.is_always_true());
+    }
+
+    #[test]
+    fn parse_joins_both_spellings() {
+        let q = parse_sql("SELECT managerID FROM Manager JOIN Team JOIN Batting").unwrap();
+        assert_eq!(q.tables, vec!["Manager", "Team", "Batting"]);
+        let q = parse_sql("SELECT managerID FROM Manager, Team").unwrap();
+        assert_eq!(q.tables, vec!["Manager", "Team"]);
+    }
+
+    #[test]
+    fn parse_mixed_and_or_with_parens_to_dnf() {
+        // Q6-like shape: a AND (b OR (c AND d))
+        let q = parse_sql(
+            "SELECT x FROM T WHERE playerID = 'esaskni01' AND (IP > 4380 OR (IP <= 4380 AND BBA <= 485))",
+        )
+        .unwrap();
+        // DNF: (playerID AND IP>4380) OR (playerID AND IP<=4380 AND BBA<=485)
+        assert_eq!(q.predicate.conjuncts().len(), 2);
+        assert_eq!(q.predicate.conjuncts()[0].len(), 2);
+        assert_eq!(q.predicate.conjuncts()[1].len(), 3);
+    }
+
+    #[test]
+    fn parse_in_and_not_in() {
+        let q = parse_sql("SELECT x FROM T WHERE playerID IN ('a', 'b') AND y NOT IN (1, 2)").unwrap();
+        let terms = q.predicate.all_terms();
+        assert_eq!(terms.len(), 2);
+        assert!(matches!(terms[0], Term::In { .. }));
+        assert!(matches!(terms[1], Term::NotIn { .. }));
+    }
+
+    #[test]
+    fn parse_qualified_names_and_floats() {
+        let q = parse_sql("SELECT P.name FROM P WHERE P.logFC_Fe < 0.5 AND P.logFC_Fe > -0.5").unwrap();
+        assert_eq!(q.projection, vec!["P.name"]);
+        let terms = q.predicate.all_terms();
+        assert_eq!(terms[0].constants()[0], &Value::Float(0.5));
+        assert_eq!(terms[1].constants()[0], &Value::Float(-0.5));
+    }
+
+    #[test]
+    fn parse_operators() {
+        for (text, op) in [
+            ("a = 1", ComparisonOp::Eq),
+            ("a <> 1", ComparisonOp::Ne),
+            ("a != 1", ComparisonOp::Ne),
+            ("a < 1", ComparisonOp::Lt),
+            ("a <= 1", ComparisonOp::Le),
+            ("a > 1", ComparisonOp::Gt),
+            ("a >= 1", ComparisonOp::Ge),
+        ] {
+            let q = parse_sql(&format!("SELECT x FROM T WHERE {text}")).unwrap();
+            match q.predicate.all_terms()[0] {
+                Term::Compare { op: parsed, .. } => assert_eq!(*parsed, op, "{text}"),
+                other => panic!("unexpected term {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_string_escapes_and_round_trip() {
+        let q = parse_sql("SELECT name FROM T WHERE name = 'O''Hara'").unwrap();
+        assert_eq!(
+            q.predicate.all_terms()[0].constants()[0],
+            &Value::Text("O'Hara".into())
+        );
+        // Render and parse again.
+        let q2 = parse_sql(&to_sql(&q)).unwrap();
+        assert_eq!(q.predicate, q2.predicate);
+    }
+
+    #[test]
+    fn round_trip_of_rendered_queries() {
+        let original = parse_sql(
+            "SELECT managerID, year, HR FROM Manager JOIN Team JOIN Batting \
+             WHERE playerID = 'rosepe01' AND HR > 1 AND x2B <= 3",
+        )
+        .unwrap();
+        let rendered = to_sql(&original);
+        let reparsed = parse_sql(&rendered).unwrap();
+        assert_eq!(original.tables, reparsed.tables);
+        assert_eq!(original.projection, reparsed.projection);
+        assert_eq!(original.predicate, reparsed.predicate);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(
+            parse_sql("SELEC name FROM T").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+        assert!(matches!(
+            parse_sql("SELECT name FROM T WHERE").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+        assert!(matches!(
+            parse_sql("SELECT name FROM T WHERE a = 'unterminated").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+        assert!(matches!(
+            parse_sql("SELECT name FROM T WHERE a = 1 GROUP BY a").unwrap_err(),
+            QueryError::Unsupported { .. }
+        ));
+        assert!(matches!(
+            parse_sql("SELECT name FROM T WHERE a ~ 1").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+        assert!(matches!(
+            parse_sql("SELECT name FROM T WHERE a = 1 b").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_boolean_and_null_literals() {
+        let q = parse_sql("SELECT x FROM T WHERE flag = TRUE OR flag = false").unwrap();
+        let terms = q.predicate.all_terms();
+        assert_eq!(terms[0].constants()[0], &Value::Bool(true));
+        assert_eq!(terms[1].constants()[0], &Value::Bool(false));
+        let q = parse_sql("SELECT x FROM T WHERE y = NULL").unwrap();
+        assert_eq!(q.predicate.all_terms()[0].constants()[0], &Value::Null);
+    }
+
+    #[test]
+    fn number_with_exponent() {
+        let q = parse_sql("SELECT x FROM T WHERE p < 5e-2").unwrap();
+        assert_eq!(q.predicate.all_terms()[0].constants()[0], &Value::Float(0.05));
+    }
+}

@@ -1,0 +1,143 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema construction, table mutation and joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum RelationError {
+    /// A schema was declared with no columns.
+    EmptySchema { table: String },
+    /// Two columns (or key components) share a name.
+    DuplicateColumn { table: String, column: String },
+    /// A referenced column does not exist.
+    UnknownColumn { table: String, column: String },
+    /// A referenced table does not exist in the database.
+    UnknownTable { table: String },
+    /// A table with this name already exists in the database.
+    DuplicateTable { table: String },
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A value does not conform to its column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: String,
+        actual: String,
+    },
+    /// NULL stored in a non-nullable column.
+    NullViolation { table: String, column: String },
+    /// Primary-key uniqueness violated.
+    PrimaryKeyViolation { table: String, key: String },
+    /// A foreign-key value has no matching primary-key tuple.
+    ForeignKeyViolation {
+        table: String,
+        column: String,
+        value: String,
+    },
+    /// A foreign key was declared over columns/tables that do not line up.
+    InvalidForeignKey { reason: String },
+    /// A row index is out of bounds.
+    RowOutOfBounds { table: String, row: usize },
+    /// An edit script refers to data that is not present.
+    InvalidEdit { reason: String },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::EmptySchema { table } => {
+                write!(f, "table '{table}' must have at least one column")
+            }
+            RelationError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column '{column}' in table '{table}'")
+            }
+            RelationError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            RelationError::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            RelationError::DuplicateTable { table } => {
+                write!(f, "table '{table}' already exists")
+            }
+            RelationError::ArityMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "tuple arity {actual} does not match schema of '{table}' (expected {expected})"
+            ),
+            RelationError::TypeMismatch {
+                table,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in '{table}.{column}': expected {expected}, got {actual}"
+            ),
+            RelationError::NullViolation { table, column } => {
+                write!(f, "NULL not allowed in '{table}.{column}'")
+            }
+            RelationError::PrimaryKeyViolation { table, key } => {
+                write!(f, "duplicate primary key {key} in table '{table}'")
+            }
+            RelationError::ForeignKeyViolation {
+                table,
+                column,
+                value,
+            } => write!(
+                f,
+                "foreign key violation: '{table}.{column}' = {value} has no referenced tuple"
+            ),
+            RelationError::InvalidForeignKey { reason } => {
+                write!(f, "invalid foreign key: {reason}")
+            }
+            RelationError::RowOutOfBounds { table, row } => {
+                write!(f, "row {row} out of bounds for table '{table}'")
+            }
+            RelationError::InvalidEdit { reason } => write!(f, "invalid edit: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::UnknownColumn {
+            table: "T".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("unknown column 'c'"));
+        let e = RelationError::ArityMismatch {
+            table: "T".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let e = RelationError::ForeignKeyViolation {
+            table: "T".into(),
+            column: "fk".into(),
+            value: "9".into(),
+        };
+        assert!(e.to_string().contains("foreign key violation"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&RelationError::UnknownTable { table: "x".into() });
+    }
+}

@@ -1,0 +1,107 @@
+//! Foreign-key constraints between tables.
+
+use std::fmt;
+
+/// A foreign-key constraint: `child.child_columns` references
+/// `parent.parent_columns`.
+///
+/// QFE joins the database relations along these constraints ("the foreign-key
+/// join of a subset of the relations", Section 4), and the database generator
+/// must keep modified databases valid with respect to them (Section 6.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Referencing (child) table name.
+    pub child_table: String,
+    /// Referencing columns, in order.
+    pub child_columns: Vec<String>,
+    /// Referenced (parent) table name.
+    pub parent_table: String,
+    /// Referenced columns, in order (typically the parent's primary key).
+    pub parent_columns: Vec<String>,
+}
+
+impl ForeignKey {
+    /// Creates a single-column foreign key.
+    pub fn new(
+        child_table: impl Into<String>,
+        child_column: impl Into<String>,
+        parent_table: impl Into<String>,
+        parent_column: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            child_table: child_table.into(),
+            child_columns: vec![child_column.into()],
+            parent_table: parent_table.into(),
+            parent_columns: vec![parent_column.into()],
+        }
+    }
+
+    /// Creates a composite (multi-column) foreign key.
+    pub fn composite(
+        child_table: impl Into<String>,
+        child_columns: Vec<String>,
+        parent_table: impl Into<String>,
+        parent_columns: Vec<String>,
+    ) -> Self {
+        ForeignKey {
+            child_table: child_table.into(),
+            child_columns,
+            parent_table: parent_table.into(),
+            parent_columns,
+        }
+    }
+
+    /// True when the constraint links `a` and `b` (in either direction).
+    pub fn connects(&self, a: &str, b: &str) -> bool {
+        (self.child_table == a && self.parent_table == b)
+            || (self.child_table == b && self.parent_table == a)
+    }
+
+    /// True when either side of the constraint is `table`.
+    pub fn involves(&self, table: &str) -> bool {
+        self.child_table == table || self.parent_table == table
+    }
+}
+
+impl fmt::Display for ForeignKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FOREIGN KEY {}({}) REFERENCES {}({})",
+            self.child_table,
+            self.child_columns.join(", "),
+            self.parent_table,
+            self.parent_columns.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_column_constructor() {
+        let fk = ForeignKey::new("Batting", "teamID", "Team", "teamID");
+        assert_eq!(fk.child_columns, vec!["teamID"]);
+        assert_eq!(fk.parent_columns, vec!["teamID"]);
+        assert!(fk.connects("Batting", "Team"));
+        assert!(fk.connects("Team", "Batting"));
+        assert!(!fk.connects("Team", "Manager"));
+        assert!(fk.involves("Batting"));
+        assert!(!fk.involves("Manager"));
+    }
+
+    #[test]
+    fn composite_constructor_and_display() {
+        let fk = ForeignKey::composite(
+            "Batting",
+            vec!["teamID".into(), "year".into()],
+            "Team",
+            vec!["teamID".into(), "year".into()],
+        );
+        let s = fk.to_string();
+        assert!(s.contains("Batting(teamID, year)"));
+        assert!(s.contains("REFERENCES Team(teamID, year)"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Table schemas: named, typed columns with an optional primary key.
+
+use std::fmt;
+
+use crate::error::{RelationError, Result};
+use crate::types::DataType;
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive, unique within the table).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULL values are allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Creates a non-nullable column definition.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable column definition.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// A table schema: an ordered list of columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Creates a schema with the given name and columns (no primary key).
+    ///
+    /// Returns an error when two columns share a name or the table has no
+    /// columns.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(RelationError::EmptySchema { table: name });
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(RelationError::DuplicateColumn {
+                    table: name,
+                    column: c.name.clone(),
+                });
+            }
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key: Vec::new(),
+        })
+    }
+
+    /// Declares the primary key by column name. Replaces any previous key.
+    pub fn with_primary_key<S: AsRef<str>>(mut self, key_columns: &[S]) -> Result<Self> {
+        let mut pk = Vec::with_capacity(key_columns.len());
+        for kc in key_columns {
+            let idx = self.column_index(kc.as_ref()).ok_or_else(|| {
+                RelationError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: kc.as_ref().to_string(),
+                }
+            })?;
+            if pk.contains(&idx) {
+                return Err(RelationError::DuplicateColumn {
+                    table: self.name.clone(),
+                    column: kc.as_ref().to_string(),
+                });
+            }
+            pk.push(idx);
+        }
+        self.primary_key = pk;
+        Ok(self)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All column definitions, in schema order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns (the relation's *arity*, used as the cost of tuple
+    /// insertions/deletions in the paper's edit model).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column with the given name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Column definition by position.
+    pub fn column_at(&self, idx: usize) -> Option<&ColumnDef> {
+        self.columns.get(idx)
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Indices of the primary-key columns (empty if no key declared).
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    /// True if the schema declares a primary key.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+
+    /// Renames the schema (used when deriving joined-relation schemas).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if self.primary_key.len() == 1 && self.primary_key[0] == i {
+                write!(f, " PRIMARY KEY")?;
+            }
+        }
+        if self.primary_key.len() > 1 {
+            write!(f, ", PRIMARY KEY(")?;
+            for (i, &k) in self.primary_key.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.columns[k].name)?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "Employee",
+            vec![
+                ColumnDef::new("Eid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("gender", DataType::Text),
+                ColumnDef::new("dept", DataType::Text),
+                ColumnDef::new("salary", DataType::Int),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["Eid"])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let s = schema();
+        assert_eq!(s.name(), "Employee");
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.column_index("salary"), Some(4));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.column("name").unwrap().data_type, DataType::Text);
+        assert_eq!(s.column_at(0).unwrap().name, "Eid");
+        assert_eq!(s.primary_key(), &[0]);
+        assert!(s.has_primary_key());
+        assert_eq!(s.column_names(), vec!["Eid", "name", "gender", "dept", "salary"]);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("a", DataType::Int),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        let err = TableSchema::new("T", vec![]).unwrap_err();
+        assert!(matches!(err, RelationError::EmptySchema { .. }));
+    }
+
+    #[test]
+    fn unknown_primary_key_rejected() {
+        let err = TableSchema::new("T", vec![ColumnDef::new("a", DataType::Int)])
+            .unwrap()
+            .with_primary_key(&["b"])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn duplicate_primary_key_column_rejected() {
+        let err = TableSchema::new("T", vec![ColumnDef::new("a", DataType::Int)])
+            .unwrap()
+            .with_primary_key(&["a", "a"])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn display_includes_pk() {
+        let s = schema();
+        let text = s.to_string();
+        assert!(text.contains("Employee("));
+        assert!(text.contains("Eid BIGINT PRIMARY KEY"));
+    }
+
+    #[test]
+    fn composite_pk_display() {
+        let s = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["a", "b"])
+        .unwrap();
+        assert!(s.to_string().contains("PRIMARY KEY(a, b)"));
+    }
+
+    #[test]
+    fn renamed_schema() {
+        let s = schema().renamed("Emp2");
+        assert_eq!(s.name(), "Emp2");
+    }
+}

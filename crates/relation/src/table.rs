@@ -1,0 +1,543 @@
+//! Tables: a schema plus an ordered bag of tuples.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{RelationError, Result};
+use crate::schema::TableSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A relational table: schema + rows.
+///
+/// Rows keep their insertion order, and the table is a *bag* — duplicate rows
+/// are allowed unless a primary key is declared. Row indices are stable until
+/// a row is deleted (deletion shifts subsequent indices), which is sufficient
+/// for QFE because generated databases are only ever *modified* in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Tuple>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a table and bulk-inserts rows, validating each one.
+    pub fn with_rows(schema: TableSchema, rows: Vec<Tuple>) -> Result<Self> {
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(t)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table's name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// A single row by index.
+    pub fn row(&self, idx: usize) -> Option<&Tuple> {
+        self.rows.get(idx)
+    }
+
+    /// Iterator over `(row_index, row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// Validates a tuple against the schema (arity, types, nullability) and
+    /// coerces integer values stored in float columns.
+    fn validate(&self, tuple: &Tuple) -> Result<Tuple> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                table: self.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        let mut values = Vec::with_capacity(tuple.arity());
+        for (col, value) in self.schema.columns().iter().zip(tuple.values()) {
+            if value.is_null() {
+                if !col.nullable {
+                    return Err(RelationError::NullViolation {
+                        table: self.name().to_string(),
+                        column: col.name.clone(),
+                    });
+                }
+                values.push(Value::Null);
+                continue;
+            }
+            match value.coerce_to(col.data_type) {
+                Some(v) => values.push(v),
+                None => {
+                    return Err(RelationError::TypeMismatch {
+                        table: self.name().to_string(),
+                        column: col.name.clone(),
+                        expected: col.data_type.to_string(),
+                        actual: format!("{value:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Extracts the primary-key values of a tuple (empty if no key).
+    pub fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        self.schema
+            .primary_key()
+            .iter()
+            .map(|&i| tuple.get(i).cloned().unwrap_or(Value::Null))
+            .collect()
+    }
+
+    /// Inserts a row, enforcing schema validity and primary-key uniqueness.
+    /// Returns the new row's index.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<usize> {
+        let tuple = self.validate(&tuple)?;
+        if self.schema.has_primary_key() {
+            let key = self.key_of(&tuple);
+            if self.rows.iter().any(|r| self.key_of(r) == key) {
+                return Err(RelationError::PrimaryKeyViolation {
+                    table: self.name().to_string(),
+                    key: format!("{:?}", key),
+                });
+            }
+        }
+        self.rows.push(tuple);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Replaces an entire row. The new row is validated; primary-key
+    /// uniqueness is checked against every *other* row.
+    pub fn update_row(&mut self, idx: usize, tuple: Tuple) -> Result<Tuple> {
+        if idx >= self.rows.len() {
+            return Err(RelationError::RowOutOfBounds {
+                table: self.name().to_string(),
+                row: idx,
+            });
+        }
+        let tuple = self.validate(&tuple)?;
+        if self.schema.has_primary_key() {
+            let key = self.key_of(&tuple);
+            if self
+                .rows
+                .iter()
+                .enumerate()
+                .any(|(i, r)| i != idx && self.key_of(r) == key)
+            {
+                return Err(RelationError::PrimaryKeyViolation {
+                    table: self.name().to_string(),
+                    key: format!("{:?}", key),
+                });
+            }
+        }
+        Ok(std::mem::replace(&mut self.rows[idx], tuple))
+    }
+
+    /// Updates a single cell. Returns the previous value.
+    pub fn update_cell(&mut self, row: usize, column: &str, value: Value) -> Result<Value> {
+        let col_idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                table: self.name().to_string(),
+                column: column.to_string(),
+            })?;
+        self.update_cell_at(row, col_idx, value)
+    }
+
+    /// Updates a single cell by column index. Returns the previous value.
+    pub fn update_cell_at(&mut self, row: usize, col_idx: usize, value: Value) -> Result<Value> {
+        let col = self
+            .schema
+            .column_at(col_idx)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                table: self.name().to_string(),
+                column: format!("#{col_idx}"),
+            })?
+            .clone();
+        if row >= self.rows.len() {
+            return Err(RelationError::RowOutOfBounds {
+                table: self.name().to_string(),
+                row,
+            });
+        }
+        let value = if value.is_null() {
+            if !col.nullable {
+                return Err(RelationError::NullViolation {
+                    table: self.name().to_string(),
+                    column: col.name.clone(),
+                });
+            }
+            Value::Null
+        } else {
+            value
+                .coerce_to(col.data_type)
+                .ok_or_else(|| RelationError::TypeMismatch {
+                    table: self.name().to_string(),
+                    column: col.name.clone(),
+                    expected: col.data_type.to_string(),
+                    actual: format!("{value:?}"),
+                })?
+        };
+        // Primary-key uniqueness if the modified column is part of the key.
+        if self.schema.primary_key().contains(&col_idx) {
+            let mut candidate = self.rows[row].clone();
+            candidate.set(col_idx, value.clone());
+            let key = self.key_of(&candidate);
+            if self
+                .rows
+                .iter()
+                .enumerate()
+                .any(|(i, r)| i != row && self.key_of(r) == key)
+            {
+                return Err(RelationError::PrimaryKeyViolation {
+                    table: self.name().to_string(),
+                    key: format!("{:?}", key),
+                });
+            }
+        }
+        Ok(self.rows[row].set(col_idx, value).expect("checked bounds"))
+    }
+
+    /// Deletes a row, returning it. Subsequent row indices shift down by one.
+    pub fn delete_row(&mut self, idx: usize) -> Result<Tuple> {
+        if idx >= self.rows.len() {
+            return Err(RelationError::RowOutOfBounds {
+                table: self.name().to_string(),
+                row: idx,
+            });
+        }
+        Ok(self.rows.remove(idx))
+    }
+
+    /// Values of one column, in row order.
+    pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                table: self.name().to_string(),
+                column: column.to_string(),
+            })?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| r.get(idx).cloned().unwrap_or(Value::Null))
+            .collect())
+    }
+
+    /// Distinct values of one column (the column's *active domain*).
+    pub fn active_domain(&self, column: &str) -> Result<Vec<Value>> {
+        let mut vals = self.column_values(column)?;
+        vals.sort();
+        vals.dedup();
+        Ok(vals)
+    }
+
+    /// Bag (multiset) equality of two tables' rows, ignoring row order and
+    /// column names but requiring equal arity.
+    pub fn bag_equal(&self, other: &Table) -> bool {
+        bag_equal_rows(&self.rows, &other.rows)
+    }
+
+    /// Multiset of rows as a map row -> multiplicity.
+    pub fn row_counts(&self) -> HashMap<Tuple, usize> {
+        let mut counts = HashMap::with_capacity(self.rows.len());
+        for r in &self.rows {
+            *counts.entry(r.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Projects the whole table onto the given column names, producing a new
+    /// table named `name`.
+    pub fn project(&self, name: &str, columns: &[&str]) -> Result<Table> {
+        use crate::schema::ColumnDef;
+        let mut idxs = Vec::with_capacity(columns.len());
+        let mut defs = Vec::with_capacity(columns.len());
+        for c in columns {
+            let i = self
+                .schema
+                .column_index(c)
+                .ok_or_else(|| RelationError::UnknownColumn {
+                    table: self.name().to_string(),
+                    column: c.to_string(),
+                })?;
+            idxs.push(i);
+            let src = &self.schema.columns()[i];
+            defs.push(ColumnDef {
+                name: src.name.clone(),
+                data_type: src.data_type,
+                nullable: src.nullable,
+            });
+        }
+        let schema = TableSchema::new(name, defs)?;
+        let rows = self.rows.iter().map(|r| r.project(&idxs)).collect();
+        // Projection can introduce duplicates; bypass PK checks (none declared).
+        Ok(Table { schema, rows })
+    }
+}
+
+/// Bag equality of two row collections.
+pub fn bag_equal_rows(a: &[Tuple], b: &[Tuple]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut counts: HashMap<&Tuple, i64> = HashMap::with_capacity(a.len());
+    for t in a {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    for t in b {
+        match counts.get_mut(t) {
+            Some(c) => *c -= 1,
+            None => return false,
+        }
+    }
+    counts.values().all(|&c| c == 0)
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for r in &self.rows {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::DataType;
+    use crate::tuple;
+
+    fn employee_table() -> Table {
+        let schema = TableSchema::new(
+            "Employee",
+            vec![
+                ColumnDef::new("Eid", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("gender", DataType::Text),
+                ColumnDef::new("dept", DataType::Text),
+                ColumnDef::new("salary", DataType::Int),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["Eid"])
+        .unwrap();
+        Table::with_rows(
+            schema,
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let t = employee_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.arity(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.row(1).unwrap().get(1), Some(&Value::Text("Bob".into())));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = employee_table();
+        let err = t.insert(tuple![5i64, "Eve"]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = employee_table();
+        let err = t
+            .insert(tuple!["five", "Eve", "F", "IT", 1000i64])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_violation_rejected() {
+        let mut t = employee_table();
+        let err = t
+            .insert(Tuple::new(vec![
+                Value::Int(9),
+                Value::Null,
+                Value::Text("F".into()),
+                Value::Text("IT".into()),
+                Value::Int(100),
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn primary_key_uniqueness_enforced() {
+        let mut t = employee_table();
+        let err = t
+            .insert(tuple![1i64, "Clone", "F", "IT", 1i64])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::PrimaryKeyViolation { .. }));
+    }
+
+    #[test]
+    fn update_cell_and_row() {
+        let mut t = employee_table();
+        let prev = t.update_cell(1, "salary", Value::Int(3900)).unwrap();
+        assert_eq!(prev, Value::Int(4200));
+        assert_eq!(t.row(1).unwrap().get(4), Some(&Value::Int(3900)));
+
+        let prev_row = t
+            .update_row(0, tuple![1i64, "Alice", "F", "Sales", 3800i64])
+            .unwrap();
+        assert_eq!(prev_row.get(4), Some(&Value::Int(3700)));
+    }
+
+    #[test]
+    fn update_cell_pk_collision_rejected() {
+        let mut t = employee_table();
+        let err = t.update_cell(1, "Eid", Value::Int(1)).unwrap_err();
+        assert!(matches!(err, RelationError::PrimaryKeyViolation { .. }));
+    }
+
+    #[test]
+    fn update_cell_unknown_column() {
+        let mut t = employee_table();
+        let err = t.update_cell(0, "bonus", Value::Int(1)).unwrap_err();
+        assert!(matches!(err, RelationError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn update_out_of_bounds() {
+        let mut t = employee_table();
+        let err = t.update_cell(99, "salary", Value::Int(1)).unwrap_err();
+        assert!(matches!(err, RelationError::RowOutOfBounds { .. }));
+        let err = t
+            .update_row(99, tuple![9i64, "x", "F", "IT", 1i64])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::RowOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn delete_row_shifts_indices() {
+        let mut t = employee_table();
+        let removed = t.delete_row(0).unwrap();
+        assert_eq!(removed.get(1), Some(&Value::Text("Alice".into())));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0).unwrap().get(1), Some(&Value::Text("Bob".into())));
+        assert!(t.delete_row(10).is_err());
+    }
+
+    #[test]
+    fn int_coerced_into_float_column() {
+        let schema = TableSchema::new(
+            "M",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("x", DataType::Float),
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(tuple![1i64, 3i64]).unwrap();
+        assert_eq!(t.row(0).unwrap().get(1), Some(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn column_values_and_active_domain() {
+        let t = employee_table();
+        assert_eq!(t.column_values("dept").unwrap().len(), 4);
+        let dom = t.active_domain("dept").unwrap();
+        assert_eq!(
+            dom,
+            vec![
+                Value::Text("IT".into()),
+                Value::Text("Sales".into()),
+                Value::Text("Service".into())
+            ]
+        );
+        assert!(t.active_domain("missing").is_err());
+    }
+
+    #[test]
+    fn projection_and_bag_equality() {
+        let t = employee_table();
+        let p = t.project("R", &["name"]).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.arity(), 1);
+        let q = t.project("R2", &["name"]).unwrap();
+        assert!(p.bag_equal(&q));
+        assert!(!p.bag_equal(&t.project("R3", &["dept"]).unwrap()));
+        assert!(t.project("bad", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn bag_equality_is_order_insensitive_and_multiplicity_sensitive() {
+        let a = vec![tuple![1i64], tuple![2i64], tuple![1i64]];
+        let b = vec![tuple![2i64], tuple![1i64], tuple![1i64]];
+        let c = vec![tuple![2i64], tuple![2i64], tuple![1i64]];
+        assert!(bag_equal_rows(&a, &b));
+        assert!(!bag_equal_rows(&a, &c));
+        assert!(!bag_equal_rows(&a, &a[..2].to_vec()));
+    }
+
+    #[test]
+    fn row_counts_multiset() {
+        let t = employee_table();
+        let p = t.project("R", &["gender"]).unwrap();
+        let counts = p.row_counts();
+        assert_eq!(counts.get(&tuple!["M"]), Some(&2));
+        assert_eq!(counts.get(&tuple!["F"]), Some(&2));
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let t = employee_table();
+        let s = t.to_string();
+        assert!(s.contains("Alice"));
+        assert!(s.contains("Employee("));
+    }
+}

@@ -1,0 +1,194 @@
+//! Tuples: ordered lists of [`Value`]s.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A relational tuple (row).
+///
+/// Tuples are plain value vectors; the owning [`Table`](crate::Table)'s schema
+/// gives the values their meaning. Equality and hashing are value-based, which
+/// is what bag/set comparison of query results requires.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from its values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the values.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// The value at position `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Replaces the value at position `idx`. Returns the previous value, or
+    /// `None` when `idx` is out of range (the tuple is left unchanged).
+    pub fn set(&mut self, idx: usize, value: Value) -> Option<Value> {
+        if idx < self.values.len() {
+            Some(std::mem::replace(&mut self.values[idx], value))
+        } else {
+            None
+        }
+    }
+
+    /// Projects the tuple onto the given column positions, in the given
+    /// order. Positions out of range yield `Value::Null`.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(
+            indices
+                .iter()
+                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    /// Concatenates two tuples (used when joining).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Number of positions at which `self` and `other` differ.
+    ///
+    /// This is the cost of transforming one tuple into the other with
+    /// attribute modifications (edit operation E1 of the paper, cost 1 per
+    /// attribute). Tuples of different arity return `usize::MAX` as a
+    /// sentinel: they cannot be related by attribute modifications alone.
+    pub fn hamming_distance(&self, other: &Tuple) -> usize {
+        if self.arity() != other.arity() {
+            return usize::MAX;
+        }
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Consumes the tuple and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+/// Builds a tuple from values convertible into [`Value`].
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1i64, "Alice", 3.5];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::Int(1)));
+        assert_eq!(t.get(1), Some(&Value::Text("Alice".into())));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = tuple![1i64, 2i64];
+        assert_eq!(t.set(1, Value::Int(9)), Some(Value::Int(2)));
+        assert_eq!(t.get(1), Some(&Value::Int(9)));
+        assert_eq!(t.set(5, Value::Int(0)), None);
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn projection_preserves_order_and_pads_nulls() {
+        let t = tuple![10i64, "x", 2.5];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple![2.5, 10i64]);
+        let p = t.project(&[0, 7]);
+        assert_eq!(p.get(1), Some(&Value::Null));
+    }
+
+    #[test]
+    fn concat_joins_values() {
+        let a = tuple![1i64, "a"];
+        let b = tuple!["b", 2i64];
+        assert_eq!(a.concat(&b), tuple![1i64, "a", "b", 2i64]);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = tuple![1i64, "a", 5i64];
+        let b = tuple![1i64, "b", 6i64];
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+        assert_eq!(a.hamming_distance(&tuple![1i64]), usize::MAX);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(tuple![1i64, "Bob"].to_string(), "(1, Bob)");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = vec![Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert_eq!(t.arity(), 2);
+        let t2: Tuple = Tuple::from(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn into_values_round_trip() {
+        let t = tuple![1i64, "x"];
+        let vals = t.clone().into_values();
+        assert_eq!(Tuple::new(vals), t);
+    }
+}

@@ -1,0 +1,65 @@
+//! Column data types.
+
+use std::fmt;
+
+/// The static type of a table column.
+///
+/// The QFE evaluation datasets only need numbers and categorical strings, but
+/// booleans are included so that derived/flag columns can be modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean column.
+    Bool,
+    /// 64-bit signed integer column.
+    Int,
+    /// 64-bit floating point column.
+    Float,
+    /// UTF-8 string / categorical column.
+    Text,
+}
+
+impl DataType {
+    /// True for `Int` and `Float` columns: these have an *ordered* domain and
+    /// are partitioned into intervals by the tuple-class machinery; `Text`
+    /// and `Bool` columns have unordered (categorical) domains.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// SQL-ish name used when rendering schemas.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Text => "VARCHAR",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn sql_names() {
+        assert_eq!(DataType::Int.to_string(), "BIGINT");
+        assert_eq!(DataType::Float.to_string(), "DOUBLE");
+        assert_eq!(DataType::Text.to_string(), "VARCHAR");
+        assert_eq!(DataType::Bool.to_string(), "BOOLEAN");
+    }
+}

@@ -1,0 +1,394 @@
+//! Typed cell values.
+//!
+//! The QFE paper operates over relational data with numeric and categorical
+//! (string) attributes.  [`Value`] is the dynamically typed cell value used by
+//! every table in the substrate.  Floats are wrapped so that values are
+//! totally ordered and hashable, which the tuple-class machinery in
+//! `qfe-core` relies on (domain partitioning needs ordered, hashable domain
+//! values).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::types::DataType;
+
+/// A dynamically typed relational value.
+///
+/// `Value` implements a *total* order across all variants so that it can be
+/// used as a key in ordered collections: `Null < Bool < Int/Float < Text`.
+/// Integers and floats compare numerically with each other, mirroring how a
+/// SQL engine compares a `BIGINT` column against a `DOUBLE` constant.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself (unlike SQL three-valued logic);
+    /// QFE's generated databases never rely on NULL comparisons, but edits
+    /// and joins must be able to represent missing data deterministically.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with a total order (NaN sorts greatest).
+    Float(f64),
+    /// UTF-8 string / categorical value.
+    Text(String),
+}
+
+impl Value {
+    /// Returns the [`DataType`] of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is an `Int` or a `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is `Text`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value, if it is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is numeric (`Int` or `Float`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Whether this value can be stored in a column of type `ty`.
+    ///
+    /// NULL is storable in every column; integers are accepted by float
+    /// columns (they are widened on insertion by [`coerce_to`]).
+    ///
+    /// [`coerce_to`]: Value::coerce_to
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Int(_), DataType::Float) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Text(_), DataType::Text) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerces the value for storage in a column of type `ty`
+    /// (widens `Int` to `Float` for float columns). Returns `None` when the
+    /// value does not conform to the type.
+    pub fn coerce_to(&self, ty: DataType) -> Option<Value> {
+        if !self.conforms_to(ty) {
+            return None;
+        }
+        match (self, ty) {
+            (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+            _ => Some(self.clone()),
+        }
+    }
+
+    /// Total-order comparison key for floats: NaN sorts after every number.
+    fn float_key(f: f64) -> (u8, f64) {
+        if f.is_nan() {
+            (1, 0.0)
+        } else {
+            (0, f)
+        }
+    }
+
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Float(a), Float(b)) => {
+                let (na, ka) = Self::float_key(*a);
+                let (nb, kb) = Self::float_key(*b);
+                na.cmp(&nb).then_with(|| ka.partial_cmp(&kb).unwrap_or(Ordering::Equal))
+            }
+            (Int(a), Float(b)) => {
+                let (nb, kb) = Self::float_key(*b);
+                if nb == 1 {
+                    Ordering::Less
+                } else {
+                    (*a as f64).partial_cmp(&kb).unwrap_or(Ordering::Equal)
+                }
+            }
+            (Float(a), Int(b)) => {
+                let (na, ka) = Self::float_key(*a);
+                if na == 1 {
+                    Ordering::Greater
+                } else {
+                    ka.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+                }
+            }
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float must hash identically when they compare equal
+            // (e.g. Int(3) == Float(3.0)), so both hash through a canonical
+            // numeric representation.
+            Value::Int(i) => {
+                2u8.hash(state);
+                canonical_numeric_bits(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                canonical_numeric_bits(*f).hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+/// Canonical bit pattern used to hash numeric values consistently with their
+/// cross-type equality (`Int(3) == Float(3.0)`).
+fn canonical_numeric_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        u64::MAX
+    } else if f == 0.0 {
+        0 // collapse +0.0 / -0.0
+    } else {
+        f.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// Renders a value as a SQL literal (strings quoted and escaped).
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_type_equality_and_hash() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn total_order_across_variants() {
+        let mut vals = vec![
+            Value::Text("abc".into()),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(2.5),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(5));
+        assert_eq!(vals[4], Value::Text("abc".into()));
+    }
+
+    #[test]
+    fn nan_sorts_greatest_among_numbers() {
+        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Int(100)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Float(1.0));
+        assert_eq!(vals[1], Value::Int(100));
+        assert!(matches!(vals[2], Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn nan_equals_itself_for_total_order() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn conformance_and_coercion() {
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert_eq!(
+            Value::Int(1).coerce_to(DataType::Float),
+            Some(Value::Float(1.0))
+        );
+        assert!(!Value::Text("x".into()).conforms_to(DataType::Int));
+        assert!(Value::Null.conforms_to(DataType::Text));
+        assert_eq!(Value::Text("x".into()).coerce_to(DataType::Int), None);
+    }
+
+    #[test]
+    fn display_and_sql_literal() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(4.0).to_string(), "4.0");
+        assert_eq!(Value::Text("O'Hara".into()).to_string(), "O'Hara");
+        assert_eq!(sql_literal(&Value::Text("O'Hara".into())), "'O''Hara'");
+        assert_eq!(sql_literal(&Value::Null), "NULL");
+        assert_eq!(Value::Bool(false).to_string(), "FALSE");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(7.5).as_f64(), Some(7.5));
+        assert_eq!(Value::Text("a".into()).as_f64(), None);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Text("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert!(Value::Int(1).is_numeric());
+        assert!(!Value::Text("1".into()).is_numeric());
+    }
+
+    #[test]
+    fn data_type_of_values() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Float(1.0).data_type(), Some(DataType::Float));
+        assert_eq!(Value::Text("a".into()).data_type(), Some(DataType::Text));
+        assert_eq!(Value::Bool(true).data_type(), Some(DataType::Bool));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+        assert_eq!(Value::from(String::from("hi")), Value::Text("hi".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

@@ -1,0 +1,52 @@
+//! Driving QFE with custom feedback logic, and inspecting what the user is
+//! shown at each round (the Δ(D, D') and Δ(R, R_i) presentation of Figure 1).
+//!
+//! An `InteractiveUser` wraps arbitrary decision logic — here a scripted
+//! "user" who knows their intended query is about the IT department and picks
+//! results accordingly; a real front end would prompt a human instead.
+//!
+//! Run with: `cargo run --example interactive_session`
+
+use qfe::prelude::*;
+use qfe_query::evaluate;
+
+fn main() {
+    let (database, result, candidates, _target) = qfe::datasets::example_1_1();
+    // This user's real intention is Q3: dept = 'IT'.
+    let intended = candidates[2].clone();
+
+    let probe_db = database.clone();
+    let user = InteractiveUser::new(move |round| {
+        println!("--- round {} ---", round.iteration);
+        println!("Database changes shown to the user:\n{}", round.database_delta);
+        for (i, choice) in round.choices.iter().enumerate() {
+            println!(
+                "result option {} ({} candidate quer{} behind it):",
+                i + 1,
+                choice.candidate_count,
+                if choice.candidate_count == 1 { "y" } else { "ies" }
+            );
+            print!("{}", choice.result_delta);
+        }
+        // The scripted user evaluates their intention mentally: which option
+        // matches what the IT-department query would return on this database?
+        let wanted = evaluate(&intended, &round.database).ok()?;
+        let pick = round.choices.iter().position(|c| c.result.bag_equal(&wanted));
+        println!(
+            "user picks option {}\n",
+            pick.map(|p| (p + 1).to_string()).unwrap_or_else(|| "none".into())
+        );
+        pick
+    });
+
+    let session = QfeSession::builder(database, result)
+        .with_candidates(candidates.clone())
+        .build()
+        .expect("session builds");
+    let outcome = session.run(&user).expect("QFE terminates");
+
+    println!("Identified query: {}", outcome.query);
+    assert_eq!(outcome.query.label.as_deref(), Some("Q3"));
+    let r = evaluate(&outcome.query, &probe_db).unwrap();
+    println!("It returns {} employees on the original database.", r.len());
+}

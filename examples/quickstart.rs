@@ -1,0 +1,39 @@
+//! Quickstart: the paper's Example 1.1.
+//!
+//! A user wants `SELECT name FROM Employee WHERE salary > 4000` but cannot
+//! write SQL. They provide the Employee table and the result {Bob, Darren};
+//! QFE generates the plausible candidate queries, then asks the user to judge
+//! results on minimally modified databases until one query remains.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qfe::prelude::*;
+
+fn main() {
+    // The example database-result pair (D, R) and the three candidates of
+    // Example 1.1 (gender = 'M', salary > 4000, dept = 'IT').
+    let (database, result, candidates, target) = qfe::datasets::example_1_1();
+
+    println!("Example database D:\n{}", database.table("Employee").unwrap());
+    println!("Example result R:\n{result}");
+    println!("Candidate queries QC:");
+    for q in &candidates {
+        println!("  {}: {}", q.display_name(), q);
+    }
+    println!("\n(The user's hidden intention is {}.)\n", target);
+
+    // Run QFE. The OracleUser stands in for the user: it answers each round
+    // by evaluating the (hidden) target query on the presented database.
+    let session = QfeSession::builder(database, result)
+        .with_candidates(candidates)
+        .build()
+        .expect("session builds");
+    let outcome = session
+        .run(&OracleUser::new(target.clone()))
+        .expect("QFE terminates");
+
+    println!("Identified query: {}", outcome.query);
+    println!("\nSession statistics:\n{}", outcome.report);
+    assert_eq!(outcome.query, target);
+    println!("The identified query matches the user's intention.");
+}

@@ -1,0 +1,56 @@
+//! # QFE — Query From Examples
+//!
+//! Umbrella crate for the reproduction of *"Query From Examples: An Iterative,
+//! Data-Driven Approach to Query Construction"* (Li, Chan, Maier — PVLDB 8(13),
+//! 2015).
+//!
+//! This crate simply re-exports the workspace crates so that downstream users
+//! (and the repository's `examples/` and `tests/`) can depend on a single
+//! `qfe` crate:
+//!
+//! * [`relation`] — the in-memory relational substrate (tables, foreign keys,
+//!   joins, table edit distance).
+//! * [`query`] — select-project-join queries, evaluation and SQL text.
+//! * [`qbo`] — the candidate-query generator (reverse engineering from a
+//!   database-result pair).
+//! * [`core`] — the paper's contribution: tuple classes, the user-effort cost
+//!   model, Algorithms 1–4 and the interactive feedback driver.
+//! * [`datasets`] — seeded synthetic versions of the paper's evaluation
+//!   datasets and queries Q1–Q6.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qfe::prelude::*;
+//!
+//! // The paper's Example 1.1: a single Employee table and a result with the
+//! // names of two employees.  QFE narrows three candidate queries down to the
+//! // intended one using at most two single-change feedback rounds.
+//! let (db, result, candidates, target) = qfe::datasets::example_1_1();
+//! let user = OracleUser::new(target.clone());
+//! let session = QfeSession::builder(db, result)
+//!     .with_candidates(candidates)
+//!     .build()
+//!     .expect("valid example input");
+//! let outcome = session.run(&user).expect("QFE terminates");
+//! assert_eq!(outcome.query, target);
+//! assert!(outcome.report.iterations() <= 2);
+//! ```
+
+pub use qfe_core as core;
+pub use qfe_datasets as datasets;
+pub use qfe_qbo as qbo;
+pub use qfe_query as query;
+pub use qfe_relation as relation;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use qfe_core::{
+        AltCostModel, CostModelKind, CostParams, DatabaseGenerator, FeedbackUser,
+        InteractiveUser, IterationStats, OracleUser, QfeError, QfeOutcome, QfeSession,
+        SessionReport, SimulatedHumanUser, WorstCaseUser,
+    };
+    pub use qfe_qbo::{QboConfig, QueryGenerator};
+    pub use qfe_query::{ComparisonOp, DnfPredicate, QueryResult, SpjQuery};
+    pub use qfe_relation::{Database, DataType, ForeignKey, Table, TableSchema, Tuple, Value};
+}

@@ -1,0 +1,141 @@
+//! Integration tests: full QFE sessions on the evaluation workloads.
+
+use std::time::Duration;
+
+use qfe::prelude::*;
+use qfe_datasets::{adult_small, baseball_small, scientific_small};
+use qfe_query::evaluate;
+
+fn fast_params() -> CostParams {
+    CostParams::default().with_skyline_budget(Duration::from_millis(30))
+}
+
+/// Oracle-driven sessions identify a query equivalent to the target (same
+/// result on the original database and on every presented database) on the
+/// scientific workload.
+#[test]
+fn scientific_oracle_sessions_identify_the_target() {
+    let workload = scientific_small(42);
+    for label in ["Q1", "Q2"] {
+        let target = workload.query(label).unwrap().clone();
+        let result = workload.example_result(label).unwrap();
+        let session = QfeSession::builder(workload.database.clone(), result.clone())
+            .ensure_candidate(target.clone())
+            .with_params(fast_params())
+            .build()
+            .unwrap();
+        assert!(session.candidates().len() >= 2, "{label}: need multiple candidates");
+        let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+        assert!(
+            evaluate(&outcome.query, &workload.database)
+                .unwrap()
+                .bag_equal(&result),
+            "{label}: identified query must reproduce R"
+        );
+        assert!(outcome.report.iterations() >= 1);
+        assert!(outcome.report.total_modification_cost() > 0);
+    }
+}
+
+/// The baseball workload: queries over two- and three-table joins.
+#[test]
+fn baseball_oracle_sessions_identify_the_target() {
+    let workload = baseball_small(11);
+    for label in ["Q3", "Q5"] {
+        let target = workload.query(label).unwrap().clone();
+        let result = workload.example_result(label).unwrap();
+        let session = QfeSession::builder(workload.database.clone(), result.clone())
+            .ensure_candidate(target.clone())
+            .with_params(fast_params())
+            .build()
+            .unwrap();
+        let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+        assert!(
+            evaluate(&outcome.query, &workload.database)
+                .unwrap()
+                .bag_equal(&result),
+            "{label}"
+        );
+    }
+}
+
+/// Worst-case feedback gives an upper bound on rounds; per-round modification
+/// costs stay small (the paper's central usability claim).
+#[test]
+fn worst_case_rounds_have_small_modification_cost() {
+    let workload = scientific_small(42);
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let session = QfeSession::builder(workload.database.clone(), result)
+        .ensure_candidate(target)
+        .with_params(fast_params())
+        .build()
+        .unwrap();
+    match session.run(&WorstCaseUser) {
+        Ok(outcome) => {
+            for it in &outcome.report.iterations {
+                assert!(
+                    it.db_cost <= 16,
+                    "a single round should not rewrite large parts of the database (got {})",
+                    it.db_cost
+                );
+                assert!(it.group_count >= 2);
+                assert!(it.candidate_count >= it.group_count);
+            }
+        }
+        // Worst-case feedback can drive the session into a set of surviving
+        // candidates that are equivalent over every foreign-key-valid
+        // database (e.g. predicates on the two sides of the join key);
+        // reporting that explicitly is the correct terminal behaviour.
+        Err(QfeError::NoDistinguishingDatabase { remaining }) => {
+            assert!(remaining.len() >= 2);
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+/// The simulated user study responder produces nonzero response times that
+/// grow with the presented change.
+#[test]
+fn adult_simulated_user_study_runs() {
+    let workload = adult_small(5);
+    let target = workload.query("U1").unwrap().clone();
+    let result = workload.example_result("U1").unwrap();
+    if result.is_empty() {
+        return; // seed produced no satisfying rows; nothing to study
+    }
+    let session = QfeSession::builder(workload.database.clone(), result.clone())
+        .ensure_candidate(target.clone())
+        .with_params(fast_params())
+        .build()
+        .unwrap();
+    let user = SimulatedHumanUser::paper_calibrated(target.clone());
+    let outcome = session.run(&user).unwrap();
+    assert!(evaluate(&outcome.query, &workload.database)
+        .unwrap()
+        .bag_equal(&result));
+    if outcome.report.iterations() > 0 {
+        assert!(outcome.report.total_user_time() >= Duration::from_secs(2));
+        assert!(outcome.report.total_user_time() > outcome.report.total_execution_time());
+    }
+}
+
+/// The alternative (max-partitions) cost model never needs more iterations
+/// than the user-effort model, mirroring the paper's user-study observation.
+#[test]
+fn alternative_cost_model_uses_no_more_iterations() {
+    let workload = scientific_small(42);
+    let target = workload.query("Q2").unwrap().clone();
+    let result = workload.example_result("Q2").unwrap();
+    let mut iterations = Vec::new();
+    for model in [CostModelKind::UserEffort, CostModelKind::MaxPartitions] {
+        let session = QfeSession::builder(workload.database.clone(), result.clone())
+            .ensure_candidate(target.clone())
+            .with_params(fast_params().with_model(model))
+            .build()
+            .unwrap();
+        let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+        iterations.push(outcome.report.iterations());
+    }
+    assert!(iterations[1] <= iterations[0] + 1);
+}

@@ -1,0 +1,68 @@
+//! Integration test: the paper's Example 1.1 end to end, including the shape
+//! of the intermediate feedback rounds.
+
+use qfe::prelude::*;
+use qfe_query::evaluate;
+
+#[test]
+fn every_candidate_is_identifiable_as_the_target() {
+    let (db, result, candidates, _) = qfe::datasets::example_1_1();
+    for target in &candidates {
+        let session = QfeSession::builder(db.clone(), result.clone())
+            .with_candidates(candidates.clone())
+            .build()
+            .unwrap();
+        let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+        assert_eq!(outcome.query.label, target.label);
+        assert!(
+            outcome.report.iterations() <= 2,
+            "Example 1.1 needs at most two rounds of feedback"
+        );
+    }
+}
+
+#[test]
+fn rounds_present_single_relation_minimal_changes() {
+    let (db, result, candidates, target) = qfe::datasets::example_1_1();
+    let session = QfeSession::builder(db.clone(), result)
+        .with_candidates(candidates)
+        .build()
+        .unwrap();
+    let outcome = session.run(&OracleUser::new(target)).unwrap();
+    for it in &outcome.report.iterations {
+        assert_eq!(it.modified_relations, 1, "only the Employee table is touched");
+        assert!(it.db_cost <= 2, "each round changes at most two attribute values");
+        assert!(it.group_count >= 2, "each round distinguishes something");
+    }
+}
+
+#[test]
+fn generated_candidates_cover_the_example_and_identify_an_equivalent_query() {
+    // Instead of handing QFE the three textbook candidates, let the query
+    // generator discover them from (D, R).
+    let (db, result, _, target) = qfe::datasets::example_1_1();
+    let session = QfeSession::builder(db.clone(), result.clone())
+        .ensure_candidate(target.clone())
+        .build()
+        .unwrap();
+    assert!(session.candidates().len() >= 3);
+    for q in session.candidates() {
+        assert!(evaluate(q, &db).unwrap().bag_equal(&result));
+    }
+    let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+    // The identified query agrees with the target on the original database.
+    assert!(evaluate(&outcome.query, &db)
+        .unwrap()
+        .bag_equal(&evaluate(&target, &db).unwrap()));
+}
+
+#[test]
+fn worst_case_feedback_still_converges() {
+    let (db, result, candidates, _) = qfe::datasets::example_1_1();
+    let session = QfeSession::builder(db, result)
+        .with_candidates(candidates)
+        .build()
+        .unwrap();
+    let outcome = session.run(&WorstCaseUser).unwrap();
+    assert!((1..=3).contains(&outcome.report.iterations()));
+}

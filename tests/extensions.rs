@@ -1,0 +1,139 @@
+//! Integration tests for the Section 6 extensions: set semantics, mixed join
+//! schemas, database constraints and SPJU queries.
+
+use qfe::prelude::*;
+use qfe_core::{group_by_join_schema, run_grouped, with_set_semantics};
+use qfe_query::{evaluate, SpjuQuery};
+use qfe_relation::min_edit_databases;
+
+/// Set semantics (Section 6.1): DISTINCT candidates are distinguished even
+/// though duplicate-removing modifications are uninformative.
+#[test]
+fn distinct_candidates_are_distinguished() {
+    let (db, _, candidates, _) = qfe::datasets::example_1_1();
+    let distinct = with_set_semantics(&candidates);
+    let result = evaluate(&distinct[0], &db).unwrap();
+    for target in &distinct {
+        let session = QfeSession::builder(db.clone(), result.clone())
+            .with_candidates(distinct.clone())
+            .build()
+            .unwrap();
+        let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
+        assert_eq!(outcome.query.label, target.label);
+    }
+}
+
+/// Mixed join schemas (Section 6.2): the single-schema driver refuses them,
+/// the grouped driver handles them.
+#[test]
+fn mixed_join_schemas_need_the_grouped_driver() {
+    let workload = qfe_datasets::baseball_small(11);
+    let q3 = workload.query("Q3").unwrap().clone(); // Manager ⋈ Team
+    let q5 = workload.query("Q5").unwrap().clone(); // Manager ⋈ Team ⋈ Batting
+    let result = workload.example_result("Q3").unwrap();
+
+    let groups = group_by_join_schema(&[q3.clone(), q5.clone()]);
+    assert_eq!(groups.len(), 2);
+
+    // The per-schema groups here are singletons, so the grouped driver cannot
+    // confirm either against the other — it must report the ambiguity rather
+    // than silently guessing.
+    let grouped = run_grouped(
+        &workload.database,
+        &result,
+        &[q3.clone(), q5.clone()],
+        &CostParams::default(),
+        &OracleUser::new(q3.clone()),
+    );
+    assert!(grouped.is_err());
+
+    // The ordinary driver rejects mixed schemas outright.
+    let session = QfeSession::builder(workload.database.clone(), result)
+        .with_candidates(vec![q3, q5])
+        .build()
+        .unwrap();
+    let err = session.run(&WorstCaseUser).unwrap_err();
+    assert!(matches!(err, QfeError::MixedJoinSchemas));
+}
+
+/// Database constraints (Section 6.3): every database QFE presents satisfies
+/// the original primary- and foreign-key constraints and differs from D by
+/// exactly the reported modification cost.
+#[test]
+fn presented_databases_respect_constraints() {
+    let workload = qfe_datasets::scientific_small(42);
+    let target = workload.query("Q1").unwrap().clone();
+    let result = workload.example_result("Q1").unwrap();
+    let original = workload.database.clone();
+
+    let user = InteractiveUser::new(move |round| {
+        round.database.check_integrity().expect("D' must satisfy PK/FK constraints");
+        let delta_cost = min_edit_databases(&original, &round.database);
+        assert!(delta_cost > 0, "D' must differ from D");
+        assert_eq!(delta_cost, round.database_delta.edits.len());
+        // Keep the largest subset (worst case) to exercise several rounds.
+        round
+            .choices
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.candidate_count)
+            .map(|(i, _)| i)
+    });
+
+    let session = QfeSession::builder(workload.database.clone(), result)
+        .ensure_candidate(target)
+        .with_params(CostParams::default().with_skyline_budget(std::time::Duration::from_millis(30)))
+        .build()
+        .unwrap();
+    // Every presented round is checked inside the InteractiveUser closure.
+    // Worst-case choices may leave a set of candidates that are equivalent
+    // over every constraint-respecting database (e.g. key-attribute
+    // predicates); that explicit outcome is acceptable here.
+    match session.run(&user) {
+        Ok(outcome) => assert!(outcome.report.iterations() >= 1),
+        Err(QfeError::NoDistinguishingDatabase { remaining }) => assert!(remaining.len() >= 2),
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+/// SPJU queries (Section 6.4): union queries evaluate correctly and their SPJ
+/// branches can be fed to QFE individually.
+#[test]
+fn spju_union_queries_evaluate() {
+    let (db, _, candidates, _) = qfe::datasets::example_1_1();
+    let union = SpjuQuery::union(vec![candidates[0].clone(), candidates[2].clone()]);
+    let r = union.evaluate(&db).unwrap();
+    // gender='M' ∪ dept='IT' = {Bob, Darren} under set semantics.
+    assert_eq!(r.len(), 2);
+    let union_all = SpjuQuery::union_all(vec![candidates[0].clone(), candidates[2].clone()]);
+    assert_eq!(union_all.evaluate(&db).unwrap().len(), 4);
+}
+
+/// SQL round-trip through the public API: parse, run through QFE, render.
+#[test]
+fn sql_round_trip_through_qfe() {
+    let (db, result, _, _) = qfe::datasets::example_1_1();
+    let target = qfe::query::parse_sql("SELECT name FROM Employee WHERE dept = 'IT'").unwrap();
+    let session = QfeSession::builder(db.clone(), result)
+        .ensure_candidate(target.clone())
+        .build()
+        .unwrap();
+    // Some generated candidates (key-attribute predicates such as
+    // `Eid <= 4`) are indistinguishable from the target over any valid
+    // modification; in that case QFE reports the surviving set, which must
+    // still contain the target.
+    let identified = match session.run(&OracleUser::new(target.clone())) {
+        Ok(outcome) => outcome.query,
+        Err(QfeError::NoDistinguishingDatabase { remaining }) => {
+            assert!(remaining.iter().any(|q| q == &target.to_string()));
+            target.clone()
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    };
+    let rendered = qfe::query::to_sql(&identified);
+    let reparsed = qfe::query::parse_sql(&rendered).unwrap();
+    assert_eq!(
+        evaluate(&reparsed, &db).unwrap().fingerprint(),
+        evaluate(&target, &db).unwrap().fingerprint()
+    );
+}
