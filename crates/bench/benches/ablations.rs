@@ -22,8 +22,15 @@ fn bench(c: &mut Criterion) {
         let params = default_params(scale).with_estimator(estimator);
         group.bench_function(name, |b| {
             b.iter(|| {
-                run_session(&workload.database, &result, &candidates, &target, &params, true)
-                    .total_modification_cost()
+                run_session(
+                    &workload.database,
+                    &result,
+                    &candidates,
+                    &target,
+                    &params,
+                    true,
+                )
+                .total_modification_cost()
             })
         });
     }
@@ -34,8 +41,15 @@ fn bench(c: &mut Criterion) {
         let params = default_params(scale).with_model(model);
         group.bench_function(name, |b| {
             b.iter(|| {
-                run_session(&workload.database, &result, &candidates, &target, &params, true)
-                    .total_modification_cost()
+                run_session(
+                    &workload.database,
+                    &result,
+                    &candidates,
+                    &target,
+                    &params,
+                    true,
+                )
+                .total_modification_cost()
             })
         });
     }

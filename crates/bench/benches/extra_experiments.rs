@@ -42,7 +42,13 @@ fn bench_entropy(c: &mut Criterion) {
     let mut group = c.benchmark_group("extra_entropy");
     group.sample_size(10);
     for fraction in [1.0f64, 0.4] {
-        let db = entropy_variant(&workload.database, "PmTE_ALL_DE", "logFC_P", fraction, &target);
+        let db = entropy_variant(
+            &workload.database,
+            "PmTE_ALL_DE",
+            "logFC_P",
+            fraction,
+            &target,
+        );
         let candidates = candidates_for(&db, &target, 12);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{fraction}")),

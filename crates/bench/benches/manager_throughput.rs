@@ -1,0 +1,21 @@
+//! Session-manager throughput: many interleaved sans-IO sessions driven to
+//! completion through one shared `SessionManager`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfe_bench::manager_throughput;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_throughput");
+    group.sample_size(10);
+    for sessions in [10usize, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |b, &sessions| b.iter(|| manager_throughput(sessions)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for delta_ms in [5u64, 25, 100] {
         group.bench_function(format!("skyline_delta_{delta_ms}ms"), |b| {
-            b.iter(|| skyline_stc_dtc_pairs(&ctx, Duration::from_millis(delta_ms)).pairs.len())
+            b.iter(|| {
+                skyline_stc_dtc_pairs(&ctx, Duration::from_millis(delta_ms))
+                    .pairs
+                    .len()
+            })
         });
     }
     group.finish();

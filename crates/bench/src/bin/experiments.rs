@@ -11,8 +11,8 @@
 //! `--paper-scale` uses the paper's dataset cardinalities and δ = 1 s.
 
 use qfe_bench::{
-    ablation_estimator, extra_entropy, extra_initial_size, table1, table2, table3, table4, table5,
-    table6, table7, user_study, Scale,
+    ablation_estimator, extra_entropy, extra_initial_size, manager_report, table1, table2, table3,
+    table4, table5, table6, table7, user_study, Scale,
 };
 
 fn main() {
@@ -69,5 +69,8 @@ fn main() {
     }
     if want("ablation") {
         println!("{}", ablation_estimator(scale));
+    }
+    if want("manager") {
+        println!("{}", manager_report());
     }
 }

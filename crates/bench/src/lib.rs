@@ -89,8 +89,7 @@ pub fn candidates_for(db: &Database, target: &SpjQuery, want: usize) -> Vec<SpjQ
         .generate_including(db, &result, target)
         .expect("candidate generation");
     if candidates.len() < want {
-        candidates =
-            grow_candidates(db, &result, &candidates, want).expect("candidate growth");
+        candidates = grow_candidates(db, &result, &candidates, want).expect("candidate growth");
     }
     // Keep the target, trim the rest.
     if candidates.len() > want {
@@ -150,17 +149,35 @@ pub fn table1(scale: Scale) -> String {
     let workload = scale.scientific();
     let params = default_params(scale);
     let mut out = String::new();
-    writeln!(out, "Table 1: per-round statistics, scientific database (worst-case feedback)").unwrap();
+    writeln!(
+        out,
+        "Table 1: per-round statistics, scientific database (worst-case feedback)"
+    )
+    .unwrap();
     for label in ["Q1", "Q2"] {
         let target = workload.query(label).expect("query exists").clone();
         let result = workload.example_result(label).expect("result");
         let candidates = candidates_for(&workload.database, &target, 19);
-        let report = run_session(&workload.database, &result, &candidates, &target, &params, true);
+        let report = run_session(
+            &workload.database,
+            &result,
+            &candidates,
+            &target,
+            &params,
+            true,
+        );
         writeln!(out, "\n({label})  initial candidates: {}", candidates.len()).unwrap();
         writeln!(
             out,
             "{:<10} {:>9} {:>9} {:>9} {:>10} {:>7} {:>11} {:>14}",
-            "iteration", "#queries", "#subsets", "#skyline", "time(s)", "dbCost", "resultCost", "avgResultCost"
+            "iteration",
+            "#queries",
+            "#subsets",
+            "#skyline",
+            "time(s)",
+            "dbCost",
+            "resultCost",
+            "avgResultCost"
         )
         .unwrap();
         for it in &report.iterations {
@@ -199,7 +216,11 @@ pub fn table1(scale: Scale) -> String {
 pub fn table2(scale: Scale) -> String {
     let workload = scale.baseball();
     let mut out = String::new();
-    writeln!(out, "Table 2: effect of β (baseball database, worst-case feedback)").unwrap();
+    writeln!(
+        out,
+        "Table 2: effect of β (baseball database, worst-case feedback)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<7} | {:>4} {:>4} {:>4} {:>4} {:>4} | {:>5} {:>5} {:>5} {:>5} {:>5}",
@@ -214,8 +235,14 @@ pub fn table2(scale: Scale) -> String {
         let mut costs = Vec::new();
         for beta in 1..=5 {
             let params = default_params(scale).with_beta(beta as f64);
-            let report =
-                run_session(&workload.database, &result, &candidates, &target, &params, true);
+            let report = run_session(
+                &workload.database,
+                &result,
+                &candidates,
+                &target,
+                &params,
+                true,
+            );
             iterations.push(report.iterations());
             costs.push(report.total_modification_cost());
         }
@@ -223,8 +250,16 @@ pub fn table2(scale: Scale) -> String {
             out,
             "{:<7} | {:>4} {:>4} {:>4} {:>4} {:>4} | {:>5} {:>5} {:>5} {:>5} {:>5}",
             label,
-            iterations[0], iterations[1], iterations[2], iterations[3], iterations[4],
-            costs[0], costs[1], costs[2], costs[3], costs[4]
+            iterations[0],
+            iterations[1],
+            iterations[2],
+            iterations[3],
+            iterations[4],
+            costs[0],
+            costs[1],
+            costs[2],
+            costs[3],
+            costs[4]
         )
         .unwrap();
     }
@@ -255,7 +290,11 @@ pub fn delta_sweep(scale: Scale) -> Vec<Duration> {
 pub fn table3(scale: Scale) -> String {
     let workload = scale.scientific();
     let mut out = String::new();
-    writeln!(out, "Table 3: effect of δ (scientific database, worst-case feedback)").unwrap();
+    writeln!(
+        out,
+        "Table 3: effect of δ (scientific database, worst-case feedback)"
+    )
+    .unwrap();
     for label in ["Q1", "Q2"] {
         let target = workload.query(label).expect("query").clone();
         let result = workload.example_result(label).expect("result");
@@ -269,8 +308,14 @@ pub fn table3(scale: Scale) -> String {
         .unwrap();
         for delta in delta_sweep(scale) {
             let params = default_params(scale).with_skyline_budget(delta);
-            let report =
-                run_session(&workload.database, &result, &candidates, &target, &params, true);
+            let report = run_session(
+                &workload.database,
+                &result,
+                &candidates,
+                &target,
+                &params,
+                true,
+            );
             writeln!(
                 out,
                 "{:<10} {:>12} {:>18} {:>14}",
@@ -295,14 +340,30 @@ pub fn table4(scale: Scale) -> String {
     let workload = scale.scientific();
     let params = default_params(scale);
     let mut out = String::new();
-    writeln!(out, "Table 4: Algorithm 4 per-iteration performance (scientific database)").unwrap();
+    writeln!(
+        out,
+        "Table 4: Algorithm 4 per-iteration performance (scientific database)"
+    )
+    .unwrap();
     for label in ["Q1", "Q2"] {
         let target = workload.query(label).expect("query").clone();
         let result = workload.example_result(label).expect("result");
         let candidates = candidates_for(&workload.database, &target, 19);
-        let report = run_session(&workload.database, &result, &candidates, &target, &params, true);
+        let report = run_session(
+            &workload.database,
+            &result,
+            &candidates,
+            &target,
+            &params,
+            true,
+        );
         writeln!(out, "\n({label})").unwrap();
-        writeln!(out, "{:<10} {:>15} {:>18}", "iteration", "#skyline pairs", "Alg.4 time (ms)").unwrap();
+        writeln!(
+            out,
+            "{:<10} {:>15} {:>18}",
+            "iteration", "#skyline pairs", "Alg.4 time (ms)"
+        )
+        .unwrap();
         for it in &report.iterations {
             writeln!(
                 out,
@@ -328,8 +389,8 @@ pub fn table5_rows(scale: Scale) -> Vec<(usize, usize, f64)> {
     let target = workload.query("Q2").expect("query").clone();
     let result = workload.example_result("Q2").expect("result");
     let candidates = candidates_for(&workload.database, &target, 19);
-    let ctx = GenerationContext::new(&workload.database, &result, &candidates)
-        .expect("context builds");
+    let ctx =
+        GenerationContext::new(&workload.database, &result, &candidates).expect("context builds");
     // A large budget produces as many skyline(-ish) pairs as the data allows.
     let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(15));
     let sizes: Vec<usize> = match scale {
@@ -357,8 +418,17 @@ pub fn table5_rows(scale: Scale) -> Vec<(usize, usize, f64)> {
 /// Formats Table 5.
 pub fn table5(scale: Scale) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 5: Algorithm 4 execution time vs |SP| (scientific database, Q2)").unwrap();
-    writeln!(out, "{:>12} {:>12} {:>14}", "requested", "actual |SP|", "Alg.4 time (s)").unwrap();
+    writeln!(
+        out,
+        "Table 5: Algorithm 4 execution time vs |SP| (scientific database, Q2)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>12} {:>14}",
+        "requested", "actual |SP|", "Alg.4 time (s)"
+    )
+    .unwrap();
     for (requested, actual, secs) in table5_rows(scale) {
         writeln!(out, "{requested:>12} {actual:>12} {secs:>14.4}").unwrap();
     }
@@ -382,16 +452,33 @@ pub fn table6(scale: Scale) -> String {
     // S1 ⊂ S2 ⊂ … ⊂ S6 and the target is in S1.
     let full = candidates_for(&workload.database, &target, *TABLE6_SIZES.last().unwrap());
     let mut out = String::new();
-    writeln!(out, "Table 6: effect of the number of candidate queries (scientific, Q2)").unwrap();
+    writeln!(
+        out,
+        "Table 6: effect of the number of candidate queries (scientific, Q2)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<6} {:>12} {:>12} {:>12} {:>18} {:>16} {:>20}",
-        "set", "#candidates", "#iterations", "time (s)", "modification cost", "avg dbCost/round", "avg resultCost/set"
+        "set",
+        "#candidates",
+        "#iterations",
+        "time (s)",
+        "modification cost",
+        "avg dbCost/round",
+        "avg resultCost/set"
     )
     .unwrap();
     for (i, &size) in TABLE6_SIZES.iter().enumerate() {
         let candidates: Vec<SpjQuery> = full.iter().take(size.min(full.len())).cloned().collect();
-        let report = run_session(&workload.database, &result, &candidates, &target, &params, true);
+        let report = run_session(
+            &workload.database,
+            &result,
+            &candidates,
+            &target,
+            &params,
+            true,
+        );
         writeln!(
             out,
             "{:<6} {:>12} {:>12} {:>12} {:>18} {:>16.2} {:>20.2}",
@@ -422,7 +509,11 @@ pub fn table7(scale: Scale) -> String {
     let full = candidates_for(&workload.database, &target, *TABLE6_SIZES.last().unwrap());
     let generator = DatabaseGenerator::new(params);
     let mut out = String::new();
-    writeln!(out, "Table 7: first-iteration time breakdown in seconds (scientific, Q2)").unwrap();
+    writeln!(
+        out,
+        "Table 7: first-iteration time breakdown in seconds (scientific, Q2)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -463,7 +554,11 @@ pub fn extra_initial_size(scale: Scale) -> String {
     let target = workload.query("Q2").expect("query").clone();
     let params = default_params(scale);
     let mut out = String::new();
-    writeln!(out, "Section 7.7 (1): effect of the initial database-result pair size (scientific, Q2)").unwrap();
+    writeln!(
+        out,
+        "Section 7.7 (1): effect of the initial database-result pair size (scientific, Q2)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<5} {:>12} {:>12} {:>18} {:>14}",
@@ -471,14 +566,23 @@ pub fn extra_initial_size(scale: Scale) -> String {
     )
     .unwrap();
     for (name, db) in initial_size_variants(&workload.database) {
-        let Ok(result) = evaluate(&target, &db) else { continue };
+        let Ok(result) = evaluate(&target, &db) else {
+            continue;
+        };
         if result.is_empty() {
-            writeln!(out, "{name:<5} {:>12} (query result empty on this subset)", "-").unwrap();
+            writeln!(
+                out,
+                "{name:<5} {:>12} (query result empty on this subset)",
+                "-"
+            )
+            .unwrap();
             continue;
         }
         let candidates = candidates_for(&db, &target, 12);
         let report = run_session(&db, &result, &candidates, &target, &params, true);
-        let join_rows = qfe_relation::full_foreign_key_join(&db).map(|j| j.len()).unwrap_or(0);
+        let join_rows = qfe_relation::full_foreign_key_join(&db)
+            .map(|j| j.len())
+            .unwrap_or(0);
         writeln!(
             out,
             "{:<5} {:>12} {:>12} {:>18} {:>14}",
@@ -501,7 +605,11 @@ pub fn extra_entropy(scale: Scale) -> String {
     let result = workload.example_result("Q2").expect("result");
     let params = default_params(scale);
     let mut out = String::new();
-    writeln!(out, "Section 7.7 (2): effect of active-domain entropy (scientific, Q2, attribute logFC_P)").unwrap();
+    writeln!(
+        out,
+        "Section 7.7 (2): effect of active-domain entropy (scientific, Q2, attribute logFC_P)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<5} {:>16} {:>12} {:>18} {:>14}",
@@ -540,7 +648,13 @@ pub fn user_study(scale: Scale) -> String {
     writeln!(
         out,
         "{:<6} {:<16} {:>12} {:>18} {:>16} {:>16} {:>10}",
-        "query", "cost model", "#iterations", "modification cost", "user time (s)", "machine time (s)", "correct"
+        "query",
+        "cost model",
+        "#iterations",
+        "modification cost",
+        "user time (s)",
+        "machine time (s)",
+        "correct"
     )
     .unwrap();
     for label in ["U1", "U2", "U3"] {
@@ -548,14 +662,24 @@ pub fn user_study(scale: Scale) -> String {
         let result = match workload.example_result(label) {
             Some(r) if !r.is_empty() => r,
             _ => {
-                writeln!(out, "{label:<6} (empty example result on this seed — skipped)").unwrap();
+                writeln!(
+                    out,
+                    "{label:<6} (empty example result on this seed — skipped)"
+                )
+                .unwrap();
                 continue;
             }
         };
         let candidates = candidates_for(&workload.database, &target, 10);
         for (model_name, params) in [
-            ("qfe-user-effort", default_params(scale).with_model(CostModelKind::UserEffort)),
-            ("max-partitions", default_params(scale).with_model(CostModelKind::MaxPartitions)),
+            (
+                "qfe-user-effort",
+                default_params(scale).with_model(CostModelKind::UserEffort),
+            ),
+            (
+                "max-partitions",
+                default_params(scale).with_model(CostModelKind::MaxPartitions),
+            ),
         ] {
             let session = QfeSession::builder(workload.database.clone(), result.clone())
                 .with_candidates(candidates.clone())
@@ -599,7 +723,11 @@ pub fn ablation_estimator(scale: Scale) -> String {
     let result = workload.example_result("Q2").expect("result");
     let candidates = candidates_for(&workload.database, &target, 19);
     let mut out = String::new();
-    writeln!(out, "Ablation: iteration estimator (scientific, Q2, worst-case feedback)").unwrap();
+    writeln!(
+        out,
+        "Ablation: iteration estimator (scientific, Q2, worst-case feedback)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:>12} {:>18} {:>14}",
@@ -611,7 +739,14 @@ pub fn ablation_estimator(scale: Scale) -> String {
         ("refined", IterationEstimator::Refined),
     ] {
         let params = default_params(scale).with_estimator(estimator);
-        let report = run_session(&workload.database, &result, &candidates, &target, &params, true);
+        let report = run_session(
+            &workload.database,
+            &result,
+            &candidates,
+            &target,
+            &params,
+            true,
+        );
         writeln!(
             out,
             "{:<10} {:>12} {:>18} {:>14}",
@@ -625,9 +760,108 @@ pub fn ablation_estimator(scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Session-manager throughput
+// ---------------------------------------------------------------------------
+
+/// Drives `session_count` interleaved oracle-answered sessions (Example 1.1,
+/// targets rotating over its three candidate queries) to completion through
+/// one shared [`SessionManager`], round-robin one interaction per visit, and
+/// returns the number of completed sessions (always `session_count`; the
+/// return value keeps the optimizer honest when benchmarked).
+///
+/// This is the scenario a server frontend cares about: many mid-flight
+/// sessions resident at once, none ever blocking another.
+pub fn manager_throughput(session_count: usize) -> usize {
+    use qfe_core::{FeedbackUser as _, SessionManager, Step};
+
+    let (db, result, candidates, _) = qfe_datasets::example_1_1();
+    let manager = SessionManager::new();
+    let sessions: Vec<_> = (0..session_count)
+        .map(|i| {
+            let target = candidates[i % candidates.len()].clone();
+            let session = QfeSession::builder(db.clone(), result.clone())
+                .with_candidates(candidates.clone())
+                .build()
+                .expect("example session builds");
+            (manager.create(&session), OracleUser::new(target))
+        })
+        .collect();
+
+    let mut done = vec![false; session_count];
+    let mut completed = 0usize;
+    while completed < session_count {
+        for (i, (id, oracle)) in sessions.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            match manager.step(*id).expect("hosted session steps") {
+                Step::Done(outcome) => {
+                    assert_eq!(
+                        outcome.query.label,
+                        oracle.target().label,
+                        "cross-session interference"
+                    );
+                    done[i] = true;
+                    completed += 1;
+                    manager.evict(*id);
+                }
+                Step::AwaitFeedback(round) => {
+                    let choice = oracle.choose(&round).expect("oracle finds its result");
+                    manager.answer(*id, choice).expect("valid answer");
+                }
+            }
+        }
+    }
+    completed
+}
+
+/// A human-readable summary of [`manager_throughput`] for the experiments
+/// binary: sessions per second at a few fleet sizes.
+pub fn manager_report() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Session-manager throughput (Example 1.1, oracle feedback, interleaved)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>14} {:>16}",
+        "#sessions", "total time", "sessions/sec"
+    )
+    .unwrap();
+    for &n in &[10usize, 100, 500] {
+        let start = std::time::Instant::now();
+        let completed = manager_throughput(n);
+        let elapsed = start.elapsed();
+        writeln!(
+            out,
+            "{:<12} {:>14} {:>16.0}",
+            completed,
+            fmt_duration(elapsed),
+            completed as f64 / elapsed.as_secs_f64().max(1e-9)
+        )
+        .unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn manager_throughput_completes_every_session() {
+        assert_eq!(manager_throughput(25), 25);
+    }
+
+    #[test]
+    fn manager_report_prints_rates() {
+        let text = manager_report();
+        assert!(text.contains("sessions/sec"));
+        assert!(text.contains("100"));
+    }
 
     #[test]
     fn candidates_always_contain_the_target_and_reproduce_r() {
@@ -636,7 +870,9 @@ mod tests {
         let r = w.example_result("Q2").unwrap();
         let candidates = candidates_for(&w.database, &target, 10);
         assert!(candidates.len() >= 2);
-        assert!(candidates.iter().any(|q| q.to_string() == target.to_string()));
+        assert!(candidates
+            .iter()
+            .any(|q| q.to_string() == target.to_string()));
         for q in &candidates {
             assert!(evaluate(q, &w.database).unwrap().bag_equal(&r), "{q}");
         }

@@ -75,11 +75,7 @@ impl GenerationContext {
     ///
     /// All candidate queries must share the same join schema (the Section 5
     /// assumption); [`QfeError::MixedJoinSchemas`] is returned otherwise.
-    pub fn new(
-        db: &Database,
-        original_result: &QueryResult,
-        queries: &[SpjQuery],
-    ) -> Result<Self> {
+    pub fn new(db: &Database, original_result: &QueryResult, queries: &[SpjQuery]) -> Result<Self> {
         if queries.is_empty() {
             return Err(QfeError::NoCandidates);
         }
@@ -388,8 +384,14 @@ mod tests {
     fn class_matching_is_consistent_and_cached() {
         let ctx = employee_context();
         // Bob/Darren's class matches every candidate; Alice/Celina's matches none.
-        let bob_class = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
-        let alice_class = ctx.class_space().classify(&ctx.join().rows()[0].tuple).unwrap();
+        let bob_class = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[1].tuple)
+            .unwrap();
+        let alice_class = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[0].tuple)
+            .unwrap();
         for q in 0..3 {
             assert!(ctx.class_matches(&bob_class, q));
             assert!(!ctx.class_matches(&alice_class, q));
@@ -401,7 +403,10 @@ mod tests {
     #[test]
     fn outcomes_follow_lemma_5_1() {
         let ctx = employee_context();
-        let bob_class = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        let bob_class = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[1].tuple)
+            .unwrap();
         // Destination pairs changing a single attribute from Bob's class.
         let pairs = ctx.destination_pairs(&bob_class, 1);
         assert!(!pairs.is_empty());
@@ -434,7 +439,10 @@ mod tests {
     #[test]
     fn partition_sizes_and_balance_for_single_pair() {
         let ctx = employee_context();
-        let bob_class = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        let bob_class = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[1].tuple)
+            .unwrap();
         let salary_pos = ctx
             .class_space()
             .attributes()

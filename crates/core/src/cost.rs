@@ -204,13 +204,9 @@ pub fn user_effort_cost(params: &CostParams, inputs: &CostInputs) -> f64 {
     let mu = inputs.modified_tuples.max(1) as f64;
     let db_edit = inputs.db_edit_cost as f64;
     let current = inputs.db_cost(params.beta) + inputs.result_cost();
-    let n_remaining = estimate_iterations(
-        inputs.max_subset(),
-        inputs.best_binary_x,
-        params.estimator,
-    );
-    let residual_per_round =
-        db_edit / mu + params.beta + (2.0 / k) * inputs.result_cost();
+    let n_remaining =
+        estimate_iterations(inputs.max_subset(), inputs.best_binary_x, params.estimator);
+    let residual_per_round = db_edit / mu + params.beta + (2.0 / k) * inputs.result_cost();
     current + n_remaining * residual_per_round
 }
 
@@ -247,10 +243,22 @@ mod tests {
 
     #[test]
     fn simple_iteration_estimate_is_log2() {
-        assert_eq!(estimate_iterations(1, None, IterationEstimator::Simple), 0.0);
-        assert_eq!(estimate_iterations(2, None, IterationEstimator::Simple), 1.0);
-        assert_eq!(estimate_iterations(8, None, IterationEstimator::Simple), 3.0);
-        assert_eq!(estimate_iterations(9, None, IterationEstimator::Simple), 4.0);
+        assert_eq!(
+            estimate_iterations(1, None, IterationEstimator::Simple),
+            0.0
+        );
+        assert_eq!(
+            estimate_iterations(2, None, IterationEstimator::Simple),
+            1.0
+        );
+        assert_eq!(
+            estimate_iterations(8, None, IterationEstimator::Simple),
+            3.0
+        );
+        assert_eq!(
+            estimate_iterations(9, None, IterationEstimator::Simple),
+            4.0
+        );
     }
 
     #[test]
@@ -265,13 +273,19 @@ mod tests {
     fn refined_estimate_uses_lemma_3_1_bound() {
         // max = 10, x = 2: N1 = 10/2 - 1 = 4 iterations removing 2 each
         // (leaving 2), then N2 = ceil(log2(10 - 8)) = 1 -> N = 5.
-        assert_eq!(estimate_iterations(10, Some(2), IterationEstimator::Refined), 5.0);
+        assert_eq!(
+            estimate_iterations(10, Some(2), IterationEstimator::Refined),
+            5.0
+        );
         // A balanced split (x = half) reduces to roughly the simple estimate.
         let refined = estimate_iterations(16, Some(8), IterationEstimator::Refined);
         let simple = estimate_iterations(16, None, IterationEstimator::Simple);
         assert!(refined <= simple + 1.0);
         // x = 1 (worst case): N1 = max - 1, N2 = 0.
-        assert_eq!(estimate_iterations(5, Some(1), IterationEstimator::Refined), 4.0);
+        assert_eq!(
+            estimate_iterations(5, Some(1), IterationEstimator::Refined),
+            4.0
+        );
     }
 
     #[test]

@@ -92,8 +92,7 @@ impl DatabaseGenerator {
 
         // Step 2: Algorithm 4.
         let pick_start = Instant::now();
-        let picked =
-            pick_stc_dtc_subset(ctx, &skyline.pairs, &self.params, skyline.best_binary_x)?;
+        let picked = pick_stc_dtc_subset(ctx, &skyline.pairs, &self.params, skyline.best_binary_x)?;
         let pick_time = pick_start.elapsed();
 
         // Step 3: realize D' and verify.

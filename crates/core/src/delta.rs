@@ -10,7 +10,7 @@ use qfe_query::QueryResult;
 use qfe_relation::{diff_tables, Database, EditOp, Tuple};
 
 /// The difference between the original database `D` and a modified `D'`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DatabaseDelta {
     /// The edits, grouped in table order.
     pub edits: Vec<EditOp>,
@@ -34,10 +34,7 @@ impl DatabaseDelta {
         self.edits
             .iter()
             .map(|e| {
-                let arity = original
-                    .table(e.table())
-                    .map(|t| t.arity())
-                    .unwrap_or(1);
+                let arity = original.table(e.table()).map(|t| t.arity()).unwrap_or(1);
                 e.cost(arity)
             })
             .sum()
@@ -68,7 +65,7 @@ impl fmt::Display for DatabaseDelta {
 
 /// The difference between the original result `R` and one candidate result
 /// `R_i` on the modified database.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultDelta {
     /// Rows of `R` that are absent from `R_i`.
     pub removed: Vec<Tuple>,

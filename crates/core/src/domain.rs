@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use qfe_query::Term;
-use qfe_relation::Value;
+use qfe_relation::{DataType, Value};
 
 /// One block of an attribute's domain partition.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +105,21 @@ impl std::fmt::Display for DomainBlock {
 /// regions whose truth vector over the terms is identical, yielding the
 /// minimum partition required by the paper's definition.
 pub fn partition_numeric_domain(terms: &[&Term], active_domain: &[Value]) -> Vec<DomainBlock> {
+    partition_numeric_domain_for(terms, active_domain, DataType::Float)
+}
+
+/// [`partition_numeric_domain`] made aware of the column's declared type.
+///
+/// For an integer column the real domain is the integers, not the reals:
+/// elementary regions containing no integer (such as the open interval
+/// `(80, 81)`) are dropped — they can never be realized by a database
+/// modification — and every block representative is an integer, so realized
+/// edits always conform to the column type.
+pub fn partition_numeric_domain_for(
+    terms: &[&Term],
+    active_domain: &[Value],
+    value_type: DataType,
+) -> Vec<DomainBlock> {
     // Collect constants mentioned by the terms.
     let mut constants: Vec<Value> = terms
         .iter()
@@ -158,10 +173,18 @@ pub fn partition_numeric_domain(terms: &[&Term], active_domain: &[Value]) -> Vec
         probe: probe_above(&constants[constants.len() - 1]),
     });
 
+    // An integer column can only hold integers: drop the regions that
+    // contain none (they are unrealizable), before merging so that the
+    // surviving neighbours still coalesce on equal truth vectors.
+    if value_type == DataType::Int {
+        regions.retain(|r| int_interval_nonempty(r.lower.as_ref(), r.upper.as_ref()));
+    }
+
     // Truth vector of each region, then merge adjacent regions with equal
     // vectors.
+    type Bound = Option<(Value, bool)>;
     let truth = |probe: &Value| -> Vec<bool> { terms.iter().map(|t| t.eval(probe)).collect() };
-    let mut blocks: Vec<(Option<(Value, bool)>, Option<(Value, bool)>, Vec<bool>)> = Vec::new();
+    let mut blocks: Vec<(Bound, Bound, Vec<bool>)> = Vec::new();
     for r in regions {
         let tv = truth(&r.probe);
         match blocks.last_mut() {
@@ -175,8 +198,11 @@ pub fn partition_numeric_domain(terms: &[&Term], active_domain: &[Value]) -> Vec
     blocks
         .into_iter()
         .map(|(lower, upper, _)| {
-            let representative =
+            let mut representative =
                 pick_numeric_representative(lower.as_ref(), upper.as_ref(), active_domain);
+            if value_type == DataType::Int && !matches!(representative, Value::Int(_)) {
+                representative = Value::Int(int_representative(lower.as_ref(), upper.as_ref()));
+            }
             DomainBlock::Interval {
                 lower,
                 upper,
@@ -184,6 +210,54 @@ pub fn partition_numeric_domain(terms: &[&Term], active_domain: &[Value]) -> Vec
             }
         })
         .collect()
+}
+
+/// The smallest integer satisfying an interval lower bound.
+fn min_int_in(lower: Option<&(Value, bool)>) -> i64 {
+    match lower {
+        None => i64::MIN,
+        Some((v, inclusive)) => {
+            let f = v.as_f64().unwrap_or(f64::NEG_INFINITY);
+            let c = f.ceil();
+            let mut i = c as i64;
+            if !inclusive && c == f {
+                i = i.saturating_add(1);
+            }
+            i
+        }
+    }
+}
+
+/// The largest integer satisfying an interval upper bound.
+fn max_int_in(upper: Option<&(Value, bool)>) -> i64 {
+    match upper {
+        None => i64::MAX,
+        Some((v, inclusive)) => {
+            let f = v.as_f64().unwrap_or(f64::INFINITY);
+            let fl = f.floor();
+            let mut i = fl as i64;
+            if !inclusive && fl == f {
+                i = i.saturating_sub(1);
+            }
+            i
+        }
+    }
+}
+
+/// Whether the interval contains at least one integer.
+fn int_interval_nonempty(lower: Option<&(Value, bool)>, upper: Option<&(Value, bool)>) -> bool {
+    min_int_in(lower) <= max_int_in(upper)
+}
+
+/// An integer inside a (known integer-nonempty) interval, preferring values
+/// near the bounds so representatives stay close to the constants the user's
+/// predicates mention.
+fn int_representative(lower: Option<&(Value, bool)>, upper: Option<&(Value, bool)>) -> i64 {
+    match (lower, upper) {
+        (Some(_), _) => min_int_in(lower),
+        (None, Some(_)) => max_int_in(upper),
+        (None, None) => 0,
+    }
 }
 
 /// Partitions a *categorical* attribute's domain given the terms on it and
@@ -218,9 +292,7 @@ pub fn partition_categorical_domain(terms: &[&Term], active_domain: &[Value]) ->
         let tv: Vec<bool> = terms.iter().map(|t| t.eval(v)).collect();
         groups.entry(tv).or_default().push(v.clone());
     }
-    if !groups.contains_key(&fresh_truth) {
-        groups.insert(fresh_truth, vec![fresh]);
-    }
+    groups.entry(fresh_truth).or_insert_with(|| vec![fresh]);
 
     groups
         .into_values()
@@ -334,7 +406,10 @@ fn probe_between(a: &Value, b: &Value) -> Value {
 
 fn synthesize_fresh_value(universe: &[Value]) -> Value {
     let mut candidate = "qfe_fresh".to_string();
-    while universe.iter().any(|v| v.as_str() == Some(candidate.as_str())) {
+    while universe
+        .iter()
+        .any(|v| v.as_str() == Some(candidate.as_str()))
+    {
         candidate.push('_');
     }
     Value::Text(candidate)
@@ -356,7 +431,12 @@ mod tests {
         let blocks = partition_numeric_domain(&terms, &[]);
         assert_eq!(blocks.len(), 4, "{blocks:?}");
         // Check the block boundaries by probing values.
-        let find = |v: i64| blocks.iter().position(|b| b.contains(&Value::Int(v))).unwrap();
+        let find = |v: i64| {
+            blocks
+                .iter()
+                .position(|b| b.contains(&Value::Int(v)))
+                .unwrap()
+        };
         assert_eq!(find(40), find(0));
         assert_eq!(find(41), find(50));
         assert_ne!(find(40), find(41));
@@ -423,23 +503,31 @@ mod tests {
         let blocks = partition_categorical_domain(&[&t1], &dom);
         assert_eq!(blocks.len(), 2);
         assert!(blocks.iter().any(|b| b.contains(&Value::Text("IT".into()))));
-        assert!(blocks
-            .iter()
-            .any(|b| matches!(b, DomainBlock::ValueSet { values, .. } if values
+        assert!(blocks.iter().any(
+            |b| matches!(b, DomainBlock::ValueSet { values, .. } if values
                 .iter()
-                .all(|v| v.as_str().is_some_and(|s| s.starts_with("qfe_fresh"))))));
+                .all(|v| v.as_str().is_some_and(|s| s.starts_with("qfe_fresh"))))
+        ));
     }
 
     #[test]
     fn representatives_prefer_active_domain_values() {
         let t1 = Term::compare("salary", ComparisonOp::Gt, 4000i64);
-        let dom = vec![Value::Int(3000), Value::Int(3700), Value::Int(4200), Value::Int(5000)];
+        let dom = vec![
+            Value::Int(3000),
+            Value::Int(3700),
+            Value::Int(4200),
+            Value::Int(5000),
+        ];
         let blocks = partition_numeric_domain(&[&t1], &dom);
         assert_eq!(blocks.len(), 2);
         for b in &blocks {
             let rep = b.representative();
             assert!(b.contains(rep));
-            assert!(dom.contains(rep), "representative {rep} should come from the active domain");
+            assert!(
+                dom.contains(rep),
+                "representative {rep} should come from the active domain"
+            );
         }
     }
 
@@ -483,7 +571,10 @@ mod tests {
         }
         // Truth values of each term are constant within each block.
         for b in &blocks {
-            let rep_truth: Vec<bool> = [&t1, &t2, &t3].iter().map(|t| t.eval(b.representative())).collect();
+            let rep_truth: Vec<bool> = [&t1, &t2, &t3]
+                .iter()
+                .map(|t| t.eval(b.representative()))
+                .collect();
             for probe in -10..15 {
                 let v = Value::Int(probe);
                 if b.contains(&v) {
@@ -501,7 +592,12 @@ mod tests {
         let blocks = partition_numeric_domain(&[&t1, &t2], &[Value::Float(0.0), Value::Float(2.0)]);
         // (-inf,-0.5), [-0.5,-0.5], (-0.5,0.5), [0.5,0.5], (0.5,inf) merged by
         // truth vectors -> {<-0.5 incl -0.5? } check membership distinctness:
-        let idx_of = |x: f64| blocks.iter().position(|b| b.contains(&Value::Float(x))).unwrap();
+        let idx_of = |x: f64| {
+            blocks
+                .iter()
+                .position(|b| b.contains(&Value::Float(x)))
+                .unwrap()
+        };
         assert_eq!(idx_of(0.0), idx_of(0.2));
         assert_ne!(idx_of(0.0), idx_of(0.6));
         assert_ne!(idx_of(-0.6), idx_of(0.0));

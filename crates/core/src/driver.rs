@@ -13,11 +13,10 @@ use qfe_query::{QueryResult, SpjQuery};
 use qfe_relation::Database;
 
 use crate::cost::CostParams;
-use crate::dbgen::DatabaseGenerator;
-use crate::delta::{DatabaseDelta, ResultDelta};
+use crate::engine::{QfeEngine, Step};
 use crate::error::{QfeError, Result};
-use crate::feedback::{FeedbackChoice, FeedbackRound, FeedbackUser};
-use crate::stats::{IterationStats, SessionReport};
+use crate::feedback::FeedbackUser;
+use crate::stats::SessionReport;
 
 /// Default cap on feedback iterations (a safety net far above anything the
 /// evaluation workloads need; the loop normally terminates when one candidate
@@ -41,8 +40,22 @@ pub struct QfeSession {
 pub struct QfeOutcome {
     /// The target query identified by the feedback loop.
     pub query: SpjQuery,
+    /// When the feedback loop could not separate the last survivors — the
+    /// database generator certified that no valid modification distinguishes
+    /// them — this holds the whole equivalence class (including `query`,
+    /// which is its deterministically chosen representative). Empty when the
+    /// loop narrowed the candidates to a single query.
+    pub indistinguishable: Vec<SpjQuery>,
     /// Per-iteration statistics.
     pub report: SessionReport,
+}
+
+impl QfeOutcome {
+    /// True when the loop terminated on a single query rather than an
+    /// equivalence class of indistinguishable survivors.
+    pub fn fully_identified(&self) -> bool {
+        self.indistinguishable.is_empty()
+    }
 }
 
 /// Builder for [`QfeSession`].
@@ -91,101 +104,46 @@ impl QfeSession {
         &self.params
     }
 
+    /// The iteration safety cap.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    pub(crate) fn query_generation_time(&self) -> Duration {
+        self.query_generation_time
+    }
+
+    /// Starts the session as a sans-IO state machine: the returned engine
+    /// yields each [`FeedbackRound`](crate::FeedbackRound) from
+    /// [`QfeEngine::step`] and is advanced by [`QfeEngine::answer`]. Use this
+    /// instead of [`QfeSession::run`] whenever the answering side is a real
+    /// user, another process, or anything else that must not be blocked on.
+    pub fn start(&self) -> QfeEngine {
+        QfeEngine::from_session(self)
+    }
+
     /// Runs the feedback loop (Algorithm 1) against the given user.
+    ///
+    /// This is a thin synchronous loop over [`QfeSession::start`]: step the
+    /// engine, ask `user` to choose, feed the answer back. Blocking callers
+    /// with automated responders keep using this; interactive front ends
+    /// should drive the engine directly.
     pub fn run(&self, user: &dyn FeedbackUser) -> Result<QfeOutcome> {
-        let mut remaining: Vec<SpjQuery> = self.candidates.clone();
-        if remaining.is_empty() {
-            return Err(QfeError::NoCandidates);
-        }
-        let generator = DatabaseGenerator::new(self.params.clone());
-        let mut report = SessionReport {
-            query_generation_time: self.query_generation_time,
-            initial_candidates: remaining.len(),
-            iterations: Vec::new(),
-        };
-
-        let mut iteration = 0usize;
-        while remaining.len() > 1 {
-            iteration += 1;
-            if iteration > self.max_iterations {
-                return Err(QfeError::Internal {
-                    message: format!(
-                        "exceeded the maximum of {} feedback iterations",
-                        self.max_iterations
-                    ),
-                });
+        let mut engine = self.start();
+        loop {
+            match engine.step()? {
+                Step::Done(outcome) => return Ok(outcome),
+                Step::AwaitFeedback(round) => {
+                    let chosen = user.choose(&round);
+                    let user_time = user.response_time(&round, chosen);
+                    match chosen {
+                        Some(idx) => engine.answer_timed(idx, user_time)?,
+                        // The next step() surfaces TargetNotInCandidates.
+                        None => engine.reject_timed(user_time)?,
+                    }
+                }
             }
-            let round_start = Instant::now();
-            let generated = generator.generate(&self.database, &self.result, &remaining)?;
-
-            // Assemble the feedback round.
-            let database_delta = DatabaseDelta {
-                edits: generated.edits.clone(),
-            };
-            let choices: Vec<FeedbackChoice> = generated
-                .partition
-                .groups
-                .iter()
-                .map(|g| FeedbackChoice {
-                    result: g.result.clone(),
-                    result_delta: ResultDelta::between(&self.result, &g.result),
-                    candidate_count: g.query_indices.len(),
-                    query_indices: g.query_indices.clone(),
-                })
-                .collect();
-            let round = FeedbackRound {
-                iteration,
-                database: generated.database.clone(),
-                database_delta,
-                choices,
-            };
-
-            // Ask the user.
-            let chosen = user.choose(&round);
-            let user_time = user.response_time(&round, chosen);
-            let machine_time = round_start.elapsed()
-                + if iteration == 1 {
-                    self.query_generation_time
-                } else {
-                    Duration::ZERO
-                };
-
-            report.iterations.push(IterationStats {
-                iteration,
-                candidate_count: remaining.len(),
-                group_count: round.choices.len(),
-                skyline_pairs: generated.skyline_pair_count,
-                execution_time: machine_time,
-                skyline_time: generated.skyline_time,
-                pick_time: generated.pick_time,
-                modify_time: generated.modify_time,
-                db_cost: generated.db_edit_cost,
-                result_cost: generated.result_cost,
-                modified_relations: generated.modified_relations,
-                modified_tuples: generated.modified_tuples,
-                user_time,
-            });
-
-            let Some(choice_idx) = chosen else {
-                return Err(QfeError::TargetNotInCandidates);
-            };
-            let kept = round
-                .choices
-                .get(choice_idx)
-                .ok_or_else(|| QfeError::Internal {
-                    message: format!("user chose result {choice_idx} of {}", round.choices.len()),
-                })?;
-            remaining = kept
-                .query_indices
-                .iter()
-                .map(|&i| remaining[i].clone())
-                .collect();
         }
-
-        Ok(QfeOutcome {
-            query: remaining.into_iter().next().expect("exactly one query remains"),
-            report,
-        })
     }
 }
 
@@ -231,18 +189,19 @@ impl QfeSessionBuilder {
             None => {
                 let generator = QueryGenerator::new(self.generator_config.clone());
                 match &self.ensure_candidate {
-                    Some(target) => generator.generate_including(
-                        &self.database,
-                        &self.result,
-                        target,
-                    )?,
+                    Some(target) => {
+                        generator.generate_including(&self.database, &self.result, target)?
+                    }
                     None => generator.generate(&self.database, &self.result)?,
                 }
             }
         };
-        // When explicit candidates were supplied, still honour ensure_candidate.
+        // When explicit candidates were supplied, still honour
+        // ensure_candidate. Deduplicate structurally — rendered SQL text can
+        // differ for the same query (labels, spacing), which would smuggle a
+        // duplicate candidate in and cost the user an extra feedback round.
         if let Some(target) = &self.ensure_candidate {
-            if !candidates.iter().any(|q| q.to_string() == target.to_string()) {
+            if !candidates.iter().any(|q| q.same_query(target)) {
                 candidates.push(target.clone());
             }
         }
@@ -297,9 +256,7 @@ mod tests {
     }
 
     fn example_candidates() -> Vec<SpjQuery> {
-        let q = |label: &str, p| {
-            SpjQuery::new(vec!["Employee"], vec!["name"], p).with_label(label)
-        };
+        let q = |label: &str, p| SpjQuery::new(vec!["Employee"], vec!["name"], p).with_label(label);
         vec![
             q("Q1", DnfPredicate::single(Term::eq("gender", "M"))),
             q(
@@ -372,7 +329,9 @@ mod tests {
         // original database — and because the oracle drives feedback on every
         // generated database, equivalent on all of those too.
         assert_eq!(
-            evaluate(&outcome.query, session.database()).unwrap().fingerprint(),
+            evaluate(&outcome.query, session.database())
+                .unwrap()
+                .fingerprint(),
             evaluate(&target, session.database()).unwrap().fingerprint()
         );
     }

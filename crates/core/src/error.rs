@@ -28,6 +28,20 @@ pub enum QfeError {
     /// Candidate queries use different join schemas; run QFE per join group
     /// (Section 6.2) or enable the grouped driver.
     MixedJoinSchemas,
+    /// The feedback loop exceeded its iteration safety cap without narrowing
+    /// the candidates to one query.
+    IterationLimitExceeded { limit: usize },
+    /// The caller answered a feedback round with a choice index outside the
+    /// presented results.
+    InvalidChoice { chosen: usize, available: usize },
+    /// `answer` / `reject` was called while no feedback round was pending
+    /// (the engine was never stepped, or the round was already answered).
+    NoPendingRound,
+    /// A session manager operation referenced a session id that is not (or no
+    /// longer) hosted.
+    UnknownSession { id: u64 },
+    /// A session snapshot could not be serialized or deserialized.
+    Snapshot { message: String },
     /// An internal invariant was violated (a bug in the caller or in QFE).
     Internal { message: String },
 }
@@ -52,6 +66,20 @@ impl fmt::Display for QfeError {
                 f,
                 "candidate queries use different join schemas; use the grouped driver (Section 6.2)"
             ),
+            QfeError::IterationLimitExceeded { limit } => write!(
+                f,
+                "exceeded the maximum of {limit} feedback iterations"
+            ),
+            QfeError::InvalidChoice { chosen, available } => write!(
+                f,
+                "choice {chosen} is out of range: the round presents {available} results"
+            ),
+            QfeError::NoPendingRound => write!(
+                f,
+                "no feedback round is pending; step the engine before answering"
+            ),
+            QfeError::UnknownSession { id } => write!(f, "unknown session id {id}"),
+            QfeError::Snapshot { message } => write!(f, "session snapshot error: {message}"),
             QfeError::Internal { message } => write!(f, "internal QFE error: {message}"),
         }
     }
@@ -85,12 +113,32 @@ mod tests {
     use super::*;
 
     #[test]
+    fn step_api_error_messages() {
+        let e = QfeError::IterationLimitExceeded { limit: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = QfeError::InvalidChoice {
+            chosen: 5,
+            available: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+        assert!(QfeError::NoPendingRound.to_string().contains("pending"));
+        assert!(QfeError::UnknownSession { id: 9 }.to_string().contains('9'));
+        let e = QfeError::Snapshot {
+            message: "bad json".into(),
+        };
+        assert!(e.to_string().contains("bad json"));
+    }
+
+    #[test]
     fn display_messages() {
         assert!(QfeError::NoCandidates.to_string().contains("empty"));
         assert!(QfeError::TargetNotInCandidates
             .to_string()
             .contains("not in the candidate set"));
-        assert!(QfeError::MixedJoinSchemas.to_string().contains("join schemas"));
+        assert!(QfeError::MixedJoinSchemas
+            .to_string()
+            .contains("join schemas"));
         let e = QfeError::NoDistinguishingDatabase {
             remaining: vec!["Q1".into(), "Q2".into()],
         };

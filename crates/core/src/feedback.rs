@@ -18,7 +18,7 @@ use qfe_relation::Database;
 use crate::delta::{DatabaseDelta, ResultDelta};
 
 /// One selectable result in a feedback round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeedbackChoice {
     /// The candidate result `R_i` on the modified database.
     pub result: QueryResult,
@@ -31,7 +31,7 @@ pub struct FeedbackChoice {
 }
 
 /// Everything shown to the user in one feedback round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeedbackRound {
     /// 1-based iteration number.
     pub iteration: usize,
@@ -117,8 +117,11 @@ impl FeedbackUser for OracleUser {
 /// A responder driven by a caller-provided closure — the hook for wiring QFE
 /// into an actual interactive front end.
 pub struct InteractiveUser {
-    chooser: Box<dyn Fn(&FeedbackRound) -> Option<usize> + Send + Sync>,
+    chooser: Box<Chooser>,
 }
+
+/// The boxed decision procedure behind an [`InteractiveUser`].
+type Chooser = dyn Fn(&FeedbackRound) -> Option<usize> + Send + Sync;
 
 impl InteractiveUser {
     /// Creates a responder from a closure.
@@ -327,11 +330,8 @@ mod tests {
             vec!["name"],
             DnfPredicate::single(Term::compare("salary", ComparisonOp::Gt, 4000i64)),
         );
-        let user = SimulatedHumanUser::new(
-            q2.clone(),
-            Duration::from_secs(2),
-            Duration::from_secs(6),
-        );
+        let user =
+            SimulatedHumanUser::new(q2.clone(), Duration::from_secs(2), Duration::from_secs(6));
         assert_eq!(user.choose(&r), Some(1));
         // Presented cost: 1 db edit + 0 delta rows (choice 0) + 1 delta row
         // (choice 1) = 2 -> 2 + 2*6 = 14 seconds.
@@ -345,6 +345,9 @@ mod tests {
     fn result_delta_inside_choice_reports_removed_row() {
         let r = round();
         assert!(r.choices[0].result_delta.is_empty());
-        assert_eq!(r.choices[1].result_delta.removed, vec![Tuple::new(vec![Value::Text("Bob".into())])]);
+        assert_eq!(
+            r.choices[1].result_delta.removed,
+            vec![Tuple::new(vec![Value::Text("Bob".into())])]
+        );
     }
 }

@@ -20,7 +20,10 @@ use crate::feedback::FeedbackUser;
 pub fn group_by_join_schema(queries: &[SpjQuery]) -> Vec<Vec<SpjQuery>> {
     let mut groups: BTreeMap<Vec<String>, Vec<SpjQuery>> = BTreeMap::new();
     for q in queries {
-        groups.entry(q.join_signature()).or_default().push(q.clone());
+        groups
+            .entry(q.join_signature())
+            .or_default()
+            .push(q.clone());
     }
     let mut groups: Vec<Vec<SpjQuery>> = groups.into_values().collect();
     groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
@@ -129,7 +132,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(dept).unwrap();
         db.add_table(emp).unwrap();
-        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did")).unwrap();
+        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did"))
+            .unwrap();
         db
     }
 
@@ -233,7 +237,13 @@ mod tests {
         let db = two_schema_db();
         let result = QueryResult::empty(vec!["eid".to_string()]);
         assert!(matches!(
-            run_grouped(&db, &result, &[], &CostParams::default(), &crate::feedback::WorstCaseUser),
+            run_grouped(
+                &db,
+                &result,
+                &[],
+                &CostParams::default(),
+                &crate::feedback::WorstCaseUser
+            ),
             Err(QfeError::NoCandidates)
         ));
     }

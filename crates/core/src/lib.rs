@@ -21,6 +21,46 @@
 //!    prunes the false positives, and the loop ([`QfeSession`], Algorithm 1)
 //!    repeats until one query remains.
 //!
+//! Algorithm 1 is exposed two ways. [`QfeSession::run`] is the blocking
+//! callback loop for automated responders; [`QfeSession::start`] yields a
+//! sans-IO [`QfeEngine`] whose [`step`](QfeEngine::step) /
+//! [`answer`](QfeEngine::answer) API suspends cleanly while a real user
+//! thinks, serializes to a [`SessionSnapshot`] for cross-process resume, and
+//! scales to many concurrent users behind a [`SessionManager`].
+//!
+//! ## Step-API quickstart
+//!
+//! ```
+//! use qfe_core::{OracleUser, FeedbackUser, QfeEngine, QfeSession, SessionSnapshot, Step};
+//! use qfe_datasets::example_1_1;
+//!
+//! let (db, result, candidates, target) = example_1_1();
+//! let session = QfeSession::builder(db, result)
+//!     .with_candidates(candidates)
+//!     .build()
+//!     .unwrap();
+//!
+//! let user = OracleUser::new(target.clone());
+//! let mut engine = session.start();
+//! let outcome = loop {
+//!     match engine.step().unwrap() {
+//!         Step::Done(outcome) => break outcome,
+//!         Step::AwaitFeedback(round) => {
+//!             // Park the whole session as JSON while the "user" thinks,
+//!             // then resume it in a fresh engine — nothing else survives.
+//!             let parked = engine.snapshot().serialize();
+//!             engine = QfeEngine::resume(
+//!                 SessionSnapshot::deserialize(&parked).unwrap(),
+//!             )
+//!             .unwrap();
+//!             let choice = user.choose(&round).expect("oracle finds its result");
+//!             engine.answer(choice).unwrap();
+//!         }
+//!     }
+//! };
+//! assert_eq!(outcome.query, target);
+//! ```
+//!
 //! ## Example
 //!
 //! ```
@@ -78,11 +118,14 @@ mod dbgen;
 mod delta;
 mod domain;
 mod driver;
+mod engine;
 mod error;
 mod feedback;
 mod join_groups;
+mod manager;
 mod pick;
 mod realize;
+mod serial;
 mod set_semantics;
 mod skyline;
 mod stats;
@@ -96,14 +139,19 @@ pub use cost::{
 };
 pub use dbgen::{DatabaseGenerator, GeneratedDatabase};
 pub use delta::{DatabaseDelta, ResultDelta};
-pub use domain::{partition_categorical_domain, partition_numeric_domain, DomainBlock};
+pub use domain::{
+    partition_categorical_domain, partition_numeric_domain, partition_numeric_domain_for,
+    DomainBlock,
+};
 pub use driver::{QfeOutcome, QfeSession, QfeSessionBuilder, DEFAULT_MAX_ITERATIONS};
+pub use engine::{PendingRound, QfeEngine, SessionSnapshot, Step};
 pub use error::{QfeError, Result};
 pub use feedback::{
     FeedbackChoice, FeedbackRound, FeedbackUser, InteractiveUser, OracleUser, SimulatedHumanUser,
     WorstCaseUser,
 };
 pub use join_groups::{group_by_join_schema, run_grouped};
+pub use manager::{SessionId, SessionManager};
 pub use pick::{pick_stc_dtc_subset, PickOutcome};
 pub use realize::{
     apply_edits, edits_to_ops, evaluate_modification, group_result, realize_pairs, CellEdit,

@@ -1,0 +1,309 @@
+//! Hosting many concurrent QFE sessions behind opaque handles.
+//!
+//! [`SessionManager`] owns a set of [`QfeEngine`]s keyed by [`SessionId`]
+//! and exposes the engine operations — step, answer, reject, snapshot —
+//! through the handle. It is the embedding point for a server frontend: a
+//! request handler resolves the session id, steps or answers, and returns;
+//! no thread ever blocks waiting for a user.
+//!
+//! Concurrency: the manager is `Sync`. The session table is behind a
+//! read-write lock held only for lookup, and each engine has its own mutex,
+//! so sessions progress independently — stepping one session (which runs
+//! Algorithms 2–4) never blocks stepping another.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::driver::QfeSession;
+use crate::engine::{QfeEngine, SessionSnapshot, Step};
+use crate::error::{QfeError, Result};
+
+/// Opaque handle to a session hosted by a [`SessionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id (for logging and wire protocols).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+type SharedEngine = Arc<Mutex<QfeEngine>>;
+
+/// Hosts many concurrent [`QfeEngine`]s behind [`SessionId`] handles.
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    sessions: RwLock<HashMap<SessionId, SharedEngine>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Starts hosting a new session built from the given configured session.
+    pub fn create(&self, session: &QfeSession) -> SessionId {
+        self.adopt(session.start())
+    }
+
+    /// Starts hosting an existing engine (e.g. one resumed from a snapshot).
+    pub fn adopt(&self, engine: QfeEngine) -> SessionId {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.sessions
+            .write()
+            .expect("session table lock poisoned")
+            .insert(id, Arc::new(Mutex::new(engine)));
+        id
+    }
+
+    /// Restores a session from a snapshot and starts hosting it.
+    pub fn restore(&self, snapshot: SessionSnapshot) -> Result<SessionId> {
+        Ok(self.adopt(QfeEngine::resume(snapshot)?))
+    }
+
+    fn engine(&self, id: SessionId) -> Result<SharedEngine> {
+        self.sessions
+            .read()
+            .expect("session table lock poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(QfeError::UnknownSession { id: id.0 })
+    }
+
+    /// Advances a session: [`QfeEngine::step`] through the handle.
+    pub fn step(&self, id: SessionId) -> Result<Step> {
+        self.engine(id)?
+            .lock()
+            .expect("engine lock poisoned")
+            .step()
+    }
+
+    /// Answers a session's pending round: [`QfeEngine::answer`].
+    pub fn answer(&self, id: SessionId, choice_idx: usize) -> Result<()> {
+        self.engine(id)?
+            .lock()
+            .expect("engine lock poisoned")
+            .answer(choice_idx)
+    }
+
+    /// [`QfeEngine::answer_timed`] through the handle.
+    pub fn answer_timed(
+        &self,
+        id: SessionId,
+        choice_idx: usize,
+        user_time: Duration,
+    ) -> Result<()> {
+        self.engine(id)?
+            .lock()
+            .expect("engine lock poisoned")
+            .answer_timed(choice_idx, user_time)
+    }
+
+    /// Reports "none of these" for a session's pending round:
+    /// [`QfeEngine::reject`].
+    pub fn reject(&self, id: SessionId) -> Result<()> {
+        self.engine(id)?
+            .lock()
+            .expect("engine lock poisoned")
+            .reject()
+    }
+
+    /// Externalizes a session's state: [`QfeEngine::snapshot`]. The session
+    /// keeps running; pair with [`SessionManager::evict`] to migrate it away.
+    pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot> {
+        Ok(self
+            .engine(id)?
+            .lock()
+            .expect("engine lock poisoned")
+            .snapshot())
+    }
+
+    /// Stops hosting a session. Returns `false` when the id was unknown
+    /// (evicting twice is not an error).
+    pub fn evict(&self, id: SessionId) -> bool {
+        self.sessions
+            .write()
+            .expect("session table lock poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// True when the id is currently hosted.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.sessions
+            .read()
+            .expect("session table lock poisoned")
+            .contains_key(&id)
+    }
+
+    /// Number of hosted sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .read()
+            .expect("session table lock poisoned")
+            .len()
+    }
+
+    /// True when no sessions are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ids of all hosted sessions, in ascending order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .sessions
+            .read()
+            .expect("session table lock poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Step;
+    use crate::feedback::{FeedbackUser, OracleUser};
+    use qfe_datasets::example_1_1;
+    use qfe_query::SpjQuery;
+
+    fn session_for(target_idx: usize) -> (QfeSession, SpjQuery) {
+        let (db, result, candidates, _) = example_1_1();
+        let target = candidates[target_idx].clone();
+        let session = QfeSession::builder(db, result)
+            .with_candidates(candidates)
+            .build()
+            .unwrap();
+        (session, target)
+    }
+
+    #[test]
+    fn create_step_answer_evict_lifecycle() {
+        let manager = SessionManager::new();
+        assert!(manager.is_empty());
+        let (session, target) = session_for(1);
+        let id = manager.create(&session);
+        assert!(manager.contains(id));
+        assert_eq!(manager.len(), 1);
+        assert_eq!(manager.session_ids(), vec![id]);
+        assert_eq!(id.to_string(), format!("session-{}", id.as_u64()));
+
+        let oracle = OracleUser::new(target.clone());
+        let outcome = loop {
+            match manager.step(id).unwrap() {
+                Step::Done(outcome) => break outcome,
+                Step::AwaitFeedback(round) => {
+                    manager.answer(id, oracle.choose(&round).unwrap()).unwrap();
+                }
+            }
+        };
+        assert_eq!(outcome.query.label, target.label);
+        assert!(manager.evict(id));
+        assert!(!manager.evict(id));
+        assert!(matches!(
+            manager.step(id),
+            Err(QfeError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_under_a_new_id() {
+        let manager = SessionManager::new();
+        let (session, target) = session_for(2);
+        let id = manager.create(&session);
+        // Generate a round, snapshot mid-round, evict the original.
+        let round = match manager.step(id).unwrap() {
+            Step::AwaitFeedback(round) => round,
+            Step::Done(_) => panic!("three candidates cannot finish immediately"),
+        };
+        let snapshot = manager.snapshot(id).unwrap();
+        assert!(manager.evict(id));
+
+        let restored = manager.restore(snapshot).unwrap();
+        assert_ne!(restored, id);
+        let oracle = OracleUser::new(target.clone());
+        // The restored session re-presents the cached round.
+        let outcome = loop {
+            match manager.step(restored).unwrap() {
+                Step::Done(outcome) => break outcome,
+                Step::AwaitFeedback(r) => {
+                    if r.iteration == round.iteration {
+                        assert_eq!(r, round, "cached round must be re-presented");
+                    }
+                    manager
+                        .answer(restored, oracle.choose(&r).unwrap())
+                        .unwrap();
+                }
+            }
+        };
+        assert_eq!(outcome.query.label, target.label);
+    }
+
+    #[test]
+    fn unknown_ids_are_reported() {
+        let manager = SessionManager::new();
+        let ghost = SessionId(999);
+        assert!(!manager.contains(ghost));
+        assert!(matches!(
+            manager.answer(ghost, 0),
+            Err(QfeError::UnknownSession { id: 999 })
+        ));
+        assert!(matches!(
+            manager.snapshot(ghost),
+            Err(QfeError::UnknownSession { .. })
+        ));
+        assert!(matches!(
+            manager.reject(ghost),
+            Err(QfeError::UnknownSession { .. })
+        ));
+        assert!(matches!(
+            manager.answer_timed(ghost, 0, Duration::ZERO),
+            Err(QfeError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let manager = SessionManager::new();
+        let (s1, t1) = session_for(1);
+        let (s2, t2) = session_for(2);
+        let a = manager.create(&s1);
+        let b = manager.create(&s2);
+        // Interleave the two sessions round by round.
+        let (o1, o2) = {
+            let drive = |id, target: &SpjQuery| {
+                let oracle = OracleUser::new(target.clone());
+                loop {
+                    match manager.step(id).unwrap() {
+                        Step::Done(outcome) => break outcome,
+                        Step::AwaitFeedback(round) => {
+                            manager.answer(id, oracle.choose(&round).unwrap()).unwrap()
+                        }
+                    }
+                }
+            };
+            // Alternate single steps first to prove interleaving is safe.
+            let _ = manager.step(a).unwrap();
+            let _ = manager.step(b).unwrap();
+            (drive(a, &t1), drive(b, &t2))
+        };
+        assert_eq!(o1.query.label, t1.label);
+        assert_eq!(o2.query.label, t2.label);
+    }
+}

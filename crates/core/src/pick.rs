@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 use crate::context::{ClassPair, GenerationContext};
 use crate::cost::{objective, CostInputs, CostParams};
 use crate::error::{QfeError, Result};
-use crate::realize::{evaluate_modification, realize_pairs, ModificationEvaluation, RealizedModification};
+use crate::realize::{
+    evaluate_modification, realize_pairs, ModificationEvaluation, RealizedModification,
+};
 
 /// Safety cap on the number of candidate sets kept per extension level.
 /// The paper relies purely on the balance-pruning heuristic; the cap only
@@ -106,8 +108,8 @@ pub fn pick_stc_dtc_subset(
     let mut best: Vec<EvaluatedSet> = Vec::new();
     let mut min_cost = f64::INFINITY;
     let mut current_level: Vec<(Vec<usize>, f64)> = Vec::new(); // (indices, abstract balance)
-    for i in 0..skyline.len() {
-        let abstract_balance = ctx.balance(std::slice::from_ref(&skyline[i]));
+    for (i, pair) in skyline.iter().enumerate() {
+        let abstract_balance = ctx.balance(std::slice::from_ref(pair));
         current_level.push((vec![i], abstract_balance));
         if let Some(eval) = evaluate_set(&[i]) {
             if eval.cost < min_cost {
@@ -134,8 +136,7 @@ pub fn pick_stc_dtc_subset(
                 if !seen.insert(extended.clone()) {
                     continue;
                 }
-                let pairs: Vec<ClassPair> =
-                    extended.iter().map(|&i| skyline[i].clone()).collect();
+                let pairs: Vec<ClassPair> = extended.iter().map(|&i| skyline[i].clone()).collect();
                 let extended_balance = ctx.balance(&pairs);
                 if extended_balance < *balance {
                     if let Some(eval) = evaluate_set(&extended) {
@@ -192,7 +193,7 @@ mod tests {
     use super::*;
     use crate::skyline::skyline_stc_dtc_pairs;
     use qfe_query::{evaluate, ComparisonOp, DnfPredicate, SpjQuery, Term};
-    use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+    use qfe_relation::{tuple, ColumnDef, DataType, Database, Table, TableSchema};
 
     fn employee_context() -> GenerationContext {
         let employee = Table::with_rows(
@@ -237,9 +238,13 @@ mod tests {
     fn picks_a_discriminating_low_cost_modification() {
         let ctx = employee_context();
         let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(5));
-        let outcome =
-            pick_stc_dtc_subset(&ctx, &skyline.pairs, &CostParams::default(), skyline.best_binary_x)
-                .unwrap();
+        let outcome = pick_stc_dtc_subset(
+            &ctx,
+            &skyline.pairs,
+            &CostParams::default(),
+            skyline.best_binary_x,
+        )
+        .unwrap();
         assert!(!outcome.chosen.is_empty());
         assert!(outcome.evaluation.group_count() >= 2);
         assert!(outcome.cost.is_finite());
@@ -284,7 +289,8 @@ mod tests {
         let ctx = employee_context();
         let skyline = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(5));
         let params = CostParams::default();
-        let full = pick_stc_dtc_subset(&ctx, &skyline.pairs, &params, skyline.best_binary_x).unwrap();
+        let full =
+            pick_stc_dtc_subset(&ctx, &skyline.pairs, &params, skyline.best_binary_x).unwrap();
         let half: Vec<ClassPair> = skyline.pairs[..skyline.pairs.len().max(1) / 2 + 1].to_vec();
         let partial = pick_stc_dtc_subset(&ctx, &half, &params, skyline.best_binary_x).unwrap();
         assert!(full.cost <= partial.cost + 1e-9);

@@ -100,15 +100,29 @@ impl ModificationEvaluation {
 /// (fewest side effects) and that do not conflict with the edits already
 /// chosen for earlier pairs. Returns `None` when some pair has no realizable
 /// tuple (e.g. all members already used).
-pub fn realize_pairs(
-    ctx: &GenerationContext,
-    pairs: &[ClassPair],
-) -> Option<RealizedModification> {
+pub fn realize_pairs(ctx: &GenerationContext, pairs: &[ClassPair]) -> Option<RealizedModification> {
     let mut used_join_rows: BTreeSet<usize> = BTreeSet::new();
     let mut edited_cells: BTreeSet<(String, usize, String)> = BTreeSet::new();
     let mut edits: Vec<CellEdit> = Vec::new();
 
     for pair in pairs {
+        // A destination block whose representative cannot be stored in the
+        // column's declared type is unrealizable: e.g. the open interval
+        // (80, 81) of a BIGINT column contains no integers, so its fractional
+        // representative must never be written into the base table.
+        for &pos in &pair.changed_attributes {
+            let attr = &ctx.class_space().attributes()[pos];
+            let rep = attr.blocks[pair.destination[pos]].representative();
+            let conforms = ctx
+                .database()
+                .table(&attr.table)
+                .ok()
+                .and_then(|t| t.schema().column(&attr.base_column))
+                .is_some_and(|c| rep.conforms_to(c.data_type));
+            if !conforms {
+                return None;
+            }
+        }
         let members = ctx.source_classes().get(&pair.source)?;
         // Order candidate rows by total fan-out of the base tuples we would
         // modify (ascending: prefer side-effect-free realizations).
@@ -147,8 +161,7 @@ pub fn realize_pairs(
                 if edited_cells.contains(&key) {
                     continue 'candidate;
                 }
-                let new_value =
-                    attr.blocks[pair.destination[pos]].representative().clone();
+                let new_value = attr.blocks[pair.destination[pos]].representative().clone();
                 pair_edits.push(CellEdit {
                     table: attr.table.clone(),
                     row: base_row,
@@ -207,11 +220,12 @@ pub fn edits_to_ops(db: &Database, edits: &[CellEdit]) -> Result<Vec<EditOp>> {
     let mut ops = Vec::with_capacity(edits.len());
     for e in edits {
         let table = db.table(&e.table)?;
-        let col_idx = table.schema().column_index(&e.column).ok_or_else(|| {
-            QfeError::Internal {
+        let col_idx = table
+            .schema()
+            .column_index(&e.column)
+            .ok_or_else(|| QfeError::Internal {
                 message: format!("unknown column {}.{}", e.table, e.column),
-            }
-        })?;
+            })?;
         let old = table
             .row(e.row)
             .and_then(|r| r.get(col_idx).cloned())
@@ -294,7 +308,7 @@ pub fn group_result(original: &QueryResult, group: &GroupEffect) -> QueryResult 
     }
     let mut rows: Vec<Tuple> = multiset
         .into_iter()
-        .flat_map(|(row, count)| std::iter::repeat(row).take(count))
+        .flat_map(|(row, count)| std::iter::repeat_n(row, count))
         .collect();
     rows.extend(group.added.iter().cloned());
     rows.sort();
@@ -347,7 +361,10 @@ mod tests {
     }
 
     fn salary_pair(ctx: &GenerationContext) -> ClassPair {
-        let bob = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        let bob = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[1].tuple)
+            .unwrap();
         let salary_pos = ctx
             .class_space()
             .attributes()
@@ -389,7 +406,9 @@ mod tests {
         );
         let ops = edits_to_ops(ctx.database(), &realized.edits).unwrap();
         assert_eq!(ops.len(), 1);
-        assert!(matches!(&ops[0], EditOp::ModifyCell { old, .. } if *old == Value::Int(4200) || *old == Value::Int(5000)));
+        assert!(
+            matches!(&ops[0], EditOp::ModifyCell { old, .. } if *old == Value::Int(4200) || *old == Value::Int(5000))
+        );
     }
 
     #[test]
@@ -398,7 +417,10 @@ mod tests {
         let parent = Table::with_rows(
             TableSchema::new(
                 "P",
-                vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
             )
             .unwrap()
             .with_primary_key(&["id"])
@@ -409,7 +431,10 @@ mod tests {
         let child = Table::with_rows(
             TableSchema::new(
                 "C",
-                vec![ColumnDef::new("pid", DataType::Int), ColumnDef::new("w", DataType::Int)],
+                vec![
+                    ColumnDef::new("pid", DataType::Int),
+                    ColumnDef::new("w", DataType::Int),
+                ],
             )
             .unwrap(),
             vec![tuple![1i64, 10i64]],
@@ -418,7 +443,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(parent).unwrap();
         db.add_table(child).unwrap();
-        db.add_foreign_key(ForeignKey::new("C", "pid", "P", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("C", "pid", "P", "id"))
+            .unwrap();
         let bad = vec![CellEdit {
             table: "C".into(),
             row: 0,
@@ -461,7 +487,10 @@ mod tests {
     #[test]
     fn realize_two_pairs_uses_distinct_tuples() {
         let ctx = employee_context();
-        let bob = ctx.class_space().classify(&ctx.join().rows()[1].tuple).unwrap();
+        let bob = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[1].tuple)
+            .unwrap();
         let pairs = ctx.destination_pairs(&bob, 1);
         // Take two different single-attribute pairs from the same source class.
         let two: Vec<ClassPair> = pairs.into_iter().take(2).collect();
@@ -478,7 +507,10 @@ mod tests {
     #[test]
     fn realize_fails_when_class_has_too_few_members() {
         let ctx = employee_context();
-        let alice = ctx.class_space().classify(&ctx.join().rows()[0].tuple).unwrap();
+        let alice = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[0].tuple)
+            .unwrap();
         let pairs = ctx.destination_pairs(&alice, 1);
         // Alice's class has two members (Alice, Celina): three pairs from the
         // same class cannot all be realized on distinct tuples.

@@ -39,7 +39,7 @@ mod tests {
     use crate::driver::QfeSession;
     use crate::feedback::OracleUser;
     use qfe_query::{evaluate, ComparisonOp, DnfPredicate, Term};
-    use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+    use qfe_relation::{tuple, ColumnDef, DataType, Database, Table, TableSchema};
 
     fn db_with_duplicates() -> Database {
         // Two IT employees share the same name, so a DISTINCT projection of

@@ -50,7 +50,7 @@ pub fn skyline_stc_dtc_pairs(ctx: &GenerationContext, time_budget: Duration) -> 
         for source in ctx.source_classes().keys() {
             for pair in ctx.destination_pairs(source, edit_cost) {
                 enumerated += 1;
-                if enumerated % TIME_CHECK_INTERVAL == 0 && start.elapsed() > time_budget {
+                if enumerated.is_multiple_of(TIME_CHECK_INTERVAL) && start.elapsed() > time_budget {
                     timed_out = true;
                     pairs.extend(level_pairs);
                     break 'levels;
@@ -101,7 +101,7 @@ pub fn skyline_stc_dtc_pairs(ctx: &GenerationContext, time_budget: Duration) -> 
 mod tests {
     use super::*;
     use qfe_query::{evaluate, ComparisonOp, DnfPredicate, SpjQuery, Term};
-    use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+    use qfe_relation::{tuple, ColumnDef, DataType, Database, Table, TableSchema};
 
     fn employee_context() -> GenerationContext {
         let employee = Table::with_rows(

@@ -59,7 +59,7 @@ impl IterationStats {
 }
 
 /// The full record of one QFE session.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionReport {
     /// Time spent generating the initial candidate queries (Query Generator).
     pub query_generation_time: Duration,
@@ -135,7 +135,14 @@ impl fmt::Display for SessionReport {
         writeln!(
             f,
             "{:<5} {:>9} {:>9} {:>9} {:>10} {:>8} {:>11} {:>14}",
-            "iter", "#queries", "#subsets", "#skyline", "time(ms)", "dbCost", "resultCost", "avgResultCost"
+            "iter",
+            "#queries",
+            "#subsets",
+            "#skyline",
+            "time(ms)",
+            "dbCost",
+            "resultCost",
+            "avgResultCost"
         )?;
         for it in &self.iterations {
             writeln!(
@@ -159,7 +166,12 @@ impl fmt::Display for SessionReport {
 mod tests {
     use super::*;
 
-    fn stats(iteration: usize, db_cost: usize, result_cost: usize, groups: usize) -> IterationStats {
+    fn stats(
+        iteration: usize,
+        db_cost: usize,
+        result_cost: usize,
+        groups: usize,
+    ) -> IterationStats {
         IterationStats {
             iteration,
             candidate_count: 19,

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use qfe_query::{BoundQuery, SpjQuery};
 use qfe_relation::{JoinedRelation, Tuple, Value};
 
-use crate::domain::{partition_categorical_domain, partition_numeric_domain, DomainBlock};
+use crate::domain::{partition_categorical_domain, partition_numeric_domain_for, DomainBlock};
 use crate::error::{QfeError, Result};
 
 /// A tuple class: the block index chosen for each selection attribute, in
@@ -50,7 +50,9 @@ impl TupleClassSpace {
         let mut terms_by_col: BTreeMap<usize, Vec<qfe_query::Term>> = BTreeMap::new();
         for q in queries {
             for term in q.predicate.all_terms() {
-                let col = join.resolve_column(term.attribute()).map_err(QfeError::from)?;
+                let col = join
+                    .resolve_column(term.attribute())
+                    .map_err(QfeError::from)?;
                 terms_by_col.entry(col).or_default().push(term.clone());
             }
         }
@@ -62,7 +64,7 @@ impl TupleClassSpace {
             let active_domain = join.active_domain(col);
             let term_refs: Vec<&qfe_query::Term> = terms.iter().collect();
             let blocks = if meta.data_type.is_numeric() {
-                partition_numeric_domain(&term_refs, &active_domain)
+                partition_numeric_domain_for(&term_refs, &active_domain, meta.data_type)
             } else {
                 partition_categorical_domain(&term_refs, &active_domain)
             };
@@ -90,7 +92,11 @@ impl TupleClassSpace {
     /// The maximum number of domain blocks over all attributes (the `k` of
     /// the paper's complexity analysis).
     pub fn max_blocks(&self) -> usize {
-        self.attributes.iter().map(|a| a.blocks.len()).max().unwrap_or(0)
+        self.attributes
+            .iter()
+            .map(|a| a.blocks.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Classifies a joined tuple, returning the block index per attribute.
@@ -134,10 +140,7 @@ impl TupleClassSpace {
     /// values is exact (every value of a block has the same truth value for
     /// every term).
     pub fn class_matches(&self, class: &TupleClass, query: &BoundQuery) -> bool {
-        let rep: BTreeMap<usize, Value> = self
-            .representative_values(class)
-            .into_iter()
-            .collect();
+        let rep: BTreeMap<usize, Value> = self.representative_values(class).into_iter().collect();
         // Build a pseudo-tuple covering only the needed columns: the widest
         // column index determines the length.
         let width = query
@@ -212,7 +215,7 @@ impl TupleClassSpace {
                     return out;
                 }
                 i -= 1;
-                if combo[i] + 1 <= positions.len() - (modify_count - i) {
+                if combo[i] < positions.len() - (modify_count - i) {
                     combo[i] += 1;
                     for j in i + 1..modify_count {
                         combo[j] = combo[j - 1] + 1;
@@ -225,11 +228,7 @@ impl TupleClassSpace {
 
     /// The set of distinct classes among the join's rows plus the given extra
     /// classes — useful for reporting.
-    pub fn all_classes(
-        &self,
-        join: &JoinedRelation,
-        extra: &[TupleClass],
-    ) -> BTreeSet<TupleClass> {
+    pub fn all_classes(&self, join: &JoinedRelation, extra: &[TupleClass]) -> BTreeSet<TupleClass> {
         let mut set: BTreeSet<TupleClass> = self.source_classes(join).into_keys().collect();
         set.extend(extra.iter().cloned());
         set
@@ -240,7 +239,9 @@ impl TupleClassSpace {
 mod tests {
     use super::*;
     use qfe_query::{ComparisonOp, DnfPredicate, Term};
-    use qfe_relation::{foreign_key_join, tuple, ColumnDef, Database, DataType, Table, TableSchema};
+    use qfe_relation::{
+        foreign_key_join, tuple, ColumnDef, DataType, Database, Table, TableSchema,
+    };
 
     fn employee_setup() -> (JoinedRelation, Vec<SpjQuery>) {
         let employee = Table::with_rows(
@@ -286,7 +287,11 @@ mod tests {
         let (join, queries) = employee_setup();
         let space = TupleClassSpace::build(&join, &queries).unwrap();
         assert_eq!(space.attribute_count(), 3); // gender, dept, salary
-        let refs: Vec<&str> = space.attributes().iter().map(|a| a.reference.as_str()).collect();
+        let refs: Vec<&str> = space
+            .attributes()
+            .iter()
+            .map(|a| a.reference.as_str())
+            .collect();
         assert!(refs.contains(&"Employee.gender"));
         assert!(refs.contains(&"Employee.dept"));
         assert!(refs.contains(&"Employee.salary"));
@@ -352,8 +357,11 @@ mod tests {
         let space = TupleClassSpace::build(&join, &queries).unwrap();
         for class in space.source_classes(&join).keys() {
             for (attr, &block_idx) in space.attributes().iter().zip(class.iter()) {
-                let (_, rep) = space.representative_values(class)
-                    [space.attributes().iter().position(|a| a.column == attr.column).unwrap()]
+                let (_, rep) = space.representative_values(class)[space
+                    .attributes()
+                    .iter()
+                    .position(|a| a.column == attr.column)
+                    .unwrap()]
                 .clone();
                 assert!(attr.blocks[block_idx].contains(&rep));
             }
@@ -381,7 +389,9 @@ mod tests {
         assert!(space
             .destination_classes(&source, space.attribute_count() + 1, &modifiable)
             .is_empty());
-        assert!(space.destination_classes(&source, 0, &modifiable).is_empty());
+        assert!(space
+            .destination_classes(&source, 0, &modifiable)
+            .is_empty());
     }
 
     #[test]
@@ -415,7 +425,10 @@ mod tests {
         for (dest, _) in space.destination_classes(&source, 1, &modifiable) {
             let mut outcomes = BTreeSet::new();
             for b in &bound {
-                outcomes.insert((space.class_matches(&source, b), space.class_matches(&dest, b)));
+                outcomes.insert((
+                    space.class_matches(&source, b),
+                    space.class_matches(&dest, b),
+                ));
             }
             assert!(outcomes.len() <= 4);
         }
@@ -426,7 +439,7 @@ mod tests {
         let (join, queries) = employee_setup();
         let space = TupleClassSpace::build(&join, &queries).unwrap();
         let extra: TupleClass = vec![0; space.attribute_count()];
-        let all = space.all_classes(&join, &[extra.clone()]);
+        let all = space.all_classes(&join, std::slice::from_ref(&extra));
         assert!(all.contains(&extra));
         assert!(all.len() >= 2);
     }

@@ -7,7 +7,7 @@
 //! predicate complexity.
 
 use qfe_query::{ComparisonOp, Conjunct, DnfPredicate, SpjQuery, Term};
-use qfe_relation::{ColumnDef, Database, DataType, Table, TableSchema, Tuple, Value};
+use qfe_relation::{ColumnDef, DataType, Database, Table, TableSchema, Tuple, Value};
 use rand::Rng;
 
 use crate::workload::{seeded_rng, Workload};
@@ -28,8 +28,21 @@ pub fn adult_small(seed: u64) -> Workload {
 /// Builds the Adult workload with an explicit row count.
 pub fn adult_scaled(seed: u64, rows: usize) -> Workload {
     let mut rng = seeded_rng(seed);
-    let workclasses = ["Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov"];
-    let educations = ["Bachelors", "HS-grad", "Masters", "Some-college", "Doctorate", "11th"];
+    let workclasses = [
+        "Private",
+        "Self-emp",
+        "Federal-gov",
+        "Local-gov",
+        "State-gov",
+    ];
+    let educations = [
+        "Bachelors",
+        "HS-grad",
+        "Masters",
+        "Some-college",
+        "Doctorate",
+        "11th",
+    ];
     let maritals = ["Married", "Never-married", "Divorced", "Widowed"];
     let occupations = [
         "Tech-support",
@@ -41,7 +54,13 @@ pub fn adult_scaled(seed: u64, rows: usize) -> Workload {
         "Machine-op-inspct",
     ];
     let races = ["White", "Black", "Asian-Pac-Islander", "Other"];
-    let countries = ["United-States", "Mexico", "Philippines", "Germany", "Canada"];
+    let countries = [
+        "United-States",
+        "Mexico",
+        "Philippines",
+        "Germany",
+        "Canada",
+    ];
 
     let schema = TableSchema::new(
         "Adult",
@@ -78,7 +97,11 @@ pub fn adult_scaled(seed: u64, rows: usize) -> Workload {
             Value::Text(if rng.gen_bool(0.55) { "Male" } else { "Female" }.to_string()),
             Value::Int(rng.gen_range(10..80)),
             Value::Text(countries[rng.gen_range(0..countries.len())].to_string()),
-            Value::Int(if rng.gen_bool(0.85) { 0 } else { rng.gen_range(1000..60_000) }),
+            Value::Int(if rng.gen_bool(0.85) {
+                0
+            } else {
+                rng.gen_range(1000..60_000)
+            }),
         ]));
     }
 

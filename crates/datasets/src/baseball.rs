@@ -10,7 +10,7 @@
 //! disjunction).
 
 use qfe_query::{ComparisonOp, Conjunct, DnfPredicate, SpjQuery, Term};
-use qfe_relation::{ColumnDef, Database, DataType, ForeignKey, Table, TableSchema, Tuple, Value};
+use qfe_relation::{ColumnDef, DataType, Database, ForeignKey, Table, TableSchema, Tuple, Value};
 use rand::Rng;
 
 use crate::workload::{rounded_uniform, seeded_rng, Workload};
@@ -167,7 +167,14 @@ pub fn baseball_scaled(
     .expect("batting key");
     // Player pool: a few hundred recurring IDs, including the paper's named
     // players.
-    let named_players = ["rosepe01", "esaskni01", "sotoma01", "brownto05", "pariske01", "welshch01"];
+    let named_players = [
+        "rosepe01",
+        "esaskni01",
+        "sotoma01",
+        "brownto05",
+        "pariske01",
+        "welshch01",
+    ];
     let pool_size = (batting_rows / 12).max(named_players.len() + 1);
     let mut batting_rows_v: Vec<Tuple> = Vec::with_capacity(batting_rows);
     for key in 0..batting_rows {
@@ -362,7 +369,11 @@ mod tests {
         let w = baseball_small(11);
         let join = foreign_key_join(
             &w.database,
-            &["Manager".to_string(), "Team".to_string(), "Batting".to_string()],
+            &[
+                "Manager".to_string(),
+                "Team".to_string(),
+                "Batting".to_string(),
+            ],
         )
         .unwrap();
         // Every batting row whose team has a manager appears at least once.

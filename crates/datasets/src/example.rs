@@ -2,7 +2,7 @@
 //! `R = {Bob, Darren}` and the three candidate queries Q1–Q3.
 
 use qfe_query::{evaluate, ComparisonOp, DnfPredicate, QueryResult, SpjQuery, Term};
-use qfe_relation::{tuple, ColumnDef, Database, DataType, Table, TableSchema};
+use qfe_relation::{tuple, ColumnDef, DataType, Database, Table, TableSchema};
 
 /// Builds Example 1.1: returns `(D, R, QC, target)` where the target is the
 /// paper's Q2 (`salary > 4000`).

@@ -41,7 +41,5 @@ pub use scientific::{
     scientific, scientific_q1, scientific_q2, scientific_scaled, scientific_small, COMPANION_ROWS,
     JOIN_ROWS, PMTE_ROWS,
 };
-pub use variants::{
-    child_table_subset, entropy_variant, entropy_variants, initial_size_variants,
-};
+pub use variants::{child_table_subset, entropy_variant, entropy_variants, initial_size_variants};
 pub use workload::{seeded_rng, Workload};

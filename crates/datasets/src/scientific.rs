@@ -10,9 +10,7 @@
 //! biologist queries Q1 and Q2.
 
 use qfe_query::{evaluate, ComparisonOp, Conjunct, DnfPredicate, SpjQuery, Term};
-use qfe_relation::{
-    ColumnDef, Database, DataType, ForeignKey, Table, TableSchema, Tuple, Value,
-};
+use qfe_relation::{ColumnDef, DataType, Database, ForeignKey, Table, TableSchema, Tuple, Value};
 use rand::Rng;
 
 use crate::workload::{rounded_uniform, seeded_rng, Workload};
@@ -70,7 +68,14 @@ pub fn scientific_scaled(
         .expect("valid key");
 
     let chromosomes = ["chr1", "chr2", "chr3", "chr4", "chr5"];
-    let annotations = ["transport", "kinase", "unknown", "ribosomal", "membrane", "stress"];
+    let annotations = [
+        "transport",
+        "kinase",
+        "unknown",
+        "ribosomal",
+        "membrane",
+        "stress",
+    ];
     let mut pmte_rows: Vec<Tuple> = Vec::with_capacity(parent_rows);
     for gene in 0..parent_rows {
         let mut values = vec![Value::Int(gene as i64 + 1)];
@@ -84,9 +89,13 @@ pub fn scientific_scaled(
         values.push(Value::Float(rounded_uniform(&mut rng, 0.0, 50.0)));
         values.push(Value::Int(rng.gen_range(200..12_000)));
         values.push(Value::Float(rounded_uniform(&mut rng, 0.30, 0.65)));
-        values.push(Value::Text(chromosomes[rng.gen_range(0..chromosomes.len())].to_string()));
+        values.push(Value::Text(
+            chromosomes[rng.gen_range(0..chromosomes.len())].to_string(),
+        ));
         values.push(Value::Int(rng.gen_range(1..40)));
-        values.push(Value::Text(annotations[rng.gen_range(0..annotations.len())].to_string()));
+        values.push(Value::Text(
+            annotations[rng.gen_range(0..annotations.len())].to_string(),
+        ));
         pmte_rows.push(Tuple::new(values));
     }
 
@@ -120,7 +129,9 @@ pub fn scientific_scaled(
         .add_table(Table::with_rows(pmte_schema, pmte_rows).expect("valid PmTE rows"))
         .expect("add PmTE");
     database
-        .add_table(Table::with_rows(companion_schema, companion_rows).expect("valid companion rows"))
+        .add_table(
+            Table::with_rows(companion_schema, companion_rows).expect("valid companion rows"),
+        )
         .expect("add companion");
     database
         .add_foreign_key(ForeignKey::new(
@@ -217,7 +228,9 @@ fn plant_query_rows(
     // Reserve the first few non-dangling child rows and point them at the
     // first few genes, one child per gene, so that calibrate() can shape those
     // genes' measurements without join fan-out surprises.
-    let reserved = 8.min(child_rows.saturating_sub(dangling_children)).min(parent_rows);
+    let reserved = 8
+        .min(child_rows.saturating_sub(dangling_children))
+        .min(parent_rows);
     {
         let child = database
             .table_mut("table_Psemu1FL_RT_spgp_gp_ok")
@@ -237,7 +250,8 @@ fn plant_query_rows(
                 .and_then(|v| v.as_i64());
             if let Some(g) = gene {
                 if g <= reserved as i64 && parent_rows > reserved {
-                    let remapped = reserved as i64 + 1 + (g + row as i64) % (parent_rows - reserved) as i64;
+                    let remapped =
+                        reserved as i64 + 1 + (g + row as i64) % (parent_rows - reserved) as i64;
                     child
                         .update_cell(row, "gene_id", Value::Int(remapped))
                         .expect("valid remapped gene reference");
@@ -262,7 +276,11 @@ fn calibrate(database: &mut Database, query: &SpjQuery, target_rows: usize, firs
             c.terms()
                 .iter()
                 .map(|t| match t {
-                    Term::Compare { attribute, op, value } => {
+                    Term::Compare {
+                        attribute,
+                        op,
+                        value,
+                    } => {
                         let v = value.as_f64().unwrap_or(0.0);
                         let adjusted = match op {
                             ComparisonOp::Lt => v - 0.25,
@@ -306,13 +324,16 @@ fn calibrate(database: &mut Database, query: &SpjQuery, target_rows: usize, firs
         // Find a satisfying gene beyond the reserved block and knock it out.
         let join = qfe_relation::foreign_key_join(
             database,
-            &query.tables.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &query
+                .tables
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
         )
         .expect("join");
         let bound = qfe_query::BoundQuery::bind(query, &join).expect("bind");
         let gene_col = join.resolve_column("PmTE_ALL_DE.gene_id").expect("gene_id");
-        let protected =
-            (first_gene_row as i64 + 1)..=(first_gene_row as i64 + target_rows as i64);
+        let protected = (first_gene_row as i64 + 1)..=(first_gene_row as i64 + target_rows as i64);
         let mut demoted = false;
         for row in join.rows() {
             if bound.matches_row(&row.tuple) {

@@ -24,13 +24,17 @@ pub fn child_table_subset(database: &Database, fraction: f64) -> Database {
         .map(|fk| fk.parent_table.clone())
         .collect();
     let mut subset = database.clone();
-    let table_names: Vec<String> = database.table_names().iter().map(|s| s.to_string()).collect();
+    let table_names: Vec<String> = database
+        .table_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     for name in table_names {
         if referenced.contains(&name) {
             continue;
         }
-        let keep = ((database.table(&name).map(|t| t.len()).unwrap_or(0) as f64) * fraction)
-            .ceil() as usize;
+        let keep = ((database.table(&name).map(|t| t.len()).unwrap_or(0) as f64) * fraction).ceil()
+            as usize;
         let table = subset.table_mut(&name).expect("table exists");
         while table.len() > keep.max(1) {
             let last = table.len() - 1;
@@ -45,7 +49,12 @@ pub fn child_table_subset(database: &Database, fraction: f64) -> Database {
 pub fn initial_size_variants(database: &Database) -> Vec<(String, Database)> {
     [0.25, 0.5, 0.75, 1.0]
         .iter()
-        .map(|&f| (format!("D{}", (f * 4.0) as usize), child_table_subset(database, f)))
+        .map(|&f| {
+            (
+                format!("D{}", (f * 4.0) as usize),
+                child_table_subset(database, f),
+            )
+        })
         .collect()
 }
 
@@ -177,7 +186,10 @@ mod tests {
         }
         assert_eq!(
             sizes[3],
-            w.database.table("table_Psemu1FL_RT_spgp_gp_ok").unwrap().len()
+            w.database
+                .table("table_Psemu1FL_RT_spgp_gp_ok")
+                .unwrap()
+                .len()
         );
     }
 

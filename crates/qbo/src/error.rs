@@ -29,14 +29,20 @@ impl fmt::Display for QboError {
             QboError::Query(e) => write!(f, "{e}"),
             QboError::Relation(e) => write!(f, "{e}"),
             QboError::NoProjection => {
-                write!(f, "no projection over any foreign-key join matches the example result")
+                write!(
+                    f,
+                    "no projection over any foreign-key join matches the example result"
+                )
             }
             QboError::NoCandidates => write!(
                 f,
                 "no candidate query reproduces the example result within the configured bounds"
             ),
             QboError::EmptyResult => {
-                write!(f, "the example result is empty; provide at least one output row")
+                write!(
+                    f,
+                    "the example result is empty; provide at least one output row"
+                )
             }
         }
     }

@@ -170,7 +170,10 @@ mod tests {
     }
 
     fn bob_darren() -> QueryResult {
-        QueryResult::new(vec!["name".to_string()], vec![tuple!["Bob"], tuple!["Darren"]])
+        QueryResult::new(
+            vec!["name".to_string()],
+            vec![tuple!["Bob"], tuple!["Darren"]],
+        )
     }
 
     #[test]
@@ -178,7 +181,11 @@ mod tests {
         let db = employee_db();
         let result = bob_darren();
         let candidates = QueryGenerator::default().generate(&db, &result).unwrap();
-        assert!(candidates.len() >= 3, "found {} candidates", candidates.len());
+        assert!(
+            candidates.len() >= 3,
+            "found {} candidates",
+            candidates.len()
+        );
         for q in &candidates {
             let r = evaluate(q, &db).unwrap();
             assert!(r.bag_equal(&result), "candidate {q} does not reproduce R");
@@ -188,17 +195,30 @@ mod tests {
     #[test]
     fn example_1_1_candidates_are_found() {
         let db = employee_db();
-        let candidates = QueryGenerator::default().generate(&db, &bob_darren()).unwrap();
+        let candidates = QueryGenerator::default()
+            .generate(&db, &bob_darren())
+            .unwrap();
         let rendered: Vec<String> = candidates.iter().map(|q| q.to_string()).collect();
-        assert!(rendered.iter().any(|s| s.contains("gender = 'M'")), "{rendered:#?}");
-        assert!(rendered.iter().any(|s| s.contains("dept = 'IT'")), "{rendered:#?}");
-        assert!(rendered.iter().any(|s| s.contains("salary >")), "{rendered:#?}");
+        assert!(
+            rendered.iter().any(|s| s.contains("gender = 'M'")),
+            "{rendered:#?}"
+        );
+        assert!(
+            rendered.iter().any(|s| s.contains("dept = 'IT'")),
+            "{rendered:#?}"
+        );
+        assert!(
+            rendered.iter().any(|s| s.contains("salary >")),
+            "{rendered:#?}"
+        );
     }
 
     #[test]
     fn candidates_are_deduplicated_and_ordered() {
         let db = employee_db();
-        let candidates = QueryGenerator::default().generate(&db, &bob_darren()).unwrap();
+        let candidates = QueryGenerator::default()
+            .generate(&db, &bob_darren())
+            .unwrap();
         let mut sqls: Vec<String> = candidates.iter().map(|q| q.to_string()).collect();
         let before = sqls.len();
         sqls.dedup();
@@ -224,8 +244,13 @@ mod tests {
     fn unproducible_result_yields_no_projection_or_candidates() {
         let db = employee_db();
         let impossible = QueryResult::new(vec!["name".to_string()], vec![tuple![12345i64]]);
-        let err = QueryGenerator::default().generate(&db, &impossible).unwrap_err();
-        assert!(matches!(err, QboError::NoProjection | QboError::NoCandidates));
+        let err = QueryGenerator::default()
+            .generate(&db, &impossible)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QboError::NoProjection | QboError::NoCandidates
+        ));
     }
 
     #[test]
@@ -246,7 +271,9 @@ mod tests {
         let candidates = QueryGenerator::default()
             .generate_including(&db, &result, &target)
             .unwrap();
-        assert!(candidates.iter().any(|q| q.label.as_deref() == Some("target")));
+        assert!(candidates
+            .iter()
+            .any(|q| q.label.as_deref() == Some("target")));
         // A target that does not reproduce R is rejected.
         let wrong = SpjQuery::new(
             vec!["Employee"],
@@ -298,7 +325,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(dept).unwrap();
         db.add_table(emp).unwrap();
-        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did")).unwrap();
+        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did"))
+            .unwrap();
 
         let result = QueryResult::new(vec!["eid".to_string()], vec![tuple![10i64], tuple![11i64]]);
         let candidates = QueryGenerator::new(QboConfig::exhaustive())

@@ -83,8 +83,10 @@ mod tests {
         for n in ["A", "B", "C", "D"] {
             db.add_table(mk(n)).unwrap();
         }
-        db.add_foreign_key(ForeignKey::new("B", "ref", "A", "id")).unwrap();
-        db.add_foreign_key(ForeignKey::new("C", "ref", "B", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("B", "ref", "A", "id"))
+            .unwrap();
+        db.add_foreign_key(ForeignKey::new("C", "ref", "B", "id"))
+            .unwrap();
         db
     }
 
@@ -107,7 +109,10 @@ mod tests {
         assert!(pairs.contains(&&vec!["A".to_string(), "B".to_string()]));
         assert!(pairs.contains(&&vec!["B".to_string(), "C".to_string()]));
         let triples: Vec<_> = subsets.iter().filter(|s| s.len() == 3).collect();
-        assert_eq!(triples, vec![&vec!["A".to_string(), "B".to_string(), "C".to_string()]]);
+        assert_eq!(
+            triples,
+            vec![&vec!["A".to_string(), "B".to_string(), "C".to_string()]]
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ pub fn mutate_constants(
         // active domain plus midpoints between consecutive numeric values.
         for (ci, conjunct) in query.predicate.conjuncts().iter().enumerate() {
             for (ti, term) in conjunct.terms().iter().enumerate() {
-                let Term::Compare { attribute, op, value } = term else {
+                let Term::Compare {
+                    attribute,
+                    op,
+                    value,
+                } = term
+                else {
                     continue;
                 };
                 if !value.is_numeric() {
@@ -57,11 +62,16 @@ pub fn mutate_constants(
                     if &alt == value {
                         continue;
                     }
-                    let mutated = replace_term(query, ci, ti, Term::Compare {
-                        attribute: attribute.clone(),
-                        op: *op,
-                        value: alt,
-                    });
+                    let mutated = replace_term(
+                        query,
+                        ci,
+                        ti,
+                        Term::Compare {
+                            attribute: attribute.clone(),
+                            op: *op,
+                            value: alt,
+                        },
+                    );
                     let sql = mutated.to_string();
                     if seen.contains(&sql) {
                         continue;
@@ -95,7 +105,12 @@ pub fn mutate_operators(
     'outer: for query in base {
         for (ci, conjunct) in query.predicate.conjuncts().iter().enumerate() {
             for (ti, term) in conjunct.terms().iter().enumerate() {
-                let Term::Compare { attribute, op, value } = term else {
+                let Term::Compare {
+                    attribute,
+                    op,
+                    value,
+                } = term
+                else {
                     continue;
                 };
                 let flipped = match op {
@@ -105,11 +120,16 @@ pub fn mutate_operators(
                     ComparisonOp::Ge => ComparisonOp::Gt,
                     _ => continue,
                 };
-                let mutated = replace_term(query, ci, ti, Term::Compare {
-                    attribute: attribute.clone(),
-                    op: flipped,
-                    value: value.clone(),
-                });
+                let mutated = replace_term(
+                    query,
+                    ci,
+                    ti,
+                    Term::Compare {
+                        attribute: attribute.clone(),
+                        op: flipped,
+                        value: value.clone(),
+                    },
+                );
                 let sql = mutated.to_string();
                 if seen.contains(&sql) {
                     continue;
@@ -158,7 +178,12 @@ pub fn grow_candidates(
     Ok(all)
 }
 
-fn replace_term(query: &SpjQuery, conjunct_idx: usize, term_idx: usize, new_term: Term) -> SpjQuery {
+fn replace_term(
+    query: &SpjQuery,
+    conjunct_idx: usize,
+    term_idx: usize,
+    new_term: Term,
+) -> SpjQuery {
     let mut conjuncts: Vec<Conjunct> = query.predicate.conjuncts().to_vec();
     let mut terms: Vec<Term> = conjuncts[conjunct_idx].terms().to_vec();
     terms[term_idx] = new_term;

@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use qfe_query::{Conjunct, ComparisonOp, DnfPredicate, QueryResult, Term};
+use qfe_query::{ComparisonOp, Conjunct, DnfPredicate, QueryResult, Term};
 use qfe_relation::{bag_equal_rows, DataType, JoinedRelation, Value};
 
 use crate::config::QboConfig;
@@ -168,7 +168,13 @@ fn analyze_attribute(
     col: usize,
     config: &QboConfig,
 ) -> Option<AttributeAnalysis> {
-    let value_of = |row: usize| join.rows()[row].tuple.get(col).cloned().unwrap_or(Value::Null);
+    let value_of = |row: usize| {
+        join.rows()[row]
+            .tuple
+            .get(col)
+            .cloned()
+            .unwrap_or(Value::Null)
+    };
     let pos_vals: BTreeSet<Value> = split.positives.iter().map(|&r| value_of(r)).collect();
     let neg_vals: BTreeSet<Value> = split.negatives.iter().map(|&r| value_of(r)).collect();
     if pos_vals.iter().any(Value::is_null) {
@@ -184,8 +190,16 @@ fn analyze_attribute(
         let min_pos = pos_vals.iter().next().cloned().unwrap();
         let max_pos = pos_vals.iter().next_back().cloned().unwrap();
         let negs_nonnull: Vec<&Value> = neg_vals.iter().filter(|v| !v.is_null()).collect();
-        let min_neg_above = negs_nonnull.iter().filter(|v| ***v > max_pos).min().cloned();
-        let max_neg_below = negs_nonnull.iter().filter(|v| ***v < min_pos).max().cloned();
+        let min_neg_above = negs_nonnull
+            .iter()
+            .filter(|v| ***v > max_pos)
+            .min()
+            .cloned();
+        let max_neg_below = negs_nonnull
+            .iter()
+            .filter(|v| ***v < min_pos)
+            .max()
+            .cloned();
         let neg_le_max_pos = negs_nonnull.iter().any(|v| **v <= max_pos);
         let neg_ge_min_pos = negs_nonnull.iter().any(|v| **v >= min_pos);
         let neg_inside_range = negs_nonnull
@@ -195,14 +209,22 @@ fn analyze_attribute(
         // Upper-bounded predicates: all positives ≤ max_pos, valid when no
         // negative is ≤ max_pos.
         if !neg_le_max_pos {
-            exact.push(vec![Term::compare(&attr, ComparisonOp::Le, max_pos.clone())]);
+            exact.push(vec![Term::compare(
+                &attr,
+                ComparisonOp::Le,
+                max_pos.clone(),
+            )]);
             if let Some(nn) = &min_neg_above {
                 exact.push(vec![Term::compare(&attr, ComparisonOp::Lt, (*nn).clone())]);
             }
         }
         // Lower-bounded predicates.
         if !neg_ge_min_pos {
-            exact.push(vec![Term::compare(&attr, ComparisonOp::Ge, min_pos.clone())]);
+            exact.push(vec![Term::compare(
+                &attr,
+                ComparisonOp::Ge,
+                min_pos.clone(),
+            )]);
             if let Some(nn) = &max_neg_below {
                 exact.push(vec![Term::compare(&attr, ComparisonOp::Gt, (*nn).clone())]);
             }
@@ -230,12 +252,18 @@ fn analyze_attribute(
         let disjoint = pos_vals.intersection(&neg_vals).next().is_none();
         if disjoint {
             if pos_vals.len() == 1 {
-                exact.push(vec![Term::eq(&attr, pos_vals.iter().next().cloned().unwrap())]);
+                exact.push(vec![Term::eq(
+                    &attr,
+                    pos_vals.iter().next().cloned().unwrap(),
+                )]);
             } else if pos_vals.len() <= config.max_in_list {
                 exact.push(vec![Term::is_in(&attr, pos_vals.iter().cloned().collect())]);
             }
             if !neg_vals.is_empty() && neg_vals.len() <= config.max_in_list {
-                exact.push(vec![Term::not_in(&attr, neg_vals.iter().cloned().collect())]);
+                exact.push(vec![Term::not_in(
+                    &attr,
+                    neg_vals.iter().cloned().collect(),
+                )]);
             }
         }
         if pos_vals.len() == 1 {
@@ -311,7 +339,11 @@ pub fn enumerate_predicates(
 
     // 2. Multi-attribute conjunctions of covering terms.
     //    Rank attributes by discrimination, keep the useful ones.
-    analyses.sort_by(|a, b| b.discrimination.cmp(&a.discrimination).then(a.col.cmp(&b.col)));
+    analyses.sort_by(|a, b| {
+        b.discrimination
+            .cmp(&a.discrimination)
+            .then(a.col.cmp(&b.col))
+    });
     let useful: Vec<&AttributeAnalysis> = analyses
         .iter()
         .filter(|a| a.discrimination > 0 && !a.covering.is_empty())
@@ -403,8 +435,13 @@ fn greedy_disjunctive_cover(
     let mut pure: Vec<(Conjunct, BTreeSet<usize>)> = Vec::new();
     for col in 0..join.arity() {
         let attr = space.reference(col).to_string();
-        let value_of =
-            |row: usize| join.rows()[row].tuple.get(col).cloned().unwrap_or(Value::Null);
+        let value_of = |row: usize| {
+            join.rows()[row]
+                .tuple
+                .get(col)
+                .cloned()
+                .unwrap_or(Value::Null)
+        };
         let neg_vals: BTreeSet<Value> = split.negatives.iter().map(|&r| value_of(r)).collect();
         if space.data_type(col).is_numeric() {
             // Intervals between consecutive positive values not containing
@@ -431,7 +468,10 @@ fn greedy_disjunctive_cover(
                 }
                 let lo = pos_sorted[i].clone();
                 let hi = pos_sorted[j - 1].clone();
-                if !neg_vals.iter().any(|nv| !nv.is_null() && *nv >= lo && *nv <= hi) {
+                if !neg_vals
+                    .iter()
+                    .any(|nv| !nv.is_null() && *nv >= lo && *nv <= hi)
+                {
                     let conjunct = if lo == hi {
                         Conjunct::new(vec![Term::eq(&attr, lo.clone())])
                     } else {
@@ -499,7 +539,7 @@ fn greedy_disjunctive_cover(
 mod tests {
     use super::*;
     use qfe_relation::{
-        foreign_key_join, tuple, ColumnDef, Database, DataType, Table, TableSchema,
+        foreign_key_join, tuple, ColumnDef, DataType, Database, Table, TableSchema,
     };
 
     fn employee_join() -> (JoinedRelation, AttributeSpace) {
@@ -533,7 +573,10 @@ mod tests {
     }
 
     fn bob_darren_result() -> QueryResult {
-        QueryResult::new(vec!["name".to_string()], vec![tuple!["Bob"], tuple!["Darren"]])
+        QueryResult::new(
+            vec!["name".to_string()],
+            vec![tuple!["Bob"], tuple!["Darren"]],
+        )
     }
 
     #[test]
@@ -547,11 +590,7 @@ mod tests {
         assert_eq!(space.resolve("Employee.salary"), Some(4));
         assert_eq!(space.resolve("unknown"), None);
         assert_eq!(space.data_type(1), DataType::Text);
-        assert!(space.matches(
-            &join,
-            1,
-            &DnfPredicate::single(Term::eq("name", "Bob"))
-        ));
+        assert!(space.matches(&join, 1, &DnfPredicate::single(Term::eq("name", "Bob"))));
     }
 
     #[test]
@@ -601,7 +640,12 @@ mod tests {
         let proj = vec![join.resolve_column("name").unwrap()];
         let all = QueryResult::new(
             vec!["name".to_string()],
-            vec![tuple!["Alice"], tuple!["Bob"], tuple!["Celina"], tuple!["Darren"]],
+            vec![
+                tuple!["Alice"],
+                tuple!["Bob"],
+                tuple!["Celina"],
+                tuple!["Darren"],
+            ],
         );
         let split = split_rows(&join, &proj, &all).unwrap();
         assert!(split.negatives.is_empty());
@@ -634,8 +678,10 @@ mod tests {
         let (join, space) = employee_join();
         let proj = vec![join.resolve_column("name").unwrap()];
         let split = split_rows(&join, &proj, &bob_darren_result()).unwrap();
-        let mut config = QboConfig::default();
-        config.max_candidates = 2;
+        let config = QboConfig {
+            max_candidates: 2,
+            ..QboConfig::default()
+        };
         let preds = enumerate_predicates(&join, &space, &split, &config);
         assert!(preds.len() <= 2);
     }

@@ -8,8 +8,8 @@
 
 use std::collections::BTreeSet;
 
-use qfe_relation::{JoinedRelation, Value};
 use qfe_query::QueryResult;
+use qfe_relation::{JoinedRelation, Value};
 
 /// Maximum number of value-inferred projection combinations to explore.
 const MAX_INFERRED_PROJECTIONS: usize = 16;
@@ -108,7 +108,7 @@ pub fn candidate_projections(
 mod tests {
     use super::*;
     use qfe_relation::{
-        foreign_key_join, tuple, ColumnDef, Database, DataType, Table, TableSchema, Tuple,
+        foreign_key_join, tuple, ColumnDef, DataType, Database, Table, TableSchema, Tuple,
     };
 
     fn employee_join() -> JoinedRelation {
@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn value_based_projection_finds_matching_columns() {
         let join = employee_join();
-        let r = QueryResult::new(vec!["anonymous".to_string()], vec![tuple!["Bob"], tuple!["Darren"]]);
+        let r = QueryResult::new(
+            vec!["anonymous".to_string()],
+            vec![tuple!["Bob"], tuple!["Darren"]],
+        );
         let projs = candidate_projections(&join, &r, true);
         assert_eq!(projs, vec![vec!["Employee.name".to_string()]]);
     }
@@ -191,7 +194,10 @@ mod tests {
     #[test]
     fn numeric_result_columns_match_numeric_join_columns() {
         let join = employee_join();
-        let r = QueryResult::new(vec!["x".to_string()], vec![tuple![4200i64], tuple![5000i64]]);
+        let r = QueryResult::new(
+            vec!["x".to_string()],
+            vec![tuple![4200i64], tuple![5000i64]],
+        );
         let projs = candidate_projections(&join, &r, true);
         assert_eq!(projs, vec![vec!["Employee.salary".to_string()]]);
     }

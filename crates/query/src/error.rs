@@ -63,9 +63,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = QueryError::UnknownColumn {
-            column: "x".into(),
-        };
+        let e = QueryError::UnknownColumn { column: "x".into() };
         assert!(e.to_string().contains("unknown column 'x'"));
         let e = QueryError::from(RelationError::UnknownTable { table: "T".into() });
         assert!(e.to_string().contains("unknown table"));
@@ -76,9 +74,13 @@ mod tests {
             position: 7,
         };
         assert!(e.to_string().contains("offset 7"));
-        assert!(QueryError::NoTables.to_string().contains("at least one table"));
-        assert!(QueryError::Unsupported { feature: "GROUP BY".into() }
+        assert!(QueryError::NoTables
             .to_string()
-            .contains("GROUP BY"));
+            .contains("at least one table"));
+        assert!(QueryError::Unsupported {
+            feature: "GROUP BY".into()
+        }
+        .to_string()
+        .contains("GROUP BY"));
     }
 }

@@ -31,14 +31,18 @@ impl BoundQuery {
         for col in &query.projection {
             let idx = join
                 .resolve_column(col)
-                .map_err(|_| QueryError::UnknownColumn { column: col.clone() })?;
+                .map_err(|_| QueryError::UnknownColumn {
+                    column: col.clone(),
+                })?;
             projection_idx.push(idx);
         }
         let mut attribute_idx = Vec::new();
         for attr in query.selection_attributes() {
             let idx = join
                 .resolve_column(&attr)
-                .map_err(|_| QueryError::UnknownColumn { column: attr.clone() })?;
+                .map_err(|_| QueryError::UnknownColumn {
+                    column: attr.clone(),
+                })?;
             attribute_idx.push((attr, idx));
         }
         Ok(BoundQuery {
@@ -207,7 +211,11 @@ mod tests {
     #[test]
     fn distinct_deduplicates() {
         let db = employee_db();
-        let dup = SpjQuery::new(vec!["Employee"], vec!["gender"], DnfPredicate::always_true());
+        let dup = SpjQuery::new(
+            vec!["Employee"],
+            vec!["gender"],
+            DnfPredicate::always_true(),
+        );
         let bag = evaluate(&dup, &db).unwrap();
         assert_eq!(bag.len(), 4);
         let set = evaluate(&dup.clone().with_distinct(true), &db).unwrap();
@@ -233,7 +241,10 @@ mod tests {
     fn no_tables_is_an_error() {
         let db = employee_db();
         let bad = SpjQuery::new(Vec::<String>::new(), vec!["x"], DnfPredicate::always_true());
-        assert!(matches!(evaluate(&bad, &db).unwrap_err(), QueryError::NoTables));
+        assert!(matches!(
+            evaluate(&bad, &db).unwrap_err(),
+            QueryError::NoTables
+        ));
     }
 
     #[test]
@@ -275,7 +286,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(dept).unwrap();
         db.add_table(emp).unwrap();
-        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did")).unwrap();
+        db.add_foreign_key(ForeignKey::new("Emp", "did", "Dept", "did"))
+            .unwrap();
 
         let query = SpjQuery::new(
             vec!["Dept", "Emp"],

@@ -45,6 +45,7 @@ mod eval;
 mod partition;
 mod predicate;
 mod result;
+mod serial;
 mod spj;
 mod spju;
 mod sql;

@@ -240,7 +240,10 @@ mod tests {
         let p1 = partition_queries(&qs, &db).unwrap();
         let p2 = partition_queries_on_join(&qs, &join).unwrap();
         assert_eq!(p1.sizes(), p2.sizes());
-        let bound: Vec<BoundQuery> = qs.iter().map(|q| BoundQuery::bind(q, &join).unwrap()).collect();
+        let bound: Vec<BoundQuery> = qs
+            .iter()
+            .map(|q| BoundQuery::bind(q, &join).unwrap())
+            .collect();
         let p3 = partition_bound_queries(&bound, &join);
         assert_eq!(p1.sizes(), p3.sizes());
     }

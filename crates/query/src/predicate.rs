@@ -104,7 +104,11 @@ pub enum Term {
 
 impl Term {
     /// Builds a comparison term.
-    pub fn compare(attribute: impl Into<String>, op: ComparisonOp, value: impl Into<Value>) -> Self {
+    pub fn compare(
+        attribute: impl Into<String>,
+        op: ComparisonOp,
+        value: impl Into<Value>,
+    ) -> Self {
         Term::Compare {
             attribute: attribute.into(),
             op,
@@ -328,7 +332,10 @@ impl DnfPredicate {
 
     /// All terms of the predicate, across disjuncts.
     pub fn all_terms(&self) -> Vec<&Term> {
-        self.conjuncts.iter().flat_map(|c| c.terms().iter()).collect()
+        self.conjuncts
+            .iter()
+            .flat_map(|c| c.terms().iter())
+            .collect()
     }
 
     /// All terms that reference `attribute`.
@@ -517,8 +524,9 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let p = DnfPredicate::single(Term::eq("a", 1i64))
-            .or(Conjunct::default().and(Term::eq("b", 2i64)).and(Term::eq("c", 3i64)));
+        let p = DnfPredicate::single(Term::eq("a", 1i64)).or(Conjunct::default()
+            .and(Term::eq("b", 2i64))
+            .and(Term::eq("c", 3i64)));
         assert_eq!(p.conjuncts().len(), 2);
         assert_eq!(p.conjuncts()[1].len(), 2);
     }

@@ -123,11 +123,11 @@ impl QueryResult {
         }
         let removed = ours
             .into_iter()
-            .flat_map(|(row, c)| std::iter::repeat(row).take(c))
+            .flat_map(|(row, c)| std::iter::repeat_n(row, c))
             .collect();
         let added = theirs
             .into_iter()
-            .flat_map(|(row, c)| std::iter::repeat(row).take(c))
+            .flat_map(|(row, c)| std::iter::repeat_n(row, c))
             .collect();
         (removed, added)
     }
@@ -188,12 +188,9 @@ mod tests {
         assert_eq!(a.min_edit(&b), 1);
         assert_eq!(a.min_edit(&a), 0);
 
-        let wide = QueryResult::new(
-            vec!["a".into(), "b".into()],
-            vec![tuple![1i64, 2i64]],
-        );
+        let wide = QueryResult::new(vec!["a".into(), "b".into()], vec![tuple![1i64, 2i64]]);
         // Arity mismatch: everything is replaced.
-        assert_eq!(a.min_edit(&wide), 2 * 1 + 1 * 2);
+        assert_eq!(a.min_edit(&wide), 2 + 2);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Wire-format (`qfe-wire` JSON) implementations for the query types.
+
+use qfe_wire::{FromJson, Json, ToJson, WireError, WireResult};
+
+use crate::predicate::{ComparisonOp, Conjunct, DnfPredicate, Term};
+use crate::result::QueryResult;
+use crate::spj::SpjQuery;
+use qfe_relation::{Tuple, Value};
+
+impl ToJson for ComparisonOp {
+    fn to_json(&self) -> Json {
+        Json::Str(self.sql().to_string())
+    }
+}
+
+impl FromJson for ComparisonOp {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        match json.as_str()? {
+            "=" => Ok(ComparisonOp::Eq),
+            "<>" => Ok(ComparisonOp::Ne),
+            "<" => Ok(ComparisonOp::Lt),
+            "<=" => Ok(ComparisonOp::Le),
+            ">" => Ok(ComparisonOp::Gt),
+            ">=" => Ok(ComparisonOp::Ge),
+            other => Err(WireError::new(format!("unknown comparison op `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Term {
+    fn to_json(&self) -> Json {
+        match self {
+            Term::Compare {
+                attribute,
+                op,
+                value,
+            } => Json::object([
+                ("kind", Json::from("compare")),
+                ("attribute", Json::Str(attribute.clone())),
+                ("op", op.to_json()),
+                ("value", value.to_json()),
+            ]),
+            Term::In { attribute, values } => Json::object([
+                ("kind", Json::from("in")),
+                ("attribute", Json::Str(attribute.clone())),
+                ("values", values.to_json()),
+            ]),
+            Term::NotIn { attribute, values } => Json::object([
+                ("kind", Json::from("not_in")),
+                ("attribute", Json::Str(attribute.clone())),
+                ("values", values.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Term {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        let attribute = String::from_json(json.field("attribute")?)?;
+        match json.field("kind")?.as_str()? {
+            "compare" => Ok(Term::Compare {
+                attribute,
+                op: ComparisonOp::from_json(json.field("op")?)?,
+                value: Value::from_json(json.field("value")?)?,
+            }),
+            // Reconstruct through the constructors so the values stay sorted
+            // and deduplicated, as the Term invariants require.
+            "in" => Ok(Term::is_in(
+                attribute,
+                Vec::<Value>::from_json(json.field("values")?)?,
+            )),
+            "not_in" => Ok(Term::not_in(
+                attribute,
+                Vec::<Value>::from_json(json.field("values")?)?,
+            )),
+            other => Err(WireError::new(format!("unknown term kind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Conjunct {
+    fn to_json(&self) -> Json {
+        Json::array(self.terms())
+    }
+}
+
+impl FromJson for Conjunct {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(Conjunct::new(Vec::<Term>::from_json(json)?))
+    }
+}
+
+impl ToJson for DnfPredicate {
+    fn to_json(&self) -> Json {
+        Json::array(self.conjuncts())
+    }
+}
+
+impl FromJson for DnfPredicate {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(DnfPredicate::new(Vec::<Conjunct>::from_json(json)?))
+    }
+}
+
+impl ToJson for SpjQuery {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", self.label.to_json()),
+            ("tables", self.tables.to_json()),
+            ("projection", self.projection.to_json()),
+            ("predicate", self.predicate.to_json()),
+            ("distinct", Json::Bool(self.distinct)),
+        ])
+    }
+}
+
+impl FromJson for SpjQuery {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(SpjQuery {
+            label: Option::<String>::from_json(json.field("label")?)?,
+            tables: Vec::from_json(json.field("tables")?)?,
+            projection: Vec::from_json(json.field("projection")?)?,
+            predicate: DnfPredicate::from_json(json.field("predicate")?)?,
+            distinct: json.field("distinct")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for QueryResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("columns", self.columns().to_vec().to_json()),
+            ("rows", Json::array(self.rows())),
+        ])
+    }
+}
+
+impl FromJson for QueryResult {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        let columns = Vec::<String>::from_json(json.field("columns")?)?;
+        let rows = Vec::<Tuple>::from_json(json.field("rows")?)?;
+        let arity = columns.len();
+        if let Some(bad) = rows.iter().find(|r| r.arity() != arity) {
+            return Err(WireError::new(format!(
+                "result row arity {} does not match the {arity}-column header",
+                bad.arity()
+            )));
+        }
+        Ok(QueryResult::new(columns, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_relation::tuple;
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = v.to_json_string();
+        let back = T::from_json_str(&text).unwrap();
+        assert_eq!(&back, v, "roundtrip through {text}");
+    }
+
+    #[test]
+    fn predicates_roundtrip() {
+        for op in [
+            ComparisonOp::Eq,
+            ComparisonOp::Ne,
+            ComparisonOp::Lt,
+            ComparisonOp::Le,
+            ComparisonOp::Gt,
+            ComparisonOp::Ge,
+        ] {
+            roundtrip(&op);
+        }
+        roundtrip(&Term::compare("salary", ComparisonOp::Gt, 4000i64));
+        roundtrip(&Term::is_in(
+            "dept",
+            vec![Value::from("IT"), Value::from("Sales")],
+        ));
+        roundtrip(&Term::not_in("dept", vec![Value::from("HR")]));
+        roundtrip(&DnfPredicate::new(vec![
+            Conjunct::new(vec![
+                Term::eq("gender", "M"),
+                Term::compare("salary", ComparisonOp::Le, 5000i64),
+            ]),
+            Conjunct::new(vec![Term::eq("dept", "IT")]),
+        ]));
+        roundtrip(&DnfPredicate::always_true());
+        assert!(Term::from_json_str(r#"{"kind":"like","attribute":"a"}"#).is_err());
+        assert!(ComparisonOp::from_json_str("\"!=\"").is_err());
+    }
+
+    #[test]
+    fn queries_roundtrip() {
+        let q = SpjQuery::new(
+            vec!["Employee", "Dept"],
+            vec!["Employee.name"],
+            DnfPredicate::single(Term::compare("salary", ComparisonOp::Gt, 4000i64)),
+        )
+        .with_label("Q2")
+        .with_distinct(true);
+        roundtrip(&q);
+        let unlabeled = SpjQuery::new(vec!["T"], Vec::<String>::new(), DnfPredicate::always_true());
+        roundtrip(&unlabeled);
+        // SQL text of a reconstructed query is identical.
+        let back = SpjQuery::from_json_str(&q.to_json_string()).unwrap();
+        assert_eq!(back.to_string(), q.to_string());
+    }
+
+    #[test]
+    fn results_roundtrip_and_validate_arity() {
+        let r = QueryResult::new(
+            vec!["name".to_string(), "salary".to_string()],
+            vec![tuple!["Bob", 4200i64], tuple!["Darren", 5000i64]],
+        );
+        roundtrip(&r);
+        roundtrip(&QueryResult::empty(vec!["x".to_string()]));
+        let bad = r#"{"columns":["a","b"],"rows":[["only-one"]]}"#;
+        assert!(QueryResult::from_json_str(bad).is_err());
+    }
+
+    #[test]
+    fn in_terms_renormalize_on_load() {
+        // Hand-written snapshot with unsorted, duplicated IN values still
+        // reconstructs the canonical term.
+        let text = r#"{"kind":"in","attribute":"dept","values":["Sales","IT","Sales"]}"#;
+        let term = Term::from_json_str(text).unwrap();
+        assert_eq!(
+            term,
+            Term::is_in("dept", vec![Value::from("IT"), Value::from("Sales")])
+        );
+    }
+}

@@ -62,6 +62,17 @@ impl SpjQuery {
         self.label.clone().unwrap_or_else(|| self.to_string())
     }
 
+    /// Structural equality ignoring the bookkeeping label: same tables,
+    /// projection, predicate and semantics. Unlike comparing rendered SQL
+    /// text, this cannot be fooled by formatting differences, and unlike
+    /// `==` it does not distinguish a labeled copy from an unlabeled one.
+    pub fn same_query(&self, other: &SpjQuery) -> bool {
+        self.tables == other.tables
+            && self.projection == other.projection
+            && self.predicate == other.predicate
+            && self.distinct == other.distinct
+    }
+
     /// The query's *join signature*: its table set in canonical (sorted)
     /// order. Two queries with the same signature share the same join schema
     /// (the Section 5 assumption; Section 6.2 groups queries by this).
@@ -138,7 +149,11 @@ mod tests {
         );
         assert_eq!(
             query.join_signature(),
-            vec!["Batting".to_string(), "Manager".to_string(), "Team".to_string()]
+            vec![
+                "Batting".to_string(),
+                "Manager".to_string(),
+                "Team".to_string()
+            ]
         );
     }
 
@@ -148,11 +163,7 @@ mod tests {
         assert_eq!(s, "SELECT name FROM Employee WHERE salary > 4000");
         let s = q().with_distinct(true).to_string();
         assert!(s.starts_with("SELECT DISTINCT name"));
-        let no_proj = SpjQuery::new(
-            vec!["T"],
-            Vec::<String>::new(),
-            DnfPredicate::always_true(),
-        );
+        let no_proj = SpjQuery::new(vec!["T"], Vec::<String>::new(), DnfPredicate::always_true());
         assert_eq!(no_proj.to_string(), "SELECT * FROM T");
         assert_eq!(no_proj.display_name(), "SELECT * FROM T");
     }

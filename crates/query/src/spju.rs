@@ -63,11 +63,7 @@ impl SpjuQuery {
             let r = evaluate(branch, db)?;
             if r.arity() != arity {
                 return Err(QueryError::Unsupported {
-                    feature: format!(
-                        "union of incompatible arities ({} vs {})",
-                        arity,
-                        r.arity()
-                    ),
+                    feature: format!("union of incompatible arities ({} vs {})", arity, r.arity()),
                 });
             }
             rows.extend(r.rows().iter().cloned());
@@ -83,7 +79,11 @@ impl SpjuQuery {
 
 impl fmt::Display for SpjuQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let connector = if self.distinct { " UNION " } else { " UNION ALL " };
+        let connector = if self.distinct {
+            " UNION "
+        } else {
+            " UNION ALL "
+        };
         let parts: Vec<String> = self.branches.iter().map(|b| b.to_string()).collect();
         f.write_str(&parts.join(connector))
     }
@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn empty_union_is_error() {
         let q = SpjuQuery::union(vec![]);
-        assert!(matches!(q.evaluate(&db()).unwrap_err(), QueryError::NoTables));
+        assert!(matches!(
+            q.evaluate(&db()).unwrap_err(),
+            QueryError::NoTables
+        ));
     }
 
     #[test]

@@ -73,28 +73,46 @@ fn tokenize(text: &str) -> Result<Vec<Spanned>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Le, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Symbol('<'), offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Symbol('<'),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ge, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Symbol('>'), offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Symbol('>'),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Parse {
@@ -130,16 +148,26 @@ fn tokenize(text: &str) -> Result<Vec<Spanned>> {
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(s), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
-            _ if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) => {
+            _ if c.is_ascii_digit()
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())) =>
+            {
                 let mut j = i + 1;
                 while j < bytes.len()
                     && ((bytes[j] as char).is_ascii_digit()
                         || bytes[j] == b'.'
                         || bytes[j] == b'e'
                         || bytes[j] == b'E'
-                        || (j > i && (bytes[j] == b'-' || bytes[j] == b'+') && matches!(bytes[j - 1], b'e' | b'E')))
+                        || (j > i
+                            && (bytes[j] == b'-' || bytes[j] == b'+')
+                            && matches!(bytes[j - 1], b'e' | b'E')))
                 {
                     j += 1;
                 }
@@ -148,13 +176,18 @@ fn tokenize(text: &str) -> Result<Vec<Spanned>> {
                     message: format!("invalid number '{lit}'"),
                     position: start,
                 })?;
-                tokens.push(Spanned { token: Token::Number(n), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Number(n),
+                    offset: start,
+                });
                 i = j;
             }
             _ if c.is_alphabetic() || c == '_' => {
                 let mut j = i + 1;
                 while j < bytes.len()
-                    && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                    && ((bytes[j] as char).is_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'.')
                 {
                     j += 1;
                 }
@@ -257,9 +290,7 @@ impl Parser {
             // Anything after the WHERE clause is outside the SPJ fragment.
             let trailing = format!("{:?}", self.peek());
             if self.keyword_is("GROUP") || self.keyword_is("ORDER") || self.keyword_is("HAVING") {
-                return Err(QueryError::Unsupported {
-                    feature: trailing,
-                });
+                return Err(QueryError::Unsupported { feature: trailing });
             }
             return self.error(format!("unexpected trailing tokens: {trailing}"));
         }
@@ -457,7 +488,10 @@ mod tests {
         assert_eq!(q.projection, vec!["name"]);
         assert!(!q.distinct);
         assert_eq!(q.predicate.conjuncts().len(), 1);
-        assert_eq!(q.to_string(), "SELECT name FROM Employee WHERE salary > 4000");
+        assert_eq!(
+            q.to_string(),
+            "SELECT name FROM Employee WHERE salary > 4000"
+        );
     }
 
     #[test]
@@ -492,7 +526,8 @@ mod tests {
 
     #[test]
     fn parse_in_and_not_in() {
-        let q = parse_sql("SELECT x FROM T WHERE playerID IN ('a', 'b') AND y NOT IN (1, 2)").unwrap();
+        let q =
+            parse_sql("SELECT x FROM T WHERE playerID IN ('a', 'b') AND y NOT IN (1, 2)").unwrap();
         let terms = q.predicate.all_terms();
         assert_eq!(terms.len(), 2);
         assert!(matches!(terms[0], Term::In { .. }));
@@ -501,7 +536,8 @@ mod tests {
 
     #[test]
     fn parse_qualified_names_and_floats() {
-        let q = parse_sql("SELECT P.name FROM P WHERE P.logFC_Fe < 0.5 AND P.logFC_Fe > -0.5").unwrap();
+        let q =
+            parse_sql("SELECT P.name FROM P WHERE P.logFC_Fe < 0.5 AND P.logFC_Fe > -0.5").unwrap();
         assert_eq!(q.projection, vec!["P.name"]);
         let terms = q.predicate.all_terms();
         assert_eq!(terms[0].constants()[0], &Value::Float(0.5));
@@ -594,6 +630,9 @@ mod tests {
     #[test]
     fn number_with_exponent() {
         let q = parse_sql("SELECT x FROM T WHERE p < 5e-2").unwrap();
-        assert_eq!(q.predicate.all_terms()[0].constants()[0], &Value::Float(0.05));
+        assert_eq!(
+            q.predicate.all_terms()[0].constants()[0],
+            &Value::Float(0.05)
+        );
     }
 }

@@ -94,7 +94,12 @@ impl Database {
         let parent_keys: HashSet<Vec<Value>> = parent
             .rows()
             .iter()
-            .map(|r| parent_idx.iter().map(|&i| r.get(i).cloned().unwrap()).collect())
+            .map(|r| {
+                parent_idx
+                    .iter()
+                    .map(|&i| r.get(i).cloned().unwrap())
+                    .collect()
+            })
             .collect();
         for row in child.rows() {
             let key: Vec<Value> = child_idx
@@ -216,7 +221,7 @@ impl Database {
             }
         }
         for name in other.tables.keys() {
-            if !self.tables.contains_key(name) && !names.iter().any(|n| *n == name.as_str()) {
+            if !self.tables.contains_key(name) && !names.contains(&name.as_str()) {
                 names.push(name.as_str());
             }
         }
@@ -225,7 +230,11 @@ impl Database {
 
     /// Looks up the parent row index referenced by a child row through `fk`,
     /// if the foreign key is non-NULL and a match exists.
-    pub fn referenced_parent_row(&self, fk: &ForeignKey, child_row: &Tuple) -> Result<Option<usize>> {
+    pub fn referenced_parent_row(
+        &self,
+        fk: &ForeignKey,
+        child_row: &Tuple,
+    ) -> Result<Option<usize>> {
         let child = self.table(&fk.child_table)?;
         let parent = self.table(&fk.parent_table)?;
         let child_idx: Vec<usize> = fk
@@ -317,7 +326,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(t1).unwrap();
         db.add_table(t2).unwrap();
-        db.add_foreign_key(ForeignKey::new("T2", "A", "T1", "A")).unwrap();
+        db.add_foreign_key(ForeignKey::new("T2", "A", "T1", "A"))
+            .unwrap();
         db
     }
 
@@ -336,9 +346,8 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut db = two_table_db();
-        let t = Table::new(
-            TableSchema::new("T1", vec![ColumnDef::new("x", DataType::Int)]).unwrap(),
-        );
+        let t =
+            Table::new(TableSchema::new("T1", vec![ColumnDef::new("x", DataType::Int)]).unwrap());
         assert!(matches!(
             db.add_table(t).unwrap_err(),
             RelationError::DuplicateTable { .. }
@@ -371,7 +380,10 @@ mod tests {
     fn foreign_key_data_validation() {
         let mut db = two_table_db();
         // Insert a dangling reference and verify the integrity check catches it.
-        db.table_mut("T2").unwrap().insert(tuple![9i64, 1i64]).unwrap();
+        db.table_mut("T2")
+            .unwrap()
+            .insert(tuple![9i64, 1i64])
+            .unwrap();
         let err = db.check_all_foreign_keys().unwrap_err();
         assert!(matches!(err, RelationError::ForeignKeyViolation { .. }));
     }

@@ -39,7 +39,11 @@ pub enum EditOp {
     /// E2: insert a new row.
     InsertRow { table: String, row: Tuple },
     /// E3: delete an existing row.
-    DeleteRow { table: String, row: usize, old: Tuple },
+    DeleteRow {
+        table: String,
+        row: usize,
+        old: Tuple,
+    },
 }
 
 impl EditOp {
@@ -274,9 +278,9 @@ fn hungarian_min_cost(n: usize, cost: impl Fn(usize, usize) -> i64) -> usize {
     }
 
     let mut total = 0i64;
-    for j in 1..=n {
-        if p[j] != 0 {
-            total += cost(p[j] - 1, j - 1);
+    for (j, &pj) in p.iter().enumerate().take(n + 1).skip(1) {
+        if pj != 0 {
+            total += cost(pj - 1, j - 1);
         }
     }
     total as usize
@@ -370,15 +374,24 @@ mod tests {
 
     #[test]
     fn identical_tables_have_zero_distance() {
-        let t = table("T", vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]]);
+        let t = table(
+            "T",
+            vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]],
+        );
         assert_eq!(min_edit_tables(&t, &t), 0);
         assert!(diff_tables(&t, &t).is_empty());
     }
 
     #[test]
     fn single_cell_modification_costs_one() {
-        let a = table("T", vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]]);
-        let b = table("T", vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 9i64, 6i64]]);
+        let a = table(
+            "T",
+            vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]],
+        );
+        let b = table(
+            "T",
+            vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 9i64, 6i64]],
+        );
         assert_eq!(min_edit_tables(&a, &b), 1);
         let ops = diff_tables(&a, &b);
         assert_eq!(ops.len(), 1);
@@ -388,7 +401,10 @@ mod tests {
     #[test]
     fn insert_and_delete_cost_arity() {
         let a = table("T", vec![tuple![1i64, 2i64, 3i64]]);
-        let b = table("T", vec![tuple![1i64, 2i64, 3i64], tuple![7i64, 8i64, 9i64]]);
+        let b = table(
+            "T",
+            vec![tuple![1i64, 2i64, 3i64], tuple![7i64, 8i64, 9i64]],
+        );
         assert_eq!(min_edit_tables(&a, &b), 3); // one insert of arity 3
         assert_eq!(min_edit_tables(&b, &a), 3); // one delete of arity 3
         let ops = diff_tables(&a, &b);
@@ -410,18 +426,31 @@ mod tests {
     #[test]
     fn matching_picks_minimal_assignment() {
         // Row (1,2,3) should match (1,2,4) (cost 1), not (9,9,9).
-        let a = table("T", vec![tuple![1i64, 2i64, 3i64], tuple![5i64, 5i64, 5i64]]);
-        let b = table("T", vec![tuple![9i64, 9i64, 9i64], tuple![1i64, 2i64, 4i64]]);
+        let a = table(
+            "T",
+            vec![tuple![1i64, 2i64, 3i64], tuple![5i64, 5i64, 5i64]],
+        );
+        let b = table(
+            "T",
+            vec![tuple![9i64, 9i64, 9i64], tuple![1i64, 2i64, 4i64]],
+        );
         // (1,2,3)->(1,2,4): 1, (5,5,5)->(9,9,9): 3 (capped at arity) => 4
         assert_eq!(min_edit_tables(&a, &b), 4);
     }
 
     #[test]
     fn distance_is_symmetric() {
-        let a = table("T", vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]]);
+        let a = table(
+            "T",
+            vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64]],
+        );
         let b = table(
             "T",
-            vec![tuple![1i64, 2i64, 9i64], tuple![7i64, 8i64, 9i64], tuple![4i64, 5i64, 6i64]],
+            vec![
+                tuple![1i64, 2i64, 9i64],
+                tuple![7i64, 8i64, 9i64],
+                tuple![4i64, 5i64, 6i64],
+            ],
         );
         assert_eq!(min_edit_tables(&a, &b), min_edit_tables(&b, &a));
     }
@@ -477,14 +506,17 @@ mod tests {
     fn database_distance_sums_over_tables() {
         use crate::database::Database;
         let mut d1 = Database::new();
-        d1.add_table(table("T", vec![tuple![1i64, 2i64, 3i64]])).unwrap();
+        d1.add_table(table("T", vec![tuple![1i64, 2i64, 3i64]]))
+            .unwrap();
         let mut d2 = Database::new();
-        d2.add_table(table("T", vec![tuple![1i64, 2i64, 4i64]])).unwrap();
+        d2.add_table(table("T", vec![tuple![1i64, 2i64, 4i64]]))
+            .unwrap();
         assert_eq!(min_edit_databases(&d1, &d2), 1);
 
         // A table missing on one side contributes all of its rows.
         let mut d3 = d2.clone();
-        d3.add_table(table("U", vec![tuple![1i64, 1i64, 1i64]])).unwrap();
+        d3.add_table(table("U", vec![tuple![1i64, 1i64, 1i64]]))
+            .unwrap();
         assert_eq!(min_edit_databases(&d1, &d3), 1 + 3);
         assert_eq!(min_edit_databases(&d3, &d1), 1 + 3);
     }
@@ -502,11 +534,19 @@ mod tests {
     fn greedy_bound_never_below_exact() {
         let a = table(
             "T",
-            vec![tuple![1i64, 2i64, 3i64], tuple![4i64, 5i64, 6i64], tuple![7i64, 8i64, 9i64]],
+            vec![
+                tuple![1i64, 2i64, 3i64],
+                tuple![4i64, 5i64, 6i64],
+                tuple![7i64, 8i64, 9i64],
+            ],
         );
         let b = table(
             "T",
-            vec![tuple![7i64, 8i64, 0i64], tuple![1i64, 0i64, 3i64], tuple![4i64, 5i64, 6i64]],
+            vec![
+                tuple![7i64, 8i64, 0i64],
+                tuple![1i64, 0i64, 3i64],
+                tuple![4i64, 5i64, 6i64],
+            ],
         );
         let exact = exact_min_edit(a.rows(), b.rows(), 3);
         let greedy = greedy_min_edit(a.rows(), b.rows(), 3);

@@ -398,7 +398,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(t1).unwrap();
         db.add_table(t2).unwrap();
-        db.add_foreign_key(ForeignKey::new("T2", "A", "T1", "A")).unwrap();
+        db.add_foreign_key(ForeignKey::new("T2", "A", "T1", "A"))
+            .unwrap();
         db
     }
 
@@ -469,11 +470,7 @@ mod tests {
             TableSchema::new("T3", vec![ColumnDef::new("X", DataType::Int)]).unwrap(),
         ))
         .unwrap();
-        let err = foreign_key_join(
-            &db,
-            &["T1".to_string(), "T3".to_string()],
-        )
-        .unwrap_err();
+        let err = foreign_key_join(&db, &["T1".to_string(), "T3".to_string()]).unwrap_err();
         assert!(matches!(err, RelationError::InvalidForeignKey { .. }));
     }
 
@@ -514,7 +511,10 @@ mod tests {
         let parent = Table::with_rows(
             TableSchema::new(
                 "P",
-                vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
             )
             .unwrap()
             .with_primary_key(&["id"])
@@ -539,7 +539,8 @@ mod tests {
         .unwrap();
         db.add_table(parent).unwrap();
         db.add_table(child).unwrap();
-        db.add_foreign_key(ForeignKey::new("C", "pid", "P", "id")).unwrap();
+        db.add_foreign_key(ForeignKey::new("C", "pid", "P", "id"))
+            .unwrap();
         let j = full_foreign_key_join(&db).unwrap();
         assert_eq!(j.len(), 1);
     }

@@ -123,7 +123,8 @@ mod tests {
         let mut db = Database::new();
         db.add_table(t1).unwrap();
         db.add_table(t2).unwrap();
-        db.add_foreign_key(ForeignKey::new("T2", "A", "T1", "A")).unwrap();
+        db.add_foreign_key(ForeignKey::new("T2", "A", "T1", "A"))
+            .unwrap();
         db
     }
 

@@ -48,6 +48,7 @@ mod foreign_key;
 mod join;
 mod join_index;
 mod schema;
+mod serial;
 mod table;
 mod tuple;
 mod types;

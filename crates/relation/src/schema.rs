@@ -74,12 +74,12 @@ impl TableSchema {
     pub fn with_primary_key<S: AsRef<str>>(mut self, key_columns: &[S]) -> Result<Self> {
         let mut pk = Vec::with_capacity(key_columns.len());
         for kc in key_columns {
-            let idx = self.column_index(kc.as_ref()).ok_or_else(|| {
-                RelationError::UnknownColumn {
-                    table: self.name.clone(),
-                    column: kc.as_ref().to_string(),
-                }
-            })?;
+            let idx =
+                self.column_index(kc.as_ref())
+                    .ok_or_else(|| RelationError::UnknownColumn {
+                        table: self.name.clone(),
+                        column: kc.as_ref().to_string(),
+                    })?;
             if pk.contains(&idx) {
                 return Err(RelationError::DuplicateColumn {
                     table: self.name.clone(),
@@ -202,7 +202,10 @@ mod tests {
         assert_eq!(s.column_at(0).unwrap().name, "Eid");
         assert_eq!(s.primary_key(), &[0]);
         assert!(s.has_primary_key());
-        assert_eq!(s.column_names(), vec!["Eid", "name", "gender", "dept", "salary"]);
+        assert_eq!(
+            s.column_names(),
+            vec!["Eid", "name", "gender", "dept", "salary"]
+        );
     }
 
     #[test]

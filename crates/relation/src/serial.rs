@@ -1,0 +1,396 @@
+//! Wire-format (`qfe-wire` JSON) implementations for the relational types.
+//!
+//! Deserialization goes through the public constructors, so every invariant
+//! the constructors enforce (schema validity, primary-key uniqueness,
+//! foreign-key integrity) also holds for reconstructed values — a corrupted
+//! or hand-edited snapshot is rejected instead of producing an inconsistent
+//! database.
+
+use qfe_wire::{FromJson, Json, ToJson, WireError, WireResult};
+
+use crate::database::Database;
+use crate::edit::EditOp;
+use crate::foreign_key::ForeignKey;
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::types::DataType;
+use crate::value::Value;
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Bool(b) => Json::Bool(*b),
+            Value::Int(i) => Json::Int(*i),
+            Value::Float(f) => Json::Float(*f),
+            Value::Text(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(match json {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Int(i) => Value::Int(*i),
+            Json::Float(f) => Value::Float(*f),
+            Json::Str(s) => Value::Text(s.clone()),
+            other => {
+                return Err(WireError::new(format!(
+                    "expected a scalar value, found {}",
+                    other.kind()
+                )))
+            }
+        })
+    }
+}
+
+impl ToJson for DataType {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                DataType::Bool => "bool",
+                DataType::Int => "int",
+                DataType::Float => "float",
+                DataType::Text => "text",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for DataType {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        match json.as_str()? {
+            "bool" => Ok(DataType::Bool),
+            "int" => Ok(DataType::Int),
+            "float" => Ok(DataType::Float),
+            "text" => Ok(DataType::Text),
+            other => Err(WireError::new(format!("unknown data type `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Tuple {
+    fn to_json(&self) -> Json {
+        Json::Array(self.values().iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl FromJson for Tuple {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(Tuple::new(Vec::<Value>::from_json(json)?))
+    }
+}
+
+impl ToJson for ColumnDef {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::Str(self.name.clone())),
+            ("type", self.data_type.to_json()),
+            ("nullable", Json::Bool(self.nullable)),
+        ])
+    }
+}
+
+impl FromJson for ColumnDef {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(ColumnDef {
+            name: String::from_json(json.field("name")?)?,
+            data_type: DataType::from_json(json.field("type")?)?,
+            nullable: json.field("nullable")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for TableSchema {
+    fn to_json(&self) -> Json {
+        let pk: Vec<Json> = self
+            .primary_key()
+            .iter()
+            .map(|&i| Json::Str(self.columns()[i].name.clone()))
+            .collect();
+        Json::object([
+            ("name", Json::Str(self.name().to_string())),
+            ("columns", Json::array(self.columns())),
+            ("primary_key", Json::Array(pk)),
+        ])
+    }
+}
+
+impl FromJson for TableSchema {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        let name = String::from_json(json.field("name")?)?;
+        let columns = Vec::<ColumnDef>::from_json(json.field("columns")?)?;
+        let pk = Vec::<String>::from_json(json.field("primary_key")?)?;
+        let schema = TableSchema::new(name, columns)
+            .map_err(|e| WireError::new(e.to_string()).context("schema"))?;
+        if pk.is_empty() {
+            return Ok(schema);
+        }
+        schema
+            .with_primary_key(&pk)
+            .map_err(|e| WireError::new(e.to_string()).context("primary key"))
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("schema", self.schema().to_json()),
+            ("rows", Json::array(self.rows())),
+        ])
+    }
+}
+
+impl FromJson for Table {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        let schema = TableSchema::from_json(json.field("schema")?)?;
+        let rows = Vec::<Tuple>::from_json(json.field("rows")?)?;
+        Table::with_rows(schema, rows)
+            .map_err(|e| WireError::new(e.to_string()).context("table rows"))
+    }
+}
+
+impl ToJson for ForeignKey {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("child_table", Json::Str(self.child_table.clone())),
+            ("child_columns", self.child_columns.to_json()),
+            ("parent_table", Json::Str(self.parent_table.clone())),
+            ("parent_columns", self.parent_columns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ForeignKey {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(ForeignKey {
+            child_table: String::from_json(json.field("child_table")?)?,
+            child_columns: Vec::from_json(json.field("child_columns")?)?,
+            parent_table: String::from_json(json.field("parent_table")?)?,
+            parent_columns: Vec::from_json(json.field("parent_columns")?)?,
+        })
+    }
+}
+
+impl ToJson for Database {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("tables", Json::array(self.tables())),
+            ("foreign_keys", Json::array(self.foreign_keys())),
+        ])
+    }
+}
+
+impl FromJson for Database {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        let mut db = Database::new();
+        for t in json.field("tables")?.as_array()? {
+            let table = Table::from_json(t)?;
+            db.add_table(table)
+                .map_err(|e| WireError::new(e.to_string()).context("database"))?;
+        }
+        for fk in json.field("foreign_keys")?.as_array()? {
+            let fk = ForeignKey::from_json(fk)?;
+            db.add_foreign_key(fk)
+                .map_err(|e| WireError::new(e.to_string()).context("foreign key"))?;
+        }
+        Ok(db)
+    }
+}
+
+impl ToJson for EditOp {
+    fn to_json(&self) -> Json {
+        match self {
+            EditOp::ModifyCell {
+                table,
+                row,
+                column,
+                old,
+                new,
+            } => Json::object([
+                ("op", Json::from("modify_cell")),
+                ("table", Json::Str(table.clone())),
+                ("row", Json::Int(*row as i64)),
+                ("column", Json::Str(column.clone())),
+                ("old", old.to_json()),
+                ("new", new.to_json()),
+            ]),
+            EditOp::InsertRow { table, row } => Json::object([
+                ("op", Json::from("insert_row")),
+                ("table", Json::Str(table.clone())),
+                ("values", row.to_json()),
+            ]),
+            EditOp::DeleteRow { table, row, old } => Json::object([
+                ("op", Json::from("delete_row")),
+                ("table", Json::Str(table.clone())),
+                ("row", Json::Int(*row as i64)),
+                ("old", old.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for EditOp {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        match json.field("op")?.as_str()? {
+            "modify_cell" => Ok(EditOp::ModifyCell {
+                table: String::from_json(json.field("table")?)?,
+                row: json.field("row")?.as_usize()?,
+                column: String::from_json(json.field("column")?)?,
+                old: Value::from_json(json.field("old")?)?,
+                new: Value::from_json(json.field("new")?)?,
+            }),
+            "insert_row" => Ok(EditOp::InsertRow {
+                table: String::from_json(json.field("table")?)?,
+                row: Tuple::from_json(json.field("values")?)?,
+            }),
+            "delete_row" => Ok(EditOp::DeleteRow {
+                table: String::from_json(json.field("table")?)?,
+                row: json.field("row")?.as_usize()?,
+                old: Tuple::from_json(json.field("old")?)?,
+            }),
+            other => Err(WireError::new(format!("unknown edit op `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = v.to_json_string();
+        let back = T::from_json_str(&text).unwrap();
+        assert_eq!(&back, v, "roundtrip through {text}");
+    }
+
+    fn sample_db() -> Database {
+        let parent = Table::with_rows(
+            TableSchema::new(
+                "Team",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::nullable("rating", DataType::Float),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["id"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Reds", 3.5f64],
+                tuple![2i64, "Blues", Value::Null],
+            ],
+        )
+        .unwrap();
+        let child = Table::with_rows(
+            TableSchema::new(
+                "Player",
+                vec![
+                    ColumnDef::new("pid", DataType::Int),
+                    ColumnDef::new("team", DataType::Int),
+                    ColumnDef::new("active", DataType::Bool),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["pid"])
+            .unwrap(),
+            vec![tuple![10i64, 1i64, true], tuple![11i64, 2i64, false]],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(parent).unwrap();
+        db.add_table(child).unwrap();
+        db.add_foreign_key(ForeignKey::new("Player", "team", "Team", "id"))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn value_roundtrips_preserve_type() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Int(3));
+        roundtrip(&Value::Float(3.0)); // must NOT come back as Int(3)
+        roundtrip(&Value::Text("O'Hara \"x\"".into()));
+        assert!(matches!(
+            Value::from_json_str("3.0").unwrap(),
+            Value::Float(_)
+        ));
+        assert!(matches!(Value::from_json_str("3").unwrap(), Value::Int(3)));
+        assert!(Value::from_json_str("[1]").is_err());
+    }
+
+    #[test]
+    fn tuple_and_schema_roundtrip() {
+        roundtrip(&tuple![1i64, "x", 2.5f64, Value::Null]);
+        for dt in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+        ] {
+            roundtrip(&dt);
+        }
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::nullable("b", DataType::Text),
+            ],
+        )
+        .unwrap()
+        .with_primary_key(&["a"])
+        .unwrap();
+        roundtrip(&schema);
+    }
+
+    #[test]
+    fn database_roundtrips_with_constraints() {
+        let db = sample_db();
+        roundtrip(&db);
+        let back = Database::from_json_str(&db.to_json_string()).unwrap();
+        assert_eq!(back.foreign_keys().len(), 1);
+        assert!(back.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let db = sample_db();
+        // Duplicate primary key smuggled into the serialized rows.
+        let text = db.to_json_string().replace("[11,2,false]", "[10,2,false]");
+        let err = Database::from_json_str(&text).unwrap_err();
+        assert!(err.to_string().to_lowercase().contains("key"));
+        // Dangling foreign key.
+        let text = db.to_json_string().replace("[11,2,false]", "[11,9,false]");
+        assert!(Database::from_json_str(&text).is_err());
+        // Unknown data type.
+        assert!(DataType::from_json_str("\"decimal\"").is_err());
+    }
+
+    #[test]
+    fn edit_ops_roundtrip() {
+        roundtrip(&EditOp::ModifyCell {
+            table: "T".into(),
+            row: 3,
+            column: "c".into(),
+            old: Value::Int(1),
+            new: Value::Float(1.5),
+        });
+        roundtrip(&EditOp::InsertRow {
+            table: "T".into(),
+            row: tuple![1i64, "x"],
+        });
+        roundtrip(&EditOp::DeleteRow {
+            table: "T".into(),
+            row: 0,
+            old: tuple![2i64, "y"],
+        });
+        assert!(EditOp::from_json_str(r#"{"op":"truncate"}"#).is_err());
+    }
+}

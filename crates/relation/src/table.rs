@@ -170,13 +170,13 @@ impl Table {
 
     /// Updates a single cell. Returns the previous value.
     pub fn update_cell(&mut self, row: usize, column: &str, value: Value) -> Result<Value> {
-        let col_idx = self
-            .schema
-            .column_index(column)
-            .ok_or_else(|| RelationError::UnknownColumn {
-                table: self.name().to_string(),
-                column: column.to_string(),
-            })?;
+        let col_idx =
+            self.schema
+                .column_index(column)
+                .ok_or_else(|| RelationError::UnknownColumn {
+                    table: self.name().to_string(),
+                    column: column.to_string(),
+                })?;
         self.update_cell_at(row, col_idx, value)
     }
 
@@ -345,8 +345,8 @@ impl fmt::Display for Table {
 mod tests {
     use super::*;
     use crate::schema::ColumnDef;
-    use crate::types::DataType;
     use crate::tuple;
+    use crate::types::DataType;
 
     fn employee_table() -> Table {
         let schema = TableSchema::new(
@@ -521,7 +521,7 @@ mod tests {
         let c = vec![tuple![2i64], tuple![2i64], tuple![1i64]];
         assert!(bag_equal_rows(&a, &b));
         assert!(!bag_equal_rows(&a, &c));
-        assert!(!bag_equal_rows(&a, &a[..2].to_vec()));
+        assert!(!bag_equal_rows(&a, &a[..2]));
     }
 
     #[test]

@@ -96,15 +96,15 @@ impl Value {
     ///
     /// [`coerce_to`]: Value::coerce_to
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Text(_), DataType::Text) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+        )
     }
 
     /// Coerces the value for storage in a column of type `ty`
@@ -164,7 +164,8 @@ impl Ord for Value {
             (Float(a), Float(b)) => {
                 let (na, ka) = Self::float_key(*a);
                 let (nb, kb) = Self::float_key(*b);
-                na.cmp(&nb).then_with(|| ka.partial_cmp(&kb).unwrap_or(Ordering::Equal))
+                na.cmp(&nb)
+                    .then_with(|| ka.partial_cmp(&kb).unwrap_or(Ordering::Equal))
             }
             (Int(a), Float(b)) => {
                 let (nb, kb) = Self::float_key(*b);
@@ -309,7 +310,7 @@ mod tests {
 
     #[test]
     fn total_order_across_variants() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("abc".into()),
             Value::Int(5),
             Value::Null,
@@ -326,7 +327,7 @@ mod tests {
 
     #[test]
     fn nan_sorts_greatest_among_numbers() {
-        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Int(100)];
+        let mut vals = [Value::Float(f64::NAN), Value::Float(1.0), Value::Int(100)];
         vals.sort();
         assert_eq!(vals[0], Value::Float(1.0));
         assert_eq!(vals[1], Value::Int(100));

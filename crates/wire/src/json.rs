@@ -1,0 +1,272 @@
+//! The JSON value model and renderer.
+
+use std::fmt;
+
+use crate::traits::{WireError, WireResult};
+
+/// A JSON value.
+///
+/// Integers and floats are separate variants — the relational `Value` type
+/// distinguishes them, and the distinction must survive a round trip. The
+/// renderer keeps them apart syntactically: floats always carry a decimal
+/// point, an exponent, or are one of the non-finite tokens.
+///
+/// Objects preserve insertion order (no sorting, no deduplication), so
+/// rendering is deterministic and snapshots diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (no fractional part in the rendering).
+    Int(i64),
+    /// Floating-point number (always rendered distinguishably from `Int`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object: ordered key-value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array by converting each item with [`crate::ToJson`].
+    pub fn array<T: crate::ToJson, I: IntoIterator<Item = T>>(items: I) -> Json {
+        Json::Array(items.into_iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Looks up a key in an object. Returns `None` for missing keys and for
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required object field, with a descriptive error.
+    pub fn field(&self, key: &str) -> WireResult<&Json> {
+        self.get(key)
+            .ok_or_else(|| WireError::new(format!("missing field `{key}` in {}", self.kind())))
+    }
+
+    /// The integer value, widening errors with the expected kind.
+    pub fn as_i64(&self) -> WireResult<i64> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            other => Err(other.type_error("integer")),
+        }
+    }
+
+    /// The integer value as a `usize`.
+    pub fn as_usize(&self) -> WireResult<usize> {
+        let i = self.as_i64()?;
+        usize::try_from(i).map_err(|_| WireError::new(format!("integer {i} is not a valid usize")))
+    }
+
+    /// The numeric value (`Int` widens to `f64`).
+    pub fn as_f64(&self) -> WireResult<f64> {
+        match self {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(f) => Ok(*f),
+            other => Err(other.type_error("number")),
+        }
+    }
+
+    /// The boolean value.
+    pub fn as_bool(&self) -> WireResult<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(other.type_error("boolean")),
+        }
+    }
+
+    /// The string value.
+    pub fn as_str(&self) -> WireResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(other.type_error("string")),
+        }
+    }
+
+    /// The array elements.
+    pub fn as_array(&self) -> WireResult<&[Json]> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(other.type_error("array")),
+        }
+    }
+
+    /// The object entries.
+    pub fn as_object(&self) -> WireResult<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Ok(pairs),
+            other => Err(other.type_error("object")),
+        }
+    }
+
+    /// A short name for the value's kind (used in error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Int(_) => "integer",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    fn type_error(&self, expected: &str) -> WireError {
+        WireError::new(format!("expected {expected}, found {}", self.kind()))
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Json::Float(f) => render_float(*f, out),
+            Json::Str(s) => render_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders a float so it can never be confused with an integer: Rust's `{:?}`
+/// gives the shortest representation that round-trips, and always includes a
+/// `.` or an exponent for finite values ("1.0", "2.5e-10"). Non-finite values
+/// become the bare tokens `NaN`, `inf`, `-inf` (the parser's JSON extension).
+fn render_float(f: f64, out: &mut String) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f.is_infinite() {
+        out.push_str(if f > 0.0 { "inf" } else { "-inf" });
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{f:?}"));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Float(1.0).render(), "1.0");
+        assert_eq!(Json::Float(0.1).render(), "0.1");
+        assert_eq!(Json::Float(f64::NAN).render(), "NaN");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "inf");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).render(), "-inf");
+        assert_eq!(Json::from("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn renders_containers_in_order() {
+        let j = Json::object([
+            ("b", Json::Int(1)),
+            ("a", Json::Array(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(j.render(), r#"{"b":1,"a":[null,false]}"#);
+        assert_eq!(j.to_string(), j.render());
+    }
+
+    #[test]
+    fn accessors_and_errors() {
+        let j = Json::object([("x", Json::Int(3))]);
+        assert_eq!(j.field("x").unwrap().as_i64().unwrap(), 3);
+        assert_eq!(j.field("x").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(j.field("x").unwrap().as_f64().unwrap(), 3.0);
+        assert!(j
+            .field("y")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `y`"));
+        assert!(j.field("x").unwrap().as_str().is_err());
+        assert!(Json::Int(-1).as_usize().is_err());
+        assert!(Json::Null.as_array().is_err());
+        assert!(Json::Null.as_object().is_err());
+        assert!(Json::Null.as_bool().is_err());
+        assert_eq!(Json::Float(2.5).as_f64().unwrap(), 2.5);
+        assert!(Json::Str("s".into()).get("k").is_none());
+    }
+}

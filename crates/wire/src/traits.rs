@@ -1,0 +1,199 @@
+//! The serialization traits and error type.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Serialization failure: a value cannot be represented, or (much more
+/// commonly) JSON being deserialized does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the error with surrounding context (outermost first).
+    pub fn context(mut self, context: impl fmt::Display) -> Self {
+        self.message = format!("{context}: {}", self.message);
+        self
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience result alias for this crate.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// Conversion into the wire representation.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+
+    /// Renders `self` directly to JSON text.
+    fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Conversion from the wire representation.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from its JSON representation.
+    fn from_json(json: &Json) -> WireResult<Self>;
+
+    /// Parses JSON text and reconstructs a value from it.
+    fn from_json_str(text: &str) -> WireResult<Self> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        json.as_array()?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.context(format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(json.as_str()?.to_string())
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        json.as_usize()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        json.as_bool()
+    }
+}
+
+impl ToJson for std::time::Duration {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("secs", Json::Int(self.as_secs() as i64)),
+            ("nanos", Json::Int(self.subsec_nanos() as i64)),
+        ])
+    }
+}
+
+impl FromJson for std::time::Duration {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        let secs = json.field("secs")?.as_i64()?;
+        let nanos = json.field("nanos")?.as_i64()?;
+        if secs < 0 || !(0..1_000_000_000).contains(&nanos) {
+            return Err(WireError::new("invalid duration"));
+        }
+        Ok(std::time::Duration::new(secs as u64, nanos as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn blanket_impls_roundtrip() {
+        let v = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(Vec::<String>::from_json(&v.to_json()).unwrap(), v);
+        let none: Option<String> = None;
+        assert_eq!(Option::<String>::from_json(&none.to_json()).unwrap(), none);
+        let some = Some("x".to_string());
+        assert_eq!(Option::<String>::from_json(&some.to_json()).unwrap(), some);
+        assert_eq!(usize::from_json(&7usize.to_json()).unwrap(), 7);
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        let d = Duration::new(3, 141_592_653);
+        assert_eq!(Duration::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn from_json_str_parses_and_converts() {
+        assert_eq!(
+            Vec::<usize>::from_json_str("[1,2,3]").unwrap(),
+            vec![1, 2, 3]
+        );
+        let err = Vec::<usize>::from_json_str(r#"[1,"x"]"#).unwrap_err();
+        assert!(err.to_string().contains("[1]"));
+    }
+
+    #[test]
+    fn duration_rejects_bad_shapes() {
+        assert!(Duration::from_json_str(r#"{"secs":-1,"nanos":0}"#).is_err());
+        assert!(Duration::from_json_str(r#"{"secs":1,"nanos":2000000000}"#).is_err());
+        assert!(Duration::from_json_str("3").is_err());
+    }
+
+    #[test]
+    fn error_context_prefixes() {
+        let e = WireError::new("inner").context("outer");
+        assert_eq!(e.to_string(), "wire error: outer: inner");
+    }
+}

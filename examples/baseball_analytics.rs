@@ -46,7 +46,10 @@ fn main() {
 
     // Worst-case automated feedback: always keep the largest candidate subset.
     let outcome = session.run(&WorstCaseUser).expect("QFE terminates");
-    println!("\nWorst-case feedback needed {} rounds.", outcome.report.iterations());
+    println!(
+        "\nWorst-case feedback needed {} rounds.",
+        outcome.report.iterations()
+    );
     println!("{}", outcome.report);
     println!("Surviving query: {}", outcome.query);
     assert!(evaluate(&outcome.query, &workload.database)

@@ -1,9 +1,15 @@
-//! Driving QFE with custom feedback logic, and inspecting what the user is
+//! Driving QFE through the sans-IO step API, and inspecting what the user is
 //! shown at each round (the Δ(D, D') and Δ(R, R_i) presentation of Figure 1).
 //!
-//! An `InteractiveUser` wraps arbitrary decision logic — here a scripted
-//! "user" who knows their intended query is about the IT department and picks
-//! results accordingly; a real front end would prompt a human instead.
+//! Instead of handing the driver a callback, the session is `start()`ed into
+//! a [`QfeEngine`]: each `step()` yields the next `FeedbackRound` (or the
+//! outcome), and `answer()` feeds the user's selection back in. Nothing
+//! blocks while the "user" decides — here a scripted decision procedure, but
+//! a real front end would park the engine (or a serialized snapshot of it)
+//! until the human returns. Mid-session the example demonstrates exactly
+//! that: the engine is snapshotted to JSON, dropped, and the session finishes
+//! in a fresh engine resumed from the text — the paper's interactive loop
+//! surviving a simulated process restart.
 //!
 //! Run with: `cargo run --example interactive_session`
 
@@ -14,39 +20,62 @@ fn main() {
     let (database, result, candidates, _target) = qfe::datasets::example_1_1();
     // This user's real intention is Q3: dept = 'IT'.
     let intended = candidates[2].clone();
-
     let probe_db = database.clone();
-    let user = InteractiveUser::new(move |round| {
-        println!("--- round {} ---", round.iteration);
-        println!("Database changes shown to the user:\n{}", round.database_delta);
-        for (i, choice) in round.choices.iter().enumerate() {
-            println!(
-                "result option {} ({} candidate quer{} behind it):",
-                i + 1,
-                choice.candidate_count,
-                if choice.candidate_count == 1 { "y" } else { "ies" }
-            );
-            print!("{}", choice.result_delta);
-        }
-        // The scripted user evaluates their intention mentally: which option
-        // matches what the IT-department query would return on this database?
-        let wanted = evaluate(&intended, &round.database).ok()?;
-        let pick = round.choices.iter().position(|c| c.result.bag_equal(&wanted));
-        println!(
-            "user picks option {}\n",
-            pick.map(|p| (p + 1).to_string()).unwrap_or_else(|| "none".into())
-        );
-        pick
-    });
 
     let session = QfeSession::builder(database, result)
         .with_candidates(candidates.clone())
         .build()
         .expect("session builds");
-    let outcome = session.run(&user).expect("QFE terminates");
+    let mut engine = session.start();
+
+    let outcome = loop {
+        match engine.step().expect("QFE step") {
+            Step::Done(outcome) => break outcome,
+            Step::AwaitFeedback(round) => {
+                println!("--- round {} ---", round.iteration);
+                println!(
+                    "Database changes shown to the user:\n{}",
+                    round.database_delta
+                );
+                for (i, choice) in round.choices.iter().enumerate() {
+                    println!(
+                        "result option {} ({} candidate quer{} behind it):",
+                        i + 1,
+                        choice.candidate_count,
+                        if choice.candidate_count == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        }
+                    );
+                    print!("{}", choice.result_delta);
+                }
+
+                // While the user "thinks", the whole session leaves the
+                // process: snapshot to JSON text, drop the engine, resume.
+                let text = engine.snapshot().serialize();
+                println!("(session parked: {} bytes of snapshot JSON)", text.len());
+                let snapshot = SessionSnapshot::deserialize(&text).expect("snapshot parses");
+                engine = QfeEngine::resume(snapshot).expect("snapshot resumes");
+
+                // The scripted user evaluates their intention mentally: which
+                // option matches what the IT-department query would return on
+                // this database?
+                let wanted = evaluate(&intended, &round.database).expect("intended evaluates");
+                let pick = round
+                    .choices
+                    .iter()
+                    .position(|c| c.result.bag_equal(&wanted));
+                let p = pick.expect("the intended query is among the candidates");
+                println!("user picks option {}\n", p + 1);
+                engine.answer(p).expect("valid answer");
+            }
+        }
+    };
 
     println!("Identified query: {}", outcome.query);
     assert_eq!(outcome.query.label.as_deref(), Some("Q3"));
+    assert!(outcome.fully_identified());
     let r = evaluate(&outcome.query, &probe_db).unwrap();
     println!("It returns {} employees on the original database.", r.len());
 }

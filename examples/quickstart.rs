@@ -14,7 +14,10 @@ fn main() {
     // Example 1.1 (gender = 'M', salary > 4000, dept = 'IT').
     let (database, result, candidates, target) = qfe::datasets::example_1_1();
 
-    println!("Example database D:\n{}", database.table("Employee").unwrap());
+    println!(
+        "Example database D:\n{}",
+        database.table("Employee").unwrap()
+    );
     println!("Example result R:\n{result}");
     println!("Candidate queries QC:");
     for q in &candidates {

@@ -36,7 +36,10 @@ fn main() {
         .with_generator_config(QboConfig::default())
         .build()
         .expect("session builds");
-    println!("Generated {} candidate queries; first few:", session.candidates().len());
+    println!(
+        "Generated {} candidate queries; first few:",
+        session.candidates().len()
+    );
     for q in session.candidates().iter().take(5) {
         println!("  {q}");
     }
@@ -50,6 +53,8 @@ fn main() {
 
     // The identified query reproduces the example result.
     let identified_result = qfe::query::evaluate(&outcome.query, &workload.database).unwrap();
-    assert!(identified_result.bag_equal(&qfe::query::evaluate(&target, &workload.database).unwrap()));
+    assert!(
+        identified_result.bag_equal(&qfe::query::evaluate(&target, &workload.database).unwrap())
+    );
     println!("The identified query returns exactly the genes the scientist expected.");
 }

@@ -36,6 +36,49 @@
 //! assert_eq!(outcome.query, target);
 //! assert!(outcome.report.iterations() <= 2);
 //! ```
+//!
+//! ## Sans-IO sessions: step, snapshot, resume, host
+//!
+//! `run()` blocks until the responder answers, which suits automated
+//! feedback. Interactive and hosted deployments use the step API instead:
+//! [`QfeSession::start`](prelude::QfeSession::start) yields a
+//! [`QfeEngine`](prelude::QfeEngine) that returns each feedback round and is
+//! fed each answer, holds all loop state, and externalizes as a JSON
+//! [`SessionSnapshot`](prelude::SessionSnapshot) that resumes in another
+//! process. A [`SessionManager`](prelude::SessionManager) hosts many
+//! concurrent engines behind [`SessionId`](prelude::SessionId) handles —
+//! the embedding point for a server frontend.
+//!
+//! ```
+//! use qfe::prelude::*;
+//!
+//! let (db, result, candidates, target) = qfe::datasets::example_1_1();
+//! let user = OracleUser::new(target.clone());
+//! let session = QfeSession::builder(db, result)
+//!     .with_candidates(candidates)
+//!     .build()
+//!     .expect("valid example input");
+//!
+//! // Host the session behind an id, as a server would.
+//! let manager = SessionManager::new();
+//! let mut id = manager.create(&session);
+//! let outcome = loop {
+//!     match manager.step(id).expect("hosted session steps") {
+//!         Step::Done(outcome) => break outcome,
+//!         Step::AwaitFeedback(round) => {
+//!             // Mid-round the session can leave the process entirely…
+//!             let parked: String = manager.snapshot(id).unwrap().serialize();
+//!             assert!(manager.evict(id));
+//!             // …and come back later, under a new handle.
+//!             let snapshot = SessionSnapshot::deserialize(&parked).unwrap();
+//!             id = manager.restore(snapshot).unwrap();
+//!             let choice = user.choose(&round).expect("oracle finds its result");
+//!             manager.answer(id, choice).unwrap();
+//!         }
+//!     }
+//! };
+//! assert_eq!(outcome.query, target);
+//! ```
 
 pub use qfe_core as core;
 pub use qfe_datasets as datasets;
@@ -46,11 +89,12 @@ pub use qfe_relation as relation;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use qfe_core::{
-        AltCostModel, CostModelKind, CostParams, DatabaseGenerator, FeedbackUser,
-        InteractiveUser, IterationStats, OracleUser, QfeError, QfeOutcome, QfeSession,
-        SessionReport, SimulatedHumanUser, WorstCaseUser,
+        AltCostModel, CostModelKind, CostParams, DatabaseGenerator, FeedbackUser, InteractiveUser,
+        IterationStats, OracleUser, QfeEngine, QfeError, QfeOutcome, QfeSession, SessionId,
+        SessionManager, SessionReport, SessionSnapshot, SimulatedHumanUser, Step, WorstCaseUser,
     };
     pub use qfe_qbo::{QboConfig, QueryGenerator};
     pub use qfe_query::{ComparisonOp, DnfPredicate, QueryResult, SpjQuery};
-    pub use qfe_relation::{Database, DataType, ForeignKey, Table, TableSchema, Tuple, Value};
+    pub use qfe_relation::{DataType, Database, ForeignKey, Table, TableSchema, Tuple, Value};
+    pub use qfe_wire::{FromJson, ToJson};
 }

@@ -24,7 +24,10 @@ fn scientific_oracle_sessions_identify_the_target() {
             .with_params(fast_params())
             .build()
             .unwrap();
-        assert!(session.candidates().len() >= 2, "{label}: need multiple candidates");
+        assert!(
+            session.candidates().len() >= 2,
+            "{label}: need multiple candidates"
+        );
         let outcome = session.run(&OracleUser::new(target.clone())).unwrap();
         assert!(
             evaluate(&outcome.query, &workload.database)

@@ -30,8 +30,14 @@ fn rounds_present_single_relation_minimal_changes() {
         .unwrap();
     let outcome = session.run(&OracleUser::new(target)).unwrap();
     for it in &outcome.report.iterations {
-        assert_eq!(it.modified_relations, 1, "only the Employee table is touched");
-        assert!(it.db_cost <= 2, "each round changes at most two attribute values");
+        assert_eq!(
+            it.modified_relations, 1,
+            "only the Employee table is touched"
+        );
+        assert!(
+            it.db_cost <= 2,
+            "each round changes at most two attribute values"
+        );
         assert!(it.group_count >= 2, "each round distinguishes something");
     }
 }

@@ -67,7 +67,10 @@ fn presented_databases_respect_constraints() {
     let original = workload.database.clone();
 
     let user = InteractiveUser::new(move |round| {
-        round.database.check_integrity().expect("D' must satisfy PK/FK constraints");
+        round
+            .database
+            .check_integrity()
+            .expect("D' must satisfy PK/FK constraints");
         let delta_cost = min_edit_databases(&original, &round.database);
         assert!(delta_cost > 0, "D' must differ from D");
         assert_eq!(delta_cost, round.database_delta.edits.len());
@@ -82,7 +85,9 @@ fn presented_databases_respect_constraints() {
 
     let session = QfeSession::builder(workload.database.clone(), result)
         .ensure_candidate(target)
-        .with_params(CostParams::default().with_skyline_budget(std::time::Duration::from_millis(30)))
+        .with_params(
+            CostParams::default().with_skyline_budget(std::time::Duration::from_millis(30)),
+        )
         .build()
         .unwrap();
     // Every presented round is checked inside the InteractiveUser closure.
