@@ -1,0 +1,32 @@
+//! Parallel skyline scaling: Algorithm 3 wall-clock at 1/2/4/8 worker
+//! threads on the table5 workload (scientific database, Q2, 19 candidates).
+//!
+//! The enumeration result is identical at every thread count (the merge is
+//! deterministic), so the benchmark measures pure scaling of the bitset
+//! kernel across cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfe_bench::{skyline_scaling_context, Scale};
+use qfe_core::skyline_stc_dtc_pairs_with_threads;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ctx = skyline_scaling_context(Scale::Small);
+    let budget = Duration::from_secs(120);
+
+    let mut group = c.benchmark_group("skyline_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| skyline_stc_dtc_pairs_with_threads(&ctx, budget, threads).enumerated)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

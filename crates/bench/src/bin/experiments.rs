@@ -11,8 +11,9 @@
 //! `--paper-scale` uses the paper's dataset cardinalities and δ = 1 s.
 
 use qfe_bench::{
-    ablation_estimator, extra_entropy, extra_initial_size, manager_report, table1, table2, table3,
-    table4, table5, table6, table7, user_study, Scale,
+    ablation_estimator, extra_entropy, extra_initial_size, manager_report, skyline_parallel_json,
+    skyline_parallel_report, skyline_parallel_rows, table1, table2, table3, table4, table5, table6,
+    table7, user_study, Scale,
 };
 
 fn main() {
@@ -72,5 +73,15 @@ fn main() {
     }
     if want("manager") {
         println!("{}", manager_report());
+    }
+    if want("skyline-parallel") {
+        let rows = skyline_parallel_rows(scale, &[1, 2, 4, 8], 3);
+        println!("{}", skyline_parallel_report(&rows));
+        let json = skyline_parallel_json(scale, &rows);
+        let path = "BENCH_skyline.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }

@@ -761,6 +761,131 @@ pub fn ablation_estimator(scale: Scale) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel skyline scaling
+// ---------------------------------------------------------------------------
+
+/// One row of the parallel-skyline scaling measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct SkylineScalingRow {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-N wall-clock seconds for the enumeration.
+    pub seconds: f64,
+    /// (STC, DTC) pairs examined.
+    pub enumerated: usize,
+    /// Skyline pairs kept.
+    pub pairs: usize,
+}
+
+/// Builds the table5 (scientific, Q2, 19 candidates) generation context used
+/// by the skyline scaling measurements.
+pub fn skyline_scaling_context(scale: Scale) -> GenerationContext {
+    let workload = scale.scientific();
+    let target = workload.query("Q2").expect("query").clone();
+    let result = workload.example_result("Q2").expect("result");
+    let candidates = candidates_for(&workload.database, &target, 19);
+    GenerationContext::new(&workload.database, &result, &candidates).expect("context builds")
+}
+
+/// Measures Algorithm 3 at the given worker counts on the table5 workload.
+///
+/// Every run uses the same generous δ so the full cost-level-1..2 enumeration
+/// completes (the result is identical at every thread count — the parallel
+/// merge is deterministic); each row is the best of `repeats` runs.
+pub fn skyline_parallel_rows(
+    scale: Scale,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> Vec<SkylineScalingRow> {
+    use qfe_core::skyline_stc_dtc_pairs_with_threads;
+    let ctx = skyline_scaling_context(scale);
+    let budget = Duration::from_secs(120);
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let mut best = f64::INFINITY;
+        let mut enumerated = 0;
+        let mut pairs = 0;
+        for _ in 0..repeats.max(1) {
+            let start = std::time::Instant::now();
+            let outcome = skyline_stc_dtc_pairs_with_threads(&ctx, budget, threads);
+            let secs = start.elapsed().as_secs_f64();
+            if secs < best {
+                best = secs;
+            }
+            enumerated = outcome.enumerated;
+            pairs = outcome.pairs.len();
+        }
+        rows.push(SkylineScalingRow {
+            threads,
+            seconds: best,
+            enumerated,
+            pairs,
+        });
+    }
+    rows
+}
+
+/// Human-readable parallel-skyline scaling table.
+pub fn skyline_parallel_report(rows: &[SkylineScalingRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Parallel skyline scaling (scientific, Q2, 19 candidates; full enumeration)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<9} {:>12} {:>12} {:>10} {:>9}",
+        "threads", "time (s)", "pairs seen", "kept", "speedup"
+    )
+    .unwrap();
+    let base = rows.first().map(|r| r.seconds).unwrap_or(0.0);
+    for r in rows {
+        writeln!(
+            out,
+            "{:<9} {:>12.4} {:>12} {:>10} {:>8.2}x",
+            r.threads,
+            r.seconds,
+            r.enumerated,
+            r.pairs,
+            base / r.seconds.max(1e-12)
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The parallel-skyline scaling measurement as a JSON document
+/// (`BENCH_skyline.json`), so future revisions can track the perf trajectory.
+pub fn skyline_parallel_json(scale: Scale, rows: &[SkylineScalingRow]) -> String {
+    let base = rows.first().map(|r| r.seconds).unwrap_or(0.0);
+    let mut out = String::new();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"skyline-parallel\",\n");
+    out.push_str("  \"workload\": \"scientific-q2-19-candidates\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str("  \"rows\": [\n");
+    let n = rows.len();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"enumerated\": {}, \"kept\": {}, \"speedup\": {:.3}}}{}\n",
+            r.threads,
+            r.seconds,
+            r.enumerated,
+            r.pairs,
+            base / r.seconds.max(1e-12),
+            if i + 1 == n { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Session-manager throughput
 // ---------------------------------------------------------------------------
 

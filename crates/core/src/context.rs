@@ -6,15 +6,29 @@
 //! tuple-class space derived from `QC'`.  [`GenerationContext`] bundles that
 //! state and provides the cheap, class-level reasoning (query/class matching,
 //! outcome signatures, balance scores) that Algorithms 3 and 4 are built on.
+//!
+//! Two properties matter for scale:
+//!
+//! * **Bit-packed reasoning.** Class/candidate matching and outcome
+//!   signatures run on the [`OutcomeKernel`]'s interned class ids and
+//!   per-class match bitsets — branch-light word operations with no interior
+//!   mutability, which makes the context `Sync` and lets the skyline search
+//!   fan out across threads.
+//! * **Incremental advancement.** Between feedback rounds the candidate set
+//!   only shrinks and `D` changes only by explicitly applied cell edits;
+//!   [`GenerationContext::advance`] derives the next round's context from the
+//!   previous one — reusing the join, the join index and the cached active
+//!   domains — instead of recomputing everything from the database.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use qfe_query::{BoundQuery, QueryResult, SpjQuery};
-use qfe_relation::{foreign_key_join, Database, JoinIndex, JoinedRelation, Tuple};
+use qfe_relation::{foreign_key_join, Database, JoinIndex, JoinedRelation, Tuple, Value};
 
 use crate::cost::balance_score;
 use crate::error::{QfeError, Result};
+use crate::kernel::{MatchScratch, OutcomeKernel, PairStats};
 use crate::tuple_class::{TupleClass, TupleClassSpace};
 
 /// A candidate single-tuple modification at the tuple-class level: a
@@ -54,20 +68,37 @@ pub enum Outcome {
 
 /// Per-iteration state shared by the skyline search (Algorithm 3), the subset
 /// selection (Algorithm 4) and the realization of modifications.
+///
+/// The context is immutable after construction and `Sync`: the parallel
+/// skyline enumeration shares one context across worker threads.
 #[derive(Debug)]
 pub struct GenerationContext {
-    db: Database,
-    original_result: QueryResult,
+    db: Arc<Database>,
+    original_result: Arc<QueryResult>,
     queries: Vec<SpjQuery>,
     join_tables: Vec<String>,
-    join: JoinedRelation,
-    join_index: JoinIndex,
+    join: Arc<JoinedRelation>,
+    join_index: Arc<JoinIndex>,
     bound: Vec<BoundQuery>,
     space: TupleClassSpace,
     source_classes: BTreeMap<TupleClass, Vec<usize>>,
     modifiable: Vec<bool>,
     projection_columns: BTreeSet<usize>,
-    match_cache: RefCell<HashMap<TupleClass, Vec<bool>>>,
+    /// Cached active domains of the selection-predicate columns (what
+    /// `join.active_domain` returned at build time) — reused by
+    /// [`Self::advance`] so successor contexts skip the join scans.
+    column_domains: BTreeMap<usize, Vec<Value>>,
+    kernel: OutcomeKernel,
+    /// Per attribute, per block: whether the block's representative conforms
+    /// to the base column's declared type (i.e. the block is realizable as a
+    /// concrete cell edit).
+    block_realizable: Vec<Vec<bool>>,
+}
+
+fn assert_sync_send<T: Sync + Send>() {}
+#[allow(dead_code)]
+fn generation_context_is_sync() {
+    assert_sync_send::<GenerationContext>();
 }
 
 impl GenerationContext {
@@ -76,6 +107,21 @@ impl GenerationContext {
     /// All candidate queries must share the same join schema (the Section 5
     /// assumption); [`QfeError::MixedJoinSchemas`] is returned otherwise.
     pub fn new(db: &Database, original_result: &QueryResult, queries: &[SpjQuery]) -> Result<Self> {
+        Self::new_shared(
+            Arc::new(db.clone()),
+            Arc::new(original_result.clone()),
+            queries.to_vec(),
+        )
+    }
+
+    /// [`Self::new`] without copying `D` and `R`: the context shares the
+    /// caller's `Arc`s, so a session engine, its manager snapshots and every
+    /// per-round context reference one copy of the example pair.
+    pub fn new_shared(
+        db: Arc<Database>,
+        original_result: Arc<QueryResult>,
+        queries: Vec<SpjQuery>,
+    ) -> Result<Self> {
         if queries.is_empty() {
             return Err(QfeError::NoCandidates);
         }
@@ -83,49 +129,60 @@ impl GenerationContext {
         if queries.iter().any(|q| q.join_signature() != join_tables) {
             return Err(QfeError::MixedJoinSchemas);
         }
-        let join = foreign_key_join(db, &join_tables)?;
-        let join_index = JoinIndex::build(&join);
+        let join = Arc::new(foreign_key_join(&db, &join_tables)?);
+        let join_index = Arc::new(JoinIndex::build(&join));
+        let column_domains = TupleClassSpace::active_domains(&join, &queries)?;
+        let space = TupleClassSpace::build_with_domains(&join, &queries, &column_domains)?;
+        Self::assemble(
+            db,
+            original_result,
+            queries,
+            join_tables,
+            join,
+            join_index,
+            column_domains,
+            space,
+            None,
+        )
+    }
+
+    /// Shared tail of [`Self::new_shared`] and [`Self::advance`]: everything
+    /// derived from the join, the domains and the candidate set. When
+    /// `source_classes` is `None` every join row is classified from scratch;
+    /// `advance` passes the incrementally remapped table instead.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        db: Arc<Database>,
+        original_result: Arc<QueryResult>,
+        queries: Vec<SpjQuery>,
+        join_tables: Vec<String>,
+        join: Arc<JoinedRelation>,
+        join_index: Arc<JoinIndex>,
+        column_domains: BTreeMap<usize, Vec<Value>>,
+        space: TupleClassSpace,
+        source_classes: Option<BTreeMap<TupleClass, Vec<usize>>>,
+    ) -> Result<Self> {
         let bound: Vec<BoundQuery> = queries
             .iter()
             .map(|q| BoundQuery::bind(q, &join))
             .collect::<std::result::Result<_, _>>()?;
-        let space = TupleClassSpace::build(&join, queries)?;
-        let source_classes = space.source_classes(&join);
+        let source_classes = match source_classes {
+            Some(classes) => classes,
+            None => space.source_classes(&join),
+        };
 
         // Projection columns (shared by all candidates: R determines ℓ).
         let projection_columns: BTreeSet<usize> =
             bound[0].projection_indices().iter().copied().collect();
 
-        // An attribute is modifiable unless its base column participates in a
-        // primary key or a foreign key: modifying key columns would change the
-        // join structure or violate integrity constraints (Section 6.3).
-        let modifiable: Vec<bool> = space
-            .attributes()
-            .iter()
-            .map(|attr| {
-                let in_fk = db.foreign_keys().iter().any(|fk| {
-                    (fk.child_table == attr.table && fk.child_columns.contains(&attr.base_column))
-                        || (fk.parent_table == attr.table
-                            && fk.parent_columns.contains(&attr.base_column))
-                });
-                let in_pk = db
-                    .table(&attr.table)
-                    .ok()
-                    .map(|t| {
-                        t.schema()
-                            .primary_key()
-                            .iter()
-                            .any(|&i| t.schema().columns()[i].name == attr.base_column)
-                    })
-                    .unwrap_or(false);
-                !(in_fk || in_pk)
-            })
-            .collect();
+        let modifiable = modifiable_attributes(&db, &space);
+        let kernel = OutcomeKernel::build(&space, &queries, &join, &projection_columns)?;
+        let block_realizable = block_realizability(&db, &space);
 
         Ok(GenerationContext {
-            db: db.clone(),
-            original_result: original_result.clone(),
-            queries: queries.to_vec(),
+            db,
+            original_result,
+            queries,
             join_tables,
             join,
             join_index,
@@ -134,12 +191,212 @@ impl GenerationContext {
             source_classes,
             modifiable,
             projection_columns,
-            match_cache: RefCell::new(HashMap::new()),
+            column_domains,
+            kernel,
+            block_realizable,
         })
+    }
+
+    /// Derives the context of the *next* feedback round from this one.
+    ///
+    /// `surviving` holds the indices (into [`Self::queries`], strictly
+    /// ascending) of the candidates kept by the user's answer; `edits` are
+    /// the cell edits applied to `D` since this context was built (empty in
+    /// the standard loop, where `D` never changes). Instead of recomputing
+    /// the join and rescanning the database, the successor context reuses:
+    ///
+    /// * the join and join index (`Arc`-shared when `edits` is empty; rows
+    ///   patched in place otherwise — edits never touch key columns, so the
+    ///   join *structure* is invariant),
+    /// * the cached per-column active domains (recomputed only for edited
+    ///   columns),
+    /// * the source-class table, remapped through the old-block → new-block
+    ///   refinement induced by the shrunken term set.
+    ///
+    /// The result is equivalent to `GenerationContext::new` on the edited
+    /// database and surviving candidates. Edits touching primary- or
+    /// foreign-key columns (which would change the join structure) fall back
+    /// to a full rebuild.
+    pub fn advance(
+        &self,
+        surviving: &[usize],
+        edits: &[crate::realize::CellEdit],
+    ) -> Result<GenerationContext> {
+        if surviving.is_empty() {
+            return Err(QfeError::NoCandidates);
+        }
+        if surviving.windows(2).any(|w| w[0] >= w[1])
+            || *surviving.last().expect("non-empty") >= self.queries.len()
+        {
+            return Err(QfeError::Internal {
+                message: "advance: surviving indices must be strictly ascending and in range"
+                    .into(),
+            });
+        }
+        let queries: Vec<SpjQuery> = surviving.iter().map(|&i| self.queries[i].clone()).collect();
+
+        // Edits to key columns change the join structure: rebuild fully.
+        if edits
+            .iter()
+            .any(|e| is_key_column(&self.db, &e.table, &e.column))
+        {
+            let db = crate::realize::apply_edits(&self.db, edits)?;
+            return Self::new_shared(Arc::new(db), Arc::clone(&self.original_result), queries);
+        }
+
+        // Database and join: shared when unchanged, patched otherwise.
+        let (db, join, affected_rows) = if edits.is_empty() {
+            (
+                Arc::clone(&self.db),
+                Arc::clone(&self.join),
+                BTreeSet::new(),
+            )
+        } else {
+            let db = Arc::new(crate::realize::apply_edits(&self.db, edits)?);
+            let mut join = (*self.join).clone();
+            let mut affected: BTreeSet<usize> = BTreeSet::new();
+            for edit in edits {
+                for &jrow in self.join_index.joined_rows_of(&edit.table, edit.row) {
+                    affected.insert(jrow);
+                    for (col_idx, col) in self.join.columns().iter().enumerate() {
+                        if col.table == edit.table
+                            && col.column == edit.column
+                            && self.join.rows()[jrow].provenance.get(&edit.table) == Some(&edit.row)
+                        {
+                            join.patch_cell(jrow, col_idx, edit.new_value.clone());
+                        }
+                    }
+                }
+            }
+            (db, Arc::new(join), affected)
+        };
+        let join_index = Arc::clone(&self.join_index);
+
+        // Active domains: reuse the cache except for edited columns.
+        let edited_join_columns: BTreeSet<usize> = join
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                edits
+                    .iter()
+                    .any(|e| e.table == c.table && e.column == c.column)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut needed_columns: BTreeSet<usize> = BTreeSet::new();
+        for q in &queries {
+            for term in q.predicate.all_terms() {
+                needed_columns.insert(
+                    join.resolve_column(term.attribute())
+                        .map_err(QfeError::from)?,
+                );
+            }
+        }
+        let column_domains: BTreeMap<usize, Vec<Value>> = needed_columns
+            .into_iter()
+            .map(|col| {
+                // The join scan (plus sort/dedup) runs only for columns whose
+                // values actually changed or that the cache never saw.
+                let domain = if edited_join_columns.contains(&col) {
+                    join.active_domain(col)
+                } else {
+                    match self.column_domains.get(&col) {
+                        Some(cached) => cached.clone(),
+                        None => join.active_domain(col),
+                    }
+                };
+                (col, domain)
+            })
+            .collect();
+
+        let space = TupleClassSpace::build_with_domains(&join, &queries, &column_domains)?;
+
+        // Incremental re-partitioning: remap the previous round's source
+        // classes through the old-block → new-block refinement (fewer
+        // candidates ⇒ fewer terms ⇒ coarser blocks) instead of classifying
+        // every join row again. Edited rows are classified directly; a failed
+        // embedding (should not happen) falls back to full classification.
+        let source_classes = self.remap_source_classes(&space, &join, &affected_rows);
+        debug_assert!(
+            source_classes.is_none()
+                || source_classes.as_ref() == Some(&space.source_classes(&join)),
+            "refinement remap disagrees with direct classification"
+        );
+
+        Self::assemble(
+            db,
+            Arc::clone(&self.original_result),
+            queries,
+            self.join_tables.clone(),
+            join,
+            join_index,
+            column_domains,
+            space,
+            source_classes,
+        )
+    }
+
+    /// Remaps this context's source classes into the successor class space
+    /// via the old-block → new-block refinement. Returns `None` when some old
+    /// block does not embed into a single new block (then direct
+    /// classification is the only option). Rows in `affected` (edited) are
+    /// classified directly.
+    fn remap_source_classes(
+        &self,
+        new_space: &TupleClassSpace,
+        new_join: &JoinedRelation,
+        affected: &BTreeSet<usize>,
+    ) -> Option<BTreeMap<TupleClass, Vec<usize>>> {
+        let new_attrs = new_space.attributes();
+        // For each new attribute position: (old position, old-block → new-block map).
+        let mut maps: Vec<(usize, Vec<usize>)> = Vec::with_capacity(new_attrs.len());
+        for na in new_attrs {
+            let old_pos = self
+                .space
+                .attributes()
+                .iter()
+                .position(|oa| oa.column == na.column)?;
+            let old_blocks = &self.space.attributes()[old_pos].blocks;
+            let mut map = Vec::with_capacity(old_blocks.len());
+            for ob in old_blocks {
+                let target = na
+                    .blocks
+                    .iter()
+                    .position(|nb| nb.contains(ob.representative()))?;
+                map.push(target);
+            }
+            maps.push((old_pos, map));
+        }
+        let mut remapped: BTreeMap<TupleClass, Vec<usize>> = BTreeMap::new();
+        for (old_class, rows) in &self.source_classes {
+            let new_class: TupleClass = maps
+                .iter()
+                .map(|(old_pos, map)| map[old_class[*old_pos]])
+                .collect();
+            let members = remapped.entry(new_class).or_default();
+            members.extend(rows.iter().filter(|r| !affected.contains(r)));
+        }
+        // Edited rows: classify directly against the new space.
+        for &jrow in affected {
+            if let Some(class) = new_space.classify(&new_join.rows()[jrow].tuple) {
+                remapped.entry(class).or_default().push(jrow);
+            }
+        }
+        for members in remapped.values_mut() {
+            members.sort_unstable();
+        }
+        remapped.retain(|_, members| !members.is_empty());
+        Some(remapped)
     }
 
     /// The original database `D`.
     pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The original database `D`, shared.
+    pub fn database_arc(&self) -> &Arc<Database> {
         &self.db
     }
 
@@ -193,23 +450,57 @@ impl GenerationContext {
         &self.projection_columns
     }
 
-    /// Whether a tuple of `class` satisfies candidate query `query_idx`
-    /// (memoized).
+    /// Whether the representative of `block` at attribute position `pos`
+    /// conforms to the base column's declared type (precomputed; used by the
+    /// realization to skip unrealizable destinations).
+    pub fn block_realizable(&self, pos: usize, block: usize) -> bool {
+        self.block_realizable[pos][block]
+    }
+
+    /// Number of candidate queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Fresh per-thread scratch buffers for [`Self::class_match_words`].
+    pub(crate) fn match_scratch(&self) -> MatchScratch {
+        self.kernel.scratch()
+    }
+
+    /// The candidate-match bitset of a class (bit `q` ⇔ class satisfies
+    /// query `q`). Borrow is tied to `scratch`; no allocation.
+    pub(crate) fn class_match_words<'a>(
+        &'a self,
+        class: &TupleClass,
+        scratch: &'a mut MatchScratch,
+    ) -> &'a [u64] {
+        self.kernel.match_words(class, scratch)
+    }
+
+    /// Outcome counts of a single pair given precomputed match bitsets.
+    pub(crate) fn pair_stats(
+        &self,
+        source_bits: &[u64],
+        destination_bits: &[u64],
+        projection_changed: bool,
+    ) -> PairStats {
+        self.kernel
+            .pair_stats(source_bits, destination_bits, projection_changed)
+    }
+
+    /// Whether changing the given attribute positions touches a projected
+    /// column (precomputed per-attribute projection-touch mask).
+    pub(crate) fn projection_touched(&self, changed: &[usize]) -> bool {
+        self.kernel.projection_touched(changed)
+    }
+
+    /// Whether a tuple of `class` satisfies candidate query `query_idx`.
+    ///
+    /// A bit probe on the kernel's interned-class match table (or a
+    /// branch-light conjunct scan when the class space is too large to
+    /// tabulate) — no locks, no allocation.
     pub fn class_matches(&self, class: &TupleClass, query_idx: usize) -> bool {
-        {
-            let cache = self.match_cache.borrow();
-            if let Some(row) = cache.get(class) {
-                return row[query_idx];
-            }
-        }
-        let row: Vec<bool> = self
-            .bound
-            .iter()
-            .map(|b| self.space.class_matches(class, b))
-            .collect();
-        let result = row[query_idx];
-        self.match_cache.borrow_mut().insert(class.clone(), row);
-        result
+        self.kernel.class_matches(class, query_idx)
     }
 
     /// The abstract outcome of modifying one tuple from `pair.source` to
@@ -217,11 +508,7 @@ impl GenerationContext {
     pub fn outcome(&self, pair: &ClassPair, query_idx: usize) -> Outcome {
         let s = self.class_matches(&pair.source, query_idx);
         let d = self.class_matches(&pair.destination, query_idx);
-        // Did the modification touch a projected column?
-        let projection_changed = pair.changed_attributes.iter().any(|&pos| {
-            let col = self.space.attributes()[pos].column;
-            self.projection_columns.contains(&col)
-        });
+        let projection_changed = self.projection_touched(&pair.changed_attributes);
         match (s, d) {
             (false, false) => Outcome::Unchanged,
             (false, true) => Outcome::Added,
@@ -239,9 +526,79 @@ impl GenerationContext {
     /// The sizes of the query subsets induced (at the class level) by a set
     /// of pairs: queries are grouped by their vector of per-pair outcomes.
     pub fn partition_sizes(&self, pairs: &[ClassPair]) -> Vec<usize> {
+        self.partition_sizes_indexed(pairs, None)
+    }
+
+    /// [`Self::partition_sizes`] over `pool[indices]` without materializing
+    /// the subset (Algorithm 4's extension loop calls this per candidate
+    /// extension).
+    pub fn partition_sizes_of(&self, pool: &[ClassPair], indices: &[usize]) -> Vec<usize> {
+        self.partition_sizes_indexed(pool, Some(indices))
+    }
+
+    fn partition_sizes_indexed(&self, pool: &[ClassPair], indices: Option<&[usize]>) -> Vec<usize> {
+        let count = indices.map_or(pool.len(), <[usize]>::len);
+        let nq = self.queries.len();
+        if count == 0 {
+            return vec![nq];
+        }
+        let pair_at = |i: usize| -> &ClassPair {
+            match indices {
+                Some(idx) => &pool[idx[i]],
+                None => &pool[i],
+            }
+        };
+        if count == 1 {
+            // Hot path (skyline): pure popcounts, canonical outcome order.
+            let pair = pair_at(0);
+            let mut s_scratch = self.match_scratch();
+            let mut d_scratch = self.match_scratch();
+            let s = self
+                .kernel
+                .match_words(&pair.source, &mut s_scratch)
+                .to_vec();
+            let d = self.kernel.match_words(&pair.destination, &mut d_scratch);
+            let stats =
+                self.kernel
+                    .pair_stats(&s, d, self.projection_touched(&pair.changed_attributes));
+            return stats.sizes().collect();
+        }
+        if count <= 32 {
+            // Pack each query's outcome vector into a u64 (2 bits per pair),
+            // then count equal signatures.
+            let mut keys = vec![0u64; nq];
+            let mut s_scratch = self.match_scratch();
+            let mut d_scratch = self.match_scratch();
+            for i in 0..count {
+                let pair = pair_at(i);
+                let proj = self.projection_touched(&pair.changed_attributes);
+                let s = self
+                    .kernel
+                    .match_words(&pair.source, &mut s_scratch)
+                    .to_vec();
+                let d = self.kernel.match_words(&pair.destination, &mut d_scratch);
+                for (q, key) in keys.iter_mut().enumerate() {
+                    *key |= u64::from(self.kernel.outcome_code(&s, d, proj, q)) << (2 * i);
+                }
+            }
+            keys.sort_unstable();
+            let mut sizes = Vec::new();
+            let mut run = 1usize;
+            for w in keys.windows(2) {
+                if w[0] == w[1] {
+                    run += 1;
+                } else {
+                    sizes.push(run);
+                    run = 1;
+                }
+            }
+            sizes.push(run);
+            return sizes;
+        }
+        // Cold path for very large pair sets: explicit signatures.
         let mut groups: BTreeMap<Vec<Outcome>, usize> = BTreeMap::new();
-        for q in 0..self.queries.len() {
-            let signature: Vec<Outcome> = pairs.iter().map(|p| self.outcome(p, q)).collect();
+        for q in 0..nq {
+            let signature: Vec<Outcome> = (0..count).map(|i| self.outcome(pair_at(i), q)).collect();
             *groups.entry(signature).or_insert(0) += 1;
         }
         groups.into_values().collect()
@@ -252,17 +609,28 @@ impl GenerationContext {
         balance_score(&self.partition_sizes(pairs))
     }
 
+    /// [`Self::balance`] over `pool[indices]` without cloning the pairs.
+    pub fn balance_of(&self, pool: &[ClassPair], indices: &[usize]) -> f64 {
+        balance_score(&self.partition_sizes_of(pool, indices))
+    }
+
     /// All single-attribute-change destination pairs for one source class.
     pub fn destination_pairs(&self, source: &TupleClass, modify_count: usize) -> Vec<ClassPair> {
-        self.space
-            .destination_classes(source, modify_count, &self.modifiable)
-            .into_iter()
-            .map(|(destination, changed_attributes)| ClassPair {
-                source: source.clone(),
-                destination,
-                changed_attributes,
-            })
-            .collect()
+        let mut out = Vec::new();
+        let _ = self.space.for_each_destination_class(
+            source,
+            modify_count,
+            &self.modifiable,
+            |dest, changed| {
+                out.push(ClassPair {
+                    source: source.clone(),
+                    destination: dest.clone(),
+                    changed_attributes: changed.to_vec(),
+                });
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        out
     }
 
     /// Applies a set of cell edits *virtually* to the joined relation: for
@@ -295,6 +663,60 @@ impl GenerationContext {
             .map(|(jrow, tuple)| (jrow, self.join.rows()[jrow].tuple.clone(), tuple))
             .collect()
     }
+}
+
+/// Which selection attributes may be modified: an attribute is locked when
+/// its base column participates in a primary key or a foreign key — modifying
+/// key columns would change the join structure or violate integrity
+/// constraints (Section 6.3).
+fn modifiable_attributes(db: &Database, space: &TupleClassSpace) -> Vec<bool> {
+    space
+        .attributes()
+        .iter()
+        .map(|attr| !is_key_column(db, &attr.table, &attr.base_column))
+        .collect()
+}
+
+/// Whether `table.column` participates in a primary key or foreign key.
+fn is_key_column(db: &Database, table: &str, column: &str) -> bool {
+    let in_fk = db.foreign_keys().iter().any(|fk| {
+        (fk.child_table == table && fk.child_columns.iter().any(|c| c == column))
+            || (fk.parent_table == table && fk.parent_columns.iter().any(|c| c == column))
+    });
+    let in_pk = db
+        .table(table)
+        .ok()
+        .map(|t| {
+            t.schema()
+                .primary_key()
+                .iter()
+                .any(|&i| t.schema().columns()[i].name == column)
+        })
+        .unwrap_or(false);
+    in_fk || in_pk
+}
+
+/// Precomputes, per (attribute position, block), whether the block's
+/// representative can be stored in the base column's declared type.
+fn block_realizability(db: &Database, space: &TupleClassSpace) -> Vec<Vec<bool>> {
+    space
+        .attributes()
+        .iter()
+        .map(|attr| {
+            let data_type = db
+                .table(&attr.table)
+                .ok()
+                .and_then(|t| t.schema().column(&attr.base_column))
+                .map(|c| c.data_type);
+            attr.blocks
+                .iter()
+                .map(|b| match data_type {
+                    Some(dt) => b.representative().conforms_to(dt),
+                    None => false,
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -346,6 +768,7 @@ mod tests {
     fn construction_exposes_shared_state() {
         let ctx = employee_context();
         assert_eq!(ctx.queries().len(), 3);
+        assert_eq!(ctx.query_count(), 3);
         assert_eq!(ctx.join_tables(), &["Employee".to_string()]);
         assert_eq!(ctx.join().len(), 4);
         assert_eq!(ctx.bound_queries().len(), 3);
@@ -355,6 +778,13 @@ mod tests {
         assert_eq!(ctx.original_result().len(), 2);
         assert_eq!(ctx.projection_columns().len(), 1);
         assert!(!ctx.join_index().is_empty());
+    }
+
+    #[test]
+    fn context_is_sync_and_send() {
+        fn takes_sync<T: Sync + Send>(_: &T) {}
+        let ctx = employee_context();
+        takes_sync(&ctx);
     }
 
     #[test]
@@ -381,7 +811,7 @@ mod tests {
     }
 
     #[test]
-    fn class_matching_is_consistent_and_cached() {
+    fn class_matching_is_consistent() {
         let ctx = employee_context();
         // Bob/Darren's class matches every candidate; Alice/Celina's matches none.
         let bob_class = ctx
@@ -395,7 +825,7 @@ mod tests {
         for q in 0..3 {
             assert!(ctx.class_matches(&bob_class, q));
             assert!(!ctx.class_matches(&alice_class, q));
-            // Second call exercises the cache path.
+            // Repeated probes are stable.
             assert!(ctx.class_matches(&bob_class, q));
         }
     }
@@ -461,6 +891,115 @@ mod tests {
         assert!(ctx.balance(std::slice::from_ref(&pair)).is_finite());
         // No pairs: single group, infinite balance.
         assert!(ctx.balance(&[]).is_infinite());
+    }
+
+    #[test]
+    fn multi_pair_partitions_agree_with_outcome_signatures() {
+        let ctx = employee_context();
+        let bob_class = ctx
+            .class_space()
+            .classify(&ctx.join().rows()[1].tuple)
+            .unwrap();
+        let pairs = ctx.destination_pairs(&bob_class, 1);
+        assert!(pairs.len() >= 2);
+        // Reference implementation: group queries by explicit signatures.
+        let mut groups: BTreeMap<Vec<Outcome>, usize> = BTreeMap::new();
+        for q in 0..ctx.query_count() {
+            let sig: Vec<Outcome> = pairs.iter().map(|p| ctx.outcome(p, q)).collect();
+            *groups.entry(sig).or_insert(0) += 1;
+        }
+        let mut expected: Vec<usize> = groups.into_values().collect();
+        expected.sort_unstable();
+        let mut got = ctx.partition_sizes(&pairs);
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        // Indexed variant agrees with the materialized subset.
+        let indices: Vec<usize> = (0..pairs.len()).collect();
+        assert_eq!(ctx.balance(&pairs), ctx.balance_of(&pairs, &indices));
+        let subset = [0usize, pairs.len() - 1];
+        let materialized = vec![pairs[0].clone(), pairs[pairs.len() - 1].clone()];
+        assert_eq!(ctx.balance(&materialized), ctx.balance_of(&pairs, &subset));
+    }
+
+    #[test]
+    fn advance_without_edits_matches_fresh_context() {
+        let ctx = employee_context();
+        // Keep candidates {0, 2}.
+        let advanced = ctx.advance(&[0, 2], &[]).unwrap();
+        let fresh = GenerationContext::new(
+            ctx.database(),
+            ctx.original_result(),
+            &[ctx.queries()[0].clone(), ctx.queries()[2].clone()],
+        )
+        .unwrap();
+        assert_eq!(advanced.queries().len(), 2);
+        assert_eq!(advanced.source_classes(), fresh.source_classes());
+        assert_eq!(
+            advanced.class_space().attribute_count(),
+            fresh.class_space().attribute_count()
+        );
+        for (a, f) in advanced
+            .class_space()
+            .attributes()
+            .iter()
+            .zip(fresh.class_space().attributes())
+        {
+            assert_eq!(a.column, f.column);
+            assert_eq!(a.blocks, f.blocks);
+        }
+        assert_eq!(
+            advanced.modifiable_attributes(),
+            fresh.modifiable_attributes()
+        );
+        assert_eq!(advanced.projection_columns(), fresh.projection_columns());
+        // The join and the database are shared, not recomputed.
+        assert!(Arc::ptr_eq(&advanced.join, &ctx.join));
+        assert!(Arc::ptr_eq(&advanced.db, &ctx.db));
+        // Class-level reasoning agrees on every source class and query.
+        for class in fresh.source_classes().keys() {
+            for q in 0..2 {
+                assert_eq!(
+                    advanced.class_matches(class, q),
+                    fresh.class_matches(class, q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_with_edits_matches_fresh_context_on_patched_db() {
+        let ctx = employee_context();
+        let edits = vec![crate::realize::CellEdit {
+            table: "Employee".to_string(),
+            row: 1,
+            column: "salary".to_string(),
+            new_value: Value::Int(3900),
+        }];
+        let advanced = ctx.advance(&[0, 1, 2], &edits).unwrap();
+        let patched = crate::realize::apply_edits(ctx.database(), &edits).unwrap();
+        let fresh = GenerationContext::new(&patched, ctx.original_result(), ctx.queries()).unwrap();
+        assert_eq!(advanced.source_classes(), fresh.source_classes());
+        assert_eq!(advanced.join().len(), fresh.join().len());
+        for (a, f) in advanced.join().rows().iter().zip(fresh.join().rows()) {
+            assert_eq!(a.tuple, f.tuple);
+        }
+        for (a, f) in advanced
+            .class_space()
+            .attributes()
+            .iter()
+            .zip(fresh.class_space().attributes())
+        {
+            assert_eq!(a.blocks, f.blocks, "attribute {} diverged", a.reference);
+        }
+    }
+
+    #[test]
+    fn advance_validates_surviving_indices() {
+        let ctx = employee_context();
+        assert!(matches!(ctx.advance(&[], &[]), Err(QfeError::NoCandidates)));
+        assert!(ctx.advance(&[1, 0], &[]).is_err());
+        assert!(ctx.advance(&[0, 0], &[]).is_err());
+        assert!(ctx.advance(&[7], &[]).is_err());
     }
 
     #[test]

@@ -84,6 +84,26 @@ impl DatabaseGenerator {
         self.generate_with_context(&ctx)
     }
 
+    /// Runs Algorithm 2 for the round *after* `previous`: the context is
+    /// derived incrementally via [`GenerationContext::advance`] (shared join,
+    /// join index and domain caches; remapped source classes) instead of
+    /// being recomputed from the database. `surviving` are the candidate
+    /// indices kept by the user's answer; `edits` any cell edits applied to
+    /// `D` since `previous` was built (empty in the standard loop).
+    ///
+    /// Returns the advanced context alongside the generation result so the
+    /// caller can keep it for the next round.
+    pub fn generate_incremental(
+        &self,
+        previous: &GenerationContext,
+        surviving: &[usize],
+        edits: &[crate::realize::CellEdit],
+    ) -> Result<(std::sync::Arc<GenerationContext>, GeneratedDatabase)> {
+        let ctx = std::sync::Arc::new(previous.advance(surviving, edits)?);
+        let generated = self.generate_with_context(&ctx)?;
+        Ok((ctx, generated))
+    }
+
     /// Runs Algorithm 2 against a pre-built context (used by the experiment
     /// harness to time the individual steps on a fixed context).
     pub fn generate_with_context(&self, ctx: &GenerationContext) -> Result<GeneratedDatabase> {

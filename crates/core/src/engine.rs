@@ -24,13 +24,15 @@
 //! see [`QfeEngine::snapshot`] / [`QfeEngine::resume`] — so a session can be
 //! persisted mid-round, shipped across processes, and continued elsewhere.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qfe_query::{QueryResult, SpjQuery};
 use qfe_relation::Database;
 
+use crate::context::GenerationContext;
 use crate::cost::CostParams;
-use crate::dbgen::DatabaseGenerator;
+use crate::dbgen::{DatabaseGenerator, GeneratedDatabase};
 use crate::delta::{DatabaseDelta, ResultDelta};
 use crate::driver::{QfeOutcome, QfeSession};
 use crate::error::{QfeError, Result};
@@ -58,13 +60,26 @@ pub struct PendingRound {
     pub stats: IterationStats,
 }
 
+/// The previous round's generation context plus, once the round is answered,
+/// the surviving candidate positions — everything
+/// [`GenerationContext::advance`] needs to derive the next round's context
+/// incrementally. Purely a cache: never serialized, rebuilt from scratch
+/// after a resume.
+#[derive(Debug, Clone)]
+struct RoundContextCache {
+    ctx: Arc<GenerationContext>,
+    /// Positions (into the cached context's query list) kept by the answer;
+    /// `None` while the round is unanswered.
+    surviving: Option<Vec<usize>>,
+}
+
 /// The resumable state machine behind a QFE session (Algorithm 1, sans-IO).
 ///
 /// Obtained from [`QfeSession::start`] or [`QfeEngine::resume`].
 #[derive(Debug, Clone)]
 pub struct QfeEngine {
-    database: Database,
-    result: QueryResult,
+    database: Arc<Database>,
+    result: Arc<QueryResult>,
     candidates: Vec<SpjQuery>,
     params: CostParams,
     max_iterations: usize,
@@ -79,13 +94,15 @@ pub struct QfeEngine {
     rejected: bool,
     /// The generator certified the remaining candidates indistinguishable.
     indistinguishable: bool,
+    /// Previous round's context, advanced instead of rebuilt each round.
+    round_ctx: Option<RoundContextCache>,
 }
 
 impl QfeEngine {
     pub(crate) fn from_session(session: &QfeSession) -> QfeEngine {
         QfeEngine {
-            database: session.database().clone(),
-            result: session.original_result().clone(),
+            database: Arc::new(session.database().clone()),
+            result: Arc::new(session.original_result().clone()),
             candidates: session.candidates().to_vec(),
             params: session.params().clone(),
             max_iterations: session.max_iterations(),
@@ -95,6 +112,7 @@ impl QfeEngine {
             pending: None,
             rejected: false,
             indistinguishable: false,
+            round_ctx: None,
         }
     }
 
@@ -127,13 +145,7 @@ impl QfeEngine {
         }
 
         let round_start = Instant::now();
-        let queries: Vec<SpjQuery> = self
-            .remaining
-            .iter()
-            .map(|&i| self.candidates[i].clone())
-            .collect();
-        let generator = DatabaseGenerator::new(self.params.clone());
-        let generated = match generator.generate(&self.database, &self.result, &queries) {
+        let generated = match self.generate_round() {
             Ok(g) => g,
             // No valid modification separates the survivors: they are
             // equivalent over every database the generator can reach, so
@@ -196,6 +208,50 @@ impl QfeEngine {
         Ok(Step::AwaitFeedback(round))
     }
 
+    /// Runs Algorithm 2 for the current survivors, advancing the previous
+    /// round's [`GenerationContext`] when one is cached (the join, join
+    /// index, active domains and source classes carry over — `D` and `R`
+    /// never change within a session) and building one from the shared
+    /// example pair otherwise. The context used is cached for the next round.
+    fn generate_round(&mut self) -> Result<GeneratedDatabase> {
+        let generator = DatabaseGenerator::new(self.params.clone());
+        if let Some(cache) = self.round_ctx.take() {
+            if let Some(surviving) = cache.surviving {
+                match generator.generate_incremental(&cache.ctx, &surviving, &[]) {
+                    Ok((ctx, generated)) => {
+                        self.round_ctx = Some(RoundContextCache {
+                            ctx,
+                            surviving: None,
+                        });
+                        return Ok(generated);
+                    }
+                    // Indistinguishability is a result, not a failure of the
+                    // incremental path.
+                    Err(e @ QfeError::NoDistinguishingDatabase { .. }) => return Err(e),
+                    // Any other incremental failure falls through to a full
+                    // rebuild — never let the cache break a session.
+                    Err(_) => {}
+                }
+            }
+        }
+        let queries: Vec<SpjQuery> = self
+            .remaining
+            .iter()
+            .map(|&i| self.candidates[i].clone())
+            .collect();
+        let ctx = Arc::new(GenerationContext::new_shared(
+            Arc::clone(&self.database),
+            Arc::clone(&self.result),
+            queries,
+        )?);
+        let generated = generator.generate_with_context(&ctx)?;
+        self.round_ctx = Some(RoundContextCache {
+            ctx,
+            surviving: None,
+        });
+        Ok(generated)
+    }
+
     /// Answers the pending round: keeps the candidate queries behind choice
     /// `choice_idx` and discards the rest.
     ///
@@ -229,6 +285,12 @@ impl QfeEngine {
             .iter()
             .map(|&i| self.remaining[i])
             .collect();
+        // Remember which positions survived so the next round can advance
+        // the cached generation context instead of rebuilding it (the group
+        // indices are ascending by construction of the partition).
+        if let Some(cache) = &mut self.round_ctx {
+            cache.surviving = Some(kept.query_indices.clone());
+        }
         Ok(())
     }
 
@@ -341,11 +403,13 @@ impl QfeEngine {
             || (self.pending.is_none() && (self.remaining.len() <= 1 || self.indistinguishable))
     }
 
-    /// Externalizes the engine's complete state.
+    /// Externalizes the engine's complete state. The example pair is shared
+    /// (`Arc`), not copied: a snapshot of an engine with a 10k-row database
+    /// costs a pointer bump until it is serialized.
     pub fn snapshot(&self) -> SessionSnapshot {
         SessionSnapshot {
-            database: self.database.clone(),
-            result: self.result.clone(),
+            database: Arc::clone(&self.database),
+            result: Arc::clone(&self.result),
             candidates: self.candidates.clone(),
             params: self.params.clone(),
             max_iterations: self.max_iterations,
@@ -433,6 +497,7 @@ impl QfeEngine {
             pending: snapshot.pending,
             rejected: snapshot.rejected,
             indistinguishable: snapshot.indistinguishable,
+            round_ctx: None,
         })
     }
 }
@@ -445,10 +510,12 @@ impl QfeEngine {
 /// `qfe-wire` layer and validated on the way back in.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSnapshot {
-    /// The example database `D`.
-    pub database: Database,
-    /// The example result `R`.
-    pub result: QueryResult,
+    /// The example database `D`, shared with the engine that produced the
+    /// snapshot (serialization materializes it; deserialization allocates a
+    /// fresh shared copy).
+    pub database: Arc<Database>,
+    /// The example result `R`, shared likewise.
+    pub result: Arc<QueryResult>,
     /// The full initial candidate set.
     pub candidates: Vec<SpjQuery>,
     /// Cost-model parameters.
@@ -711,6 +778,21 @@ mod tests {
 
         // The untampered snapshot still resumes.
         assert!(QfeEngine::resume(snapshot).is_ok());
+    }
+
+    #[test]
+    fn snapshots_share_the_example_pair_with_the_engine() {
+        // Snapshotting must not copy `D`/`R`: the snapshot and the engine
+        // hold the same allocation until serialization materializes it.
+        let engine = example_session().start();
+        let s1 = engine.snapshot();
+        let s2 = engine.snapshot();
+        assert!(Arc::ptr_eq(&s1.database, &s2.database));
+        assert!(Arc::ptr_eq(&s1.result, &s2.result));
+        // Resume adopts the snapshot's allocation rather than cloning.
+        let resumed = QfeEngine::resume(s1.clone()).unwrap();
+        let s3 = resumed.snapshot();
+        assert!(Arc::ptr_eq(&s1.database, &s3.database));
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! Dense bit-packed kernel for class-level outcome reasoning.
+//!
+//! The skyline enumeration (Algorithm 3) and the subset search (Algorithm 4)
+//! ask the same two questions millions of times per round: *does a tuple of
+//! class `X` satisfy candidate `Q_i`?* and *how does a (source, destination)
+//! class pair partition the candidates?*  Answering them through hash-map
+//! caches and per-class `Vec<bool>` rows makes the generator pointer-bound.
+//!
+//! [`OutcomeKernel`] replaces that with dense bit-parallel state prepared once
+//! per [`GenerationContext`](crate::GenerationContext):
+//!
+//! * every tuple class gets a **mixed-radix interned id** (`Σ blockᵢ·strideᵢ`)
+//!   — no hashing, no allocation;
+//! * each candidate's DNF conjuncts get one bit in a **conjunct bitmap**, and
+//!   for every `(attribute, block)` the kernel precomputes which conjuncts the
+//!   block satisfies; a class's candidate-match bitset is then an AND over its
+//!   attributes followed by a mask fold (the fold is the identity when every
+//!   candidate is a single conjunct — the common case);
+//! * when the class space is small enough the kernel additionally
+//!   materializes the **full per-class match table**, making `class_matches`
+//!   a single bit probe;
+//! * a per-attribute **projection-touch mask** answers "did this modification
+//!   change a projected column?" without consulting the column sets.
+//!
+//! Everything is immutable after construction, so the kernel — and with it
+//! the whole `GenerationContext` — is `Sync` and can be shared across the
+//! skyline worker threads without locks.
+
+use std::collections::BTreeSet;
+
+use qfe_query::SpjQuery;
+use qfe_relation::JoinedRelation;
+
+use crate::error::{QfeError, Result};
+use crate::tuple_class::TupleClassSpace;
+
+/// Upper bound on the number of interned classes for which the full per-class
+/// match table is materialized. Beyond it the kernel falls back to the
+/// factorized (attribute-wise AND) computation, which needs no table.
+const MAX_TABLE_CLASSES: usize = 1 << 16;
+
+/// Number of `u64` words needed for `bits` bits.
+#[inline]
+pub(crate) fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Reusable scratch buffers for match-bitset computation. One per thread;
+/// obtained from [`OutcomeKernel::scratch`].
+#[derive(Debug, Clone)]
+pub(crate) struct MatchScratch {
+    conj: Vec<u64>,
+    query: Vec<u64>,
+}
+
+/// The partitioning a single (source, destination) class pair induces on the
+/// candidate set, reduced to the four Lemma 5.1 outcome counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PairStats {
+    /// Queries per outcome, in canonical `[Unchanged, Added, Removed,
+    /// Replaced]` order (zero entries mean the outcome does not occur).
+    pub counts: [usize; 4],
+}
+
+impl PairStats {
+    /// Number of non-empty query subsets.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn group_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The non-empty subset sizes in canonical order.
+    pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.counts.iter().copied().filter(|&c| c > 0)
+    }
+
+    /// Balance score of the induced partitioning (bitwise identical to
+    /// [`crate::cost::balance_score`] over [`Self::sizes`]).
+    pub fn balance(&self) -> f64 {
+        let mut sizes = [0usize; 4];
+        let mut k = 0;
+        for c in self.sizes() {
+            sizes[k] = c;
+            k += 1;
+        }
+        crate::cost::balance_score(&sizes[..k])
+    }
+
+    /// For a binary partitioning, the size of the smaller subset (Lemma 3.1's
+    /// `x`); `None` otherwise.
+    pub fn binary_smaller(&self) -> Option<usize> {
+        let mut nonzero = self.sizes();
+        match (nonzero.next(), nonzero.next(), nonzero.next()) {
+            (Some(a), Some(b), None) => Some(a.min(b)),
+            _ => None,
+        }
+    }
+}
+
+/// The bit-packed class-level reasoning kernel. See the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct OutcomeKernel {
+    query_count: usize,
+    query_words: usize,
+    conj_words: usize,
+    /// One bit per (query, conjunct); `query_masks[q]` selects query `q`'s
+    /// conjunct bits. When `single_conjunct` is true the conjunct bitmap *is*
+    /// the query bitmap (bit `q` ↔ query `q`'s only conjunct).
+    single_conjunct: bool,
+    conj_total: usize,
+    query_masks: Vec<Vec<u64>>,
+    /// Per attribute: `blocks × conj_words` words; the slice for block `b`
+    /// has bit `j` set when block `b` satisfies every term of conjunct `j`
+    /// on this attribute.
+    attr_conj_ok: Vec<Vec<u64>>,
+    /// Mixed-radix strides for interning (`strides[last] == 1`).
+    strides: Vec<usize>,
+    block_counts: Vec<usize>,
+    /// Total number of interned classes (product of block counts), when it
+    /// fits in `usize`.
+    class_count: Option<usize>,
+    /// Dense per-class match table (`class_id × query_words`), when the class
+    /// space is small enough to materialize.
+    table: Option<Vec<u64>>,
+    /// Per attribute position: does the attribute's join column appear in the
+    /// candidates' projection?
+    projection_touch: Vec<bool>,
+}
+
+impl OutcomeKernel {
+    /// Builds the kernel for one context.
+    pub fn build(
+        space: &TupleClassSpace,
+        queries: &[SpjQuery],
+        join: &JoinedRelation,
+        projection_columns: &BTreeSet<usize>,
+    ) -> Result<OutcomeKernel> {
+        let attrs = space.attributes();
+        let query_count = queries.len();
+        let query_words = words_for(query_count.max(1));
+
+        // Assign one bit per (query, conjunct).
+        let mut conj_total = 0usize;
+        let mut conj_ranges: Vec<(usize, usize)> = Vec::with_capacity(query_count);
+        for q in queries {
+            let n = q.predicate.conjuncts().len();
+            conj_ranges.push((conj_total, n));
+            conj_total += n;
+        }
+        let single_conjunct = conj_ranges.iter().all(|&(_, n)| n == 1);
+        let conj_words = words_for(conj_total.max(1));
+        let query_masks: Vec<Vec<u64>> = conj_ranges
+            .iter()
+            .map(|&(start, n)| {
+                let mut mask = vec![0u64; conj_words];
+                for j in start..start + n {
+                    mask[j / 64] |= 1u64 << (j % 64);
+                }
+                mask
+            })
+            .collect();
+
+        // Map join columns to attribute positions.
+        let col_to_pos: std::collections::BTreeMap<usize, usize> = attrs
+            .iter()
+            .enumerate()
+            .map(|(pos, a)| (a.column, pos))
+            .collect();
+
+        // Group every conjunct's terms by attribute position.
+        // terms_by_pos[pos] = [(conjunct bit, term)].
+        let mut terms_by_pos: Vec<Vec<(usize, &qfe_query::Term)>> = vec![Vec::new(); attrs.len()];
+        for (q, query) in queries.iter().enumerate() {
+            let (start, _) = conj_ranges[q];
+            for (c, conjunct) in query.predicate.conjuncts().iter().enumerate() {
+                for term in conjunct.terms() {
+                    let col = join
+                        .resolve_column(term.attribute())
+                        .map_err(QfeError::from)?;
+                    let pos = *col_to_pos.get(&col).ok_or_else(|| QfeError::Internal {
+                        message: format!(
+                            "predicate attribute {} missing from the class space",
+                            term.attribute()
+                        ),
+                    })?;
+                    terms_by_pos[pos].push((start + c, term));
+                }
+            }
+        }
+
+        // Per (attribute, block): which conjuncts have all their terms on the
+        // attribute satisfied by the block. Term truth is constant within a
+        // block by construction of the domain partition, so evaluating the
+        // representative is exact.
+        let attr_conj_ok: Vec<Vec<u64>> = attrs
+            .iter()
+            .enumerate()
+            .map(|(pos, attr)| {
+                let blocks = attr.blocks.len();
+                let mut ok = vec![u64::MAX; blocks * conj_words];
+                // Clear the padding bits beyond the last conjunct so that AND
+                // folds stay canonical (zero beyond `conj_total`).
+                let used = conj_total.max(1);
+                for b in 0..blocks {
+                    let slice = &mut ok[b * conj_words..(b + 1) * conj_words];
+                    if !used.is_multiple_of(64) {
+                        slice[used / 64] &= (1u64 << (used % 64)) - 1;
+                    }
+                    for w in slice.iter_mut().skip(used.div_ceil(64)) {
+                        *w = 0;
+                    }
+                }
+                for &(bit, term) in &terms_by_pos[pos] {
+                    for (b, block) in attr.blocks.iter().enumerate() {
+                        if !term.eval(block.representative()) {
+                            ok[b * conj_words + bit / 64] &= !(1u64 << (bit % 64));
+                        }
+                    }
+                }
+                ok
+            })
+            .collect();
+
+        // Mixed-radix strides, last attribute fastest.
+        let block_counts: Vec<usize> = attrs.iter().map(|a| a.blocks.len()).collect();
+        let mut strides = vec![1usize; attrs.len()];
+        let mut class_count: Option<usize> = Some(1);
+        for i in (0..attrs.len()).rev() {
+            strides[i] = class_count.unwrap_or_default();
+            class_count = class_count.and_then(|c| c.checked_mul(block_counts[i].max(1)));
+        }
+
+        let projection_touch: Vec<bool> = attrs
+            .iter()
+            .map(|a| projection_columns.contains(&a.column))
+            .collect();
+
+        let mut kernel = OutcomeKernel {
+            query_count,
+            query_words,
+            conj_words,
+            single_conjunct,
+            conj_total,
+            query_masks,
+            attr_conj_ok,
+            strides,
+            block_counts,
+            class_count,
+            table: None,
+            projection_touch,
+        };
+
+        // Materialize the dense per-class match table when the class space is
+        // small: every later `class_matches` becomes a single bit probe.
+        if let Some(total) = kernel.class_count {
+            if total <= MAX_TABLE_CLASSES {
+                let mut table = vec![0u64; total * kernel.query_words];
+                let mut scratch = kernel.scratch();
+                let mut class = vec![0usize; kernel.block_counts.len()];
+                for id in 0..total {
+                    let bits = kernel.compute_match_words(&class, &mut scratch);
+                    table[id * kernel.query_words..(id + 1) * kernel.query_words]
+                        .copy_from_slice(bits);
+                    // Odometer increment, last attribute fastest (= stride
+                    // order, so `id` tracks `class_id(&class)`).
+                    for pos in (0..class.len()).rev() {
+                        class[pos] += 1;
+                        if class[pos] < kernel.block_counts[pos] {
+                            break;
+                        }
+                        class[pos] = 0;
+                    }
+                }
+                kernel.table = Some(table);
+            }
+        }
+        Ok(kernel)
+    }
+
+    /// Whether the dense per-class table is materialized.
+    #[cfg(test)]
+    pub fn has_table(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Fresh scratch buffers sized for this kernel.
+    pub fn scratch(&self) -> MatchScratch {
+        MatchScratch {
+            conj: vec![0u64; self.conj_words],
+            query: vec![0u64; self.query_words],
+        }
+    }
+
+    /// The interned id of a class (mixed-radix over block indices).
+    #[inline]
+    pub fn class_id(&self, class: &[usize]) -> usize {
+        debug_assert_eq!(class.len(), self.strides.len());
+        class.iter().zip(&self.strides).map(|(&b, &s)| b * s).sum()
+    }
+
+    /// Whether the modification positions touch a projected column.
+    #[inline]
+    pub fn projection_touched(&self, changed: &[usize]) -> bool {
+        changed.iter().any(|&pos| self.projection_touch[pos])
+    }
+
+    /// The candidate-match bitset of a class: bit `q` is set iff a tuple of
+    /// the class satisfies query `q`. Returns a borrow of either the dense
+    /// table or the scratch buffer; no allocation either way.
+    #[inline]
+    pub fn match_words<'a>(&'a self, class: &[usize], scratch: &'a mut MatchScratch) -> &'a [u64] {
+        if let Some(table) = &self.table {
+            let id = self.class_id(class);
+            return &table[id * self.query_words..(id + 1) * self.query_words];
+        }
+        self.compute_match_words(class, scratch)
+    }
+
+    /// Factorized match computation: AND the per-attribute conjunct bitsets,
+    /// then fold conjunct bits into query bits.
+    fn compute_match_words<'a>(&self, class: &[usize], scratch: &'a mut MatchScratch) -> &'a [u64] {
+        let sat = &mut scratch.conj;
+        // Start from "every conjunct satisfied" with padding cleared; an
+        // attribute-less space (no selection predicates) leaves it that way.
+        for w in sat.iter_mut() {
+            *w = u64::MAX;
+        }
+        let total = self.conj_total;
+        if !total.is_multiple_of(64) {
+            sat[total / 64] &= (1u64 << (total % 64)) - 1;
+        }
+        for w in sat.iter_mut().skip(words_for(total.max(1))) {
+            *w = 0;
+        }
+        for (pos, &b) in class.iter().enumerate() {
+            let blocks = &self.attr_conj_ok[pos];
+            let slice = &blocks[b * self.conj_words..(b + 1) * self.conj_words];
+            for (s, &x) in sat.iter_mut().zip(slice) {
+                *s &= x;
+            }
+        }
+        if self.single_conjunct {
+            // Conjunct bit j == query bit j.
+            scratch.query[..self.query_words].copy_from_slice(&sat[..self.query_words]);
+        } else {
+            for w in scratch.query.iter_mut() {
+                *w = 0;
+            }
+            for (q, mask) in self.query_masks.iter().enumerate() {
+                if sat.iter().zip(mask).any(|(&s, &m)| s & m != 0) {
+                    scratch.query[q / 64] |= 1u64 << (q % 64);
+                }
+            }
+        }
+        &scratch.query
+    }
+
+    /// Whether a tuple of `class` satisfies query `q` — a bit probe on the
+    /// dense table, or a per-query conjunct scan without any buffer.
+    #[inline]
+    pub fn class_matches(&self, class: &[usize], q: usize) -> bool {
+        if let Some(table) = &self.table {
+            let id = self.class_id(class);
+            return table[id * self.query_words + q / 64] & (1u64 << (q % 64)) != 0;
+        }
+        let mask = &self.query_masks[q];
+        for (w, &m) in mask.iter().enumerate() {
+            let mut bits = m;
+            while bits != 0 {
+                let bit = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let satisfied = class.iter().enumerate().all(|(pos, &b)| {
+                    self.attr_conj_ok[pos][b * self.conj_words + bit / 64] & (1u64 << (bit % 64))
+                        != 0
+                });
+                if satisfied {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Outcome counts of a single pair from its source/destination match
+    /// bitsets (Lemma 5.1, bit-parallel).
+    #[inline]
+    pub fn pair_stats(
+        &self,
+        source: &[u64],
+        destination: &[u64],
+        projection_changed: bool,
+    ) -> PairStats {
+        let mut tt = 0usize; // matches before and after
+        let mut removed = 0usize;
+        let mut added = 0usize;
+        for (&s, &d) in source.iter().zip(destination) {
+            tt += (s & d).count_ones() as usize;
+            removed += (s & !d).count_ones() as usize;
+            added += (!s & d).count_ones() as usize;
+        }
+        let ff = self.query_count - tt - removed - added;
+        let (unchanged, replaced) = if projection_changed {
+            (ff, tt)
+        } else {
+            (ff + tt, 0)
+        };
+        PairStats {
+            counts: [unchanged, added, removed, replaced],
+        }
+    }
+
+    /// The 2-bit packed outcome code of one query under one pair:
+    /// `0 = Unchanged, 1 = Added, 2 = Removed, 3 = Replaced`.
+    #[inline]
+    pub fn outcome_code(
+        &self,
+        source: &[u64],
+        destination: &[u64],
+        projection_changed: bool,
+        q: usize,
+    ) -> u8 {
+        let w = q / 64;
+        let bit = 1u64 << (q % 64);
+        let s = source[w] & bit != 0;
+        let d = destination[w] & bit != 0;
+        match (s, d) {
+            (false, false) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (true, true) => {
+                if projection_changed {
+                    3
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_query::{BoundQuery, ComparisonOp, Conjunct, DnfPredicate, SpjQuery, Term};
+    use qfe_relation::{
+        foreign_key_join, tuple, ColumnDef, DataType, Database, Table, TableSchema,
+    };
+
+    fn setup(queries: Vec<SpjQuery>) -> (JoinedRelation, TupleClassSpace, Vec<SpjQuery>) {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("gender", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        let join = foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let space = TupleClassSpace::build(&join, &queries).unwrap();
+        (join, space, queries)
+    }
+
+    fn q(p: DnfPredicate) -> SpjQuery {
+        SpjQuery::new(vec!["Employee"], vec!["name"], p)
+    }
+
+    #[test]
+    fn kernel_matches_agree_with_bound_query_evaluation() {
+        let queries = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+            // A two-conjunct DNF exercises the mask-fold path.
+            q(DnfPredicate::new(vec![
+                Conjunct::new(vec![Term::eq("dept", "IT")]),
+                Conjunct::new(vec![
+                    Term::eq("gender", "F"),
+                    Term::compare("salary", ComparisonOp::Le, 3500i64),
+                ]),
+            ])),
+        ];
+        let (join, space, queries) = setup(queries);
+        let bound: Vec<BoundQuery> = queries
+            .iter()
+            .map(|qq| BoundQuery::bind(qq, &join).unwrap())
+            .collect();
+        let kernel =
+            OutcomeKernel::build(&space, &queries, &join, &std::collections::BTreeSet::new())
+                .unwrap();
+        assert!(kernel.has_table());
+        let mut scratch = kernel.scratch();
+        for class in space.source_classes(&join).keys() {
+            let words = kernel.match_words(class, &mut scratch).to_vec();
+            for (qi, b) in bound.iter().enumerate() {
+                let expected = space.class_matches(class, b);
+                assert_eq!(kernel.class_matches(class, qi), expected, "q{qi} {class:?}");
+                assert_eq!(words[qi / 64] & (1 << (qi % 64)) != 0, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn factorized_path_agrees_with_table_path() {
+        let queries = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+        ];
+        let (join, space, queries) = setup(queries);
+        let with_table =
+            OutcomeKernel::build(&space, &queries, &join, &std::collections::BTreeSet::new())
+                .unwrap();
+        let mut without_table = with_table.clone();
+        without_table.table = None;
+        let mut s1 = with_table.scratch();
+        let mut s2 = without_table.scratch();
+        // Exhaustively enumerate the (tiny) class space.
+        let counts: Vec<usize> = space.attributes().iter().map(|a| a.blocks.len()).collect();
+        let mut class = vec![0usize; counts.len()];
+        loop {
+            assert_eq!(
+                with_table.match_words(&class, &mut s1),
+                without_table.match_words(&class, &mut s2),
+                "{class:?}"
+            );
+            for qi in 0..queries.len() {
+                assert_eq!(
+                    with_table.class_matches(&class, qi),
+                    without_table.class_matches(&class, qi)
+                );
+            }
+            let mut pos = class.len();
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                class[pos] += 1;
+                if class[pos] < counts[pos] {
+                    break;
+                }
+                class[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn pair_stats_count_the_four_outcomes() {
+        let queries = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+        ];
+        let (join, space, queries) = setup(queries);
+        let kernel =
+            OutcomeKernel::build(&space, &queries, &join, &std::collections::BTreeSet::new())
+                .unwrap();
+        // source matches {0,1,2}; destination matches {0,2}: one Removed.
+        let s = vec![0b111u64];
+        let d = vec![0b101u64];
+        let stats = kernel.pair_stats(&s, &d, false);
+        assert_eq!(stats.counts, [2, 0, 1, 0]);
+        assert_eq!(stats.group_count(), 2);
+        assert_eq!(stats.binary_smaller(), Some(1));
+        assert!(stats.balance().is_finite());
+        // With a projection change the two true-true queries become Replaced.
+        let stats = kernel.pair_stats(&s, &d, true);
+        assert_eq!(stats.counts, [0, 0, 1, 2]);
+        assert_eq!(kernel.outcome_code(&s, &d, true, 0), 3);
+        assert_eq!(kernel.outcome_code(&s, &d, true, 1), 2);
+        // No split: infinite balance.
+        let same = kernel.pair_stats(&s, &s, false);
+        assert_eq!(same.group_count(), 1);
+        assert!(same.balance().is_infinite());
+        assert_eq!(same.binary_smaller(), None);
+    }
+}

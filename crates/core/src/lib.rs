@@ -28,6 +28,39 @@
 //! thinks, serializes to a [`SessionSnapshot`] for cross-process resume, and
 //! scales to many concurrent users behind a [`SessionManager`].
 //!
+//! ## The generation kernel: bitsets, threads, incremental contexts
+//!
+//! The per-round hot path (Algorithms 3–4) runs on a dense bit-packed kernel
+//! prepared once per [`GenerationContext`]:
+//!
+//! * **Interned tuple classes.** Every class gets a mixed-radix id over its
+//!   per-attribute block indices; candidate matching is a per-class bitset
+//!   (one bit per surviving query) — precomputed as a dense table when the
+//!   class space is small, or reconstructed by AND-ing per-`(attribute,
+//!   block)` conjunct bitsets otherwise. Outcome signatures (Lemma 5.1) pack
+//!   into 2 bits per pair and partition sizes come from popcounts. There is
+//!   no interior mutability: `GenerationContext` is `Sync`.
+//! * **Parallel skyline.** [`skyline_stc_dtc_pairs`] shards Algorithm 3 over
+//!   `(cost level, source class)` tasks with `std::thread::scope` under a
+//!   shared atomic deadline, then merges per-source results deterministically
+//!   — whenever the enumeration completes within the δ budget, the parallel
+//!   outcome is byte-identical to the sequential one at every thread count
+//!   (timed-out runs are best-effort, as sequentially). Threading knobs: the
+//!   worker count defaults to
+//!   `std::thread::available_parallelism` (capped by the number of source
+//!   classes), can be pinned with
+//!   [`skyline_stc_dtc_pairs_with_threads`], and is overridable process-wide
+//!   with the `QFE_SKYLINE_THREADS` environment variable. The δ budget is
+//!   checked against a precomputed deadline at an adaptive interval
+//!   (tightening past 80% of the budget) so overshoot stays bounded.
+//! * **Incremental per-round contexts.** Between rounds the candidate set
+//!   only shrinks and `D` changes only by explicit cell edits;
+//!   [`GenerationContext::advance`] reuses the join, join index and cached
+//!   active domains, and remaps source classes through the old→new block
+//!   refinement instead of reclassifying every row. [`QfeEngine`] advances
+//!   its cached round context automatically, and the engine, its snapshots
+//!   and every per-round context share one `Arc`'d copy of `(D, R)`.
+//!
 //! ## Step-API quickstart
 //!
 //! ```
@@ -122,6 +155,7 @@ mod engine;
 mod error;
 mod feedback;
 mod join_groups;
+mod kernel;
 mod manager;
 mod pick;
 mod realize;
@@ -158,6 +192,6 @@ pub use realize::{
     GroupEffect, ModificationEvaluation, RealizedModification,
 };
 pub use set_semantics::{all_set_semantics, mixed_semantics, with_set_semantics};
-pub use skyline::{skyline_stc_dtc_pairs, SkylineOutcome};
+pub use skyline::{skyline_stc_dtc_pairs, skyline_stc_dtc_pairs_with_threads, SkylineOutcome};
 pub use stats::{IterationStats, SessionReport};
 pub use tuple_class::{SelectionAttribute, TupleClass, TupleClassSpace};

@@ -93,7 +93,7 @@ pub fn pick_stc_dtc_subset(
             best_binary_x,
         };
         let cost = objective(params, &inputs);
-        let abstract_balance = ctx.balance(&pairs);
+        let abstract_balance = ctx.balance_of(skyline, indices);
         Some(EvaluatedSet {
             indices: indices.to_vec(),
             pairs,
@@ -108,8 +108,8 @@ pub fn pick_stc_dtc_subset(
     let mut best: Vec<EvaluatedSet> = Vec::new();
     let mut min_cost = f64::INFINITY;
     let mut current_level: Vec<(Vec<usize>, f64)> = Vec::new(); // (indices, abstract balance)
-    for (i, pair) in skyline.iter().enumerate() {
-        let abstract_balance = ctx.balance(std::slice::from_ref(pair));
+    for i in 0..skyline.len() {
+        let abstract_balance = ctx.balance_of(skyline, &[i]);
         current_level.push((vec![i], abstract_balance));
         if let Some(eval) = evaluate_set(&[i]) {
             if eval.cost < min_cost {
@@ -136,8 +136,9 @@ pub fn pick_stc_dtc_subset(
                 if !seen.insert(extended.clone()) {
                     continue;
                 }
-                let pairs: Vec<ClassPair> = extended.iter().map(|&i| skyline[i].clone()).collect();
-                let extended_balance = ctx.balance(&pairs);
+                // Class-level pruning runs on the bitset kernel without
+                // materializing the candidate pair set.
+                let extended_balance = ctx.balance_of(skyline, &extended);
                 if extended_balance < *balance {
                     if let Some(eval) = evaluate_set(&extended) {
                         if eval.cost < min_cost {

@@ -109,17 +109,10 @@ pub fn realize_pairs(ctx: &GenerationContext, pairs: &[ClassPair]) -> Option<Rea
         // A destination block whose representative cannot be stored in the
         // column's declared type is unrealizable: e.g. the open interval
         // (80, 81) of a BIGINT column contains no integers, so its fractional
-        // representative must never be written into the base table.
+        // representative must never be written into the base table. The
+        // context precomputes conformance per (attribute, block).
         for &pos in &pair.changed_attributes {
-            let attr = &ctx.class_space().attributes()[pos];
-            let rep = attr.blocks[pair.destination[pos]].representative();
-            let conforms = ctx
-                .database()
-                .table(&attr.table)
-                .ok()
-                .and_then(|t| t.schema().column(&attr.base_column))
-                .is_some_and(|c| rep.conforms_to(c.data_type));
-            if !conforms {
+            if !ctx.block_realizable(pos, pair.destination[pos]) {
                 return None;
             }
         }

@@ -275,8 +275,8 @@ impl FromJson for SessionSnapshot {
             )));
         }
         Ok(SessionSnapshot {
-            database: Database::from_json(json.field("database")?)?,
-            result: QueryResult::from_json(json.field("result")?)?,
+            database: std::sync::Arc::new(Database::from_json(json.field("database")?)?),
+            result: std::sync::Arc::new(QueryResult::from_json(json.field("result")?)?),
             candidates: Vec::<SpjQuery>::from_json(json.field("candidates")?)?,
             params: CostParams::from_json(json.field("params")?)?,
             max_iterations: json.field("max_iterations")?.as_usize()?,

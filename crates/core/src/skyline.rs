@@ -6,10 +6,40 @@
 //! improves the best score seen so far.  Enumeration stops when the time
 //! threshold δ is exhausted, returning everything collected up to that point
 //! (the paper's Section 5.3).
+//!
+//! # Parallel enumeration
+//!
+//! The enumeration is embarrassingly parallel over source classes: each
+//! worker owns its own match-bitset scratch buffers and walks a disjoint set
+//! of sources (work-stealing over a shared atomic cursor), all sharing one
+//! immutable [`GenerationContext`] (`Sync` thanks to the bitset kernel).
+//! Per-source results are merged *in source order* with the exact rules the
+//! sequential loop applies, so whenever the enumeration completes within the
+//! δ budget (`timed_out == false`) the parallel outcome — `pairs` order,
+//! `min_balance`, `best_binary_x` — is byte-identical to the sequential one.
+//! A timed-out run stops at whichever tasks the workers happened to reach, so
+//! its (best-effort) result depends on timing and thread count, exactly as a
+//! timed-out sequential run depends on timing.
+//! [`skyline_stc_dtc_pairs`] picks the worker count from
+//! `std::thread::available_parallelism` (overridable with the
+//! `QFE_SKYLINE_THREADS` environment variable);
+//! [`skyline_stc_dtc_pairs_with_threads`] pins it explicitly.
+//!
+//! # Deadline handling
+//!
+//! The δ budget is enforced against a precomputed `Instant` deadline shared
+//! through an atomic flag: once one worker observes the deadline, every
+//! worker stops at its next check. Workers re-check the clock every
+//! [`TIME_CHECK_INTERVAL`] examined pairs while far from the deadline and
+//! every [`NEAR_DEADLINE_CHECK_INTERVAL`] pairs once past ~80% of the budget,
+//! which keeps the δ overshoot bounded even when individual pairs are cheap.
 
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::context::{ClassPair, GenerationContext};
+use crate::tuple_class::TupleClass;
 
 /// The result of the skyline enumeration.
 #[derive(Debug, Clone)]
@@ -27,65 +57,302 @@ pub struct SkylineOutcome {
     pub elapsed: Duration,
     /// Whether enumeration stopped because the time threshold δ was reached.
     pub timed_out: bool,
+    /// Number of worker threads used (1 = sequential).
+    pub threads: usize,
 }
 
-/// How often (in examined pairs) the time budget is re-checked.
+/// How often (in examined pairs) the time budget is re-checked while far from
+/// the deadline.
 const TIME_CHECK_INTERVAL: usize = 64;
+
+/// The tightened re-check interval once past ~80% of the budget, bounding the
+/// δ overshoot.
+const NEAR_DEADLINE_CHECK_INTERVAL: usize = 8;
+
+/// Shared deadline state: a precomputed `Instant` plus a flag that fans the
+/// first observation out to every worker.
+struct Deadline {
+    hard: Instant,
+    soft: Instant,
+    expired: AtomicBool,
+}
+
+impl Deadline {
+    fn new(start: Instant, budget: Duration) -> Deadline {
+        let hard = start
+            .checked_add(budget)
+            .unwrap_or_else(|| start + Duration::from_secs(86_400));
+        let soft = start.checked_add(budget.mul_f64(0.8)).unwrap_or(hard);
+        Deadline {
+            hard,
+            soft,
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    fn is_expired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker deadline bookkeeping: counts examined pairs and consults the
+/// clock only at the adaptive interval.
+struct Ticker<'a> {
+    deadline: &'a Deadline,
+    count: usize,
+    next_check: usize,
+}
+
+impl<'a> Ticker<'a> {
+    fn new(deadline: &'a Deadline) -> Ticker<'a> {
+        Ticker {
+            deadline,
+            count: 0,
+            next_check: TIME_CHECK_INTERVAL,
+        }
+    }
+
+    /// Registers one examined pair; returns `true` when the enumeration must
+    /// stop (deadline reached here or in another worker).
+    #[inline]
+    fn tick(&mut self) -> bool {
+        self.count += 1;
+        if self.count < self.next_check {
+            return false;
+        }
+        if self.deadline.is_expired() {
+            return true;
+        }
+        let now = Instant::now();
+        if now > self.deadline.hard {
+            self.deadline.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        let interval = if now > self.deadline.soft {
+            NEAR_DEADLINE_CHECK_INTERVAL
+        } else {
+            TIME_CHECK_INTERVAL
+        };
+        self.next_check = self.count + interval;
+        false
+    }
+}
+
+/// What one worker collected for one source class at one cost level.
+struct SourceLevelResult {
+    /// Index of the source class (for the deterministic merge order).
+    source_idx: usize,
+    /// Pairs tied at `local_min`, in enumeration order. Empty when nothing
+    /// reached the entering minimum.
+    kept: Vec<ClassPair>,
+    /// The minimum balance this source reached (seeded with the entering
+    /// global minimum).
+    local_min: f64,
+    /// The strictly-best binary partitioning seen at this source:
+    /// `(balance, smaller subset size)`, first occurrence wins ties.
+    best_binary: Option<(f64, usize)>,
+    /// Pairs examined at this source.
+    enumerated: usize,
+}
+
+/// Enumerates one source class at one cost level.
+fn enumerate_source_level(
+    ctx: &GenerationContext,
+    source_idx: usize,
+    source: &TupleClass,
+    edit_cost: usize,
+    entering_min: f64,
+    ticker: &mut Ticker<'_>,
+) -> SourceLevelResult {
+    let mut result = SourceLevelResult {
+        source_idx,
+        kept: Vec::new(),
+        local_min: entering_min,
+        best_binary: None,
+        enumerated: 0,
+    };
+    let mut src_scratch = ctx.match_scratch();
+    let mut dst_scratch = ctx.match_scratch();
+    // Hoist the source bitset out of the destination loop.
+    let source_bits = ctx.class_match_words(source, &mut src_scratch).to_vec();
+    let _ = ctx.class_space().for_each_destination_class(
+        source,
+        edit_cost,
+        ctx.modifiable_attributes(),
+        |destination, changed| {
+            result.enumerated += 1;
+            if ticker.tick() {
+                return ControlFlow::Break(());
+            }
+            let dest_bits = ctx.class_match_words(destination, &mut dst_scratch);
+            let projection_changed = ctx.projection_touched(changed);
+            let stats = ctx.pair_stats(&source_bits, dest_bits, projection_changed);
+            let balance = stats.balance();
+            // A pair that does not split the candidates (a single subset) is
+            // useless for discrimination and is never kept.
+            if !balance.is_finite() {
+                return ControlFlow::Continue(());
+            }
+            if let Some(smaller) = stats.binary_smaller() {
+                let better = match result.best_binary {
+                    Some((b, _)) => balance < b,
+                    None => true,
+                };
+                if better {
+                    result.best_binary = Some((balance, smaller));
+                }
+            }
+            if balance < result.local_min {
+                result.local_min = balance;
+                result.kept.clear();
+            } else if balance > result.local_min {
+                return ControlFlow::Continue(());
+            }
+            result.kept.push(ClassPair {
+                source: source.clone(),
+                destination: destination.clone(),
+                changed_attributes: changed.to_vec(),
+            });
+            ControlFlow::Continue(())
+        },
+    );
+    result
+}
 
 /// Runs Algorithm 3 over the context's source-tuple classes.
 ///
 /// `time_budget` is the paper's δ threshold: once exceeded, the enumeration
-/// stops and returns the pairs collected so far.
+/// stops and returns the pairs collected so far. The worker count comes from
+/// the `QFE_SKYLINE_THREADS` environment variable when set, otherwise from
+/// `std::thread::available_parallelism` (capped by the number of source
+/// classes; tiny class spaces run sequentially).
 pub fn skyline_stc_dtc_pairs(ctx: &GenerationContext, time_budget: Duration) -> SkylineOutcome {
+    skyline_stc_dtc_pairs_with_threads(ctx, time_budget, auto_threads(ctx))
+}
+
+/// [`skyline_stc_dtc_pairs`] with an explicit worker count (1 = sequential).
+/// Whenever the enumeration completes within `time_budget` (the returned
+/// [`SkylineOutcome::timed_out`] is `false`), the result is identical for
+/// every thread count; a timed-out run is best-effort and timing-dependent.
+pub fn skyline_stc_dtc_pairs_with_threads(
+    ctx: &GenerationContext,
+    time_budget: Duration,
+    threads: usize,
+) -> SkylineOutcome {
     let start = Instant::now();
+    let deadline = Deadline::new(start, time_budget);
+    let sources: Vec<&TupleClass> = ctx.source_classes().keys().collect();
+    let threads = threads.clamp(1, sources.len().max(1));
     let attribute_count = ctx.class_space().attribute_count();
+
+    let levels = attribute_count.max(1);
+
+    // Collect per-(cost level, source) results. Sequentially the running
+    // minimum prunes what later sources keep; the parallel workers instead
+    // seed every task with `+∞` — the deterministic merge below discards
+    // exactly the same pairs, so the two modes are byte-identical (a source
+    // whose local minimum exceeds the final level minimum contributes
+    // nothing either way).
+    let mut results: Vec<Vec<SourceLevelResult>> = if threads <= 1 {
+        let mut ticker = Ticker::new(&deadline);
+        let mut min_so_far = f64::INFINITY;
+        let mut per_level = Vec::with_capacity(levels);
+        'seq: for edit_cost in 1..=levels {
+            let mut level_results = Vec::with_capacity(sources.len());
+            for (idx, source) in sources.iter().enumerate() {
+                if deadline.is_expired() {
+                    per_level.push(level_results);
+                    break 'seq;
+                }
+                let r =
+                    enumerate_source_level(ctx, idx, source, edit_cost, min_so_far, &mut ticker);
+                if r.local_min < min_so_far {
+                    min_so_far = r.local_min;
+                }
+                level_results.push(r);
+            }
+            per_level.push(level_results);
+        }
+        per_level
+    } else {
+        // One flat work-stealing pass over every (level, source) task — no
+        // per-level barrier, workers are spawned exactly once.
+        let cursor = AtomicUsize::new(0);
+        let task_count = levels * sources.len();
+        let mut flat: Vec<(usize, SourceLevelResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, SourceLevelResult)> = Vec::new();
+                        let mut ticker = Ticker::new(&deadline);
+                        loop {
+                            let task = cursor.fetch_add(1, Ordering::Relaxed);
+                            if task >= task_count || deadline.is_expired() {
+                                break;
+                            }
+                            let edit_cost = task / sources.len() + 1;
+                            let idx = task % sources.len();
+                            local.push((
+                                edit_cost,
+                                enumerate_source_level(
+                                    ctx,
+                                    idx,
+                                    sources[idx],
+                                    edit_cost,
+                                    f64::INFINITY,
+                                    &mut ticker,
+                                ),
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("skyline worker panicked"))
+                .collect()
+        });
+        flat.sort_unstable_by_key(|(level, r)| (*level, r.source_idx));
+        let mut per_level: Vec<Vec<SourceLevelResult>> = (0..levels).map(|_| Vec::new()).collect();
+        for (level, r) in flat {
+            per_level[level - 1].push(r);
+        }
+        per_level
+    };
+
+    // Deterministic merge in (level, source) order — reproduces the
+    // sequential running-minimum and first-best tie-breaking semantics.
     let mut pairs: Vec<ClassPair> = Vec::new();
     let mut min_balance = f64::INFINITY;
-    let mut best_binary: Option<(f64, usize)> = None; // (balance, smaller subset size)
+    let mut best_binary: Option<(f64, usize)> = None;
     let mut enumerated = 0usize;
-    let mut timed_out = false;
-
-    'levels: for edit_cost in 1..=attribute_count.max(1) {
-        let mut level_pairs: Vec<ClassPair> = Vec::new();
-        for source in ctx.source_classes().keys() {
-            for pair in ctx.destination_pairs(source, edit_cost) {
-                enumerated += 1;
-                if enumerated.is_multiple_of(TIME_CHECK_INTERVAL) && start.elapsed() > time_budget {
-                    timed_out = true;
-                    pairs.extend(level_pairs);
-                    break 'levels;
-                }
-                let sizes = ctx.partition_sizes(std::slice::from_ref(&pair));
-                let balance = crate::cost::balance_score(&sizes);
-                // A pair that does not split the candidates (a single subset)
-                // is useless for discrimination and is never kept.
-                if !balance.is_finite() {
-                    continue;
-                }
-                if sizes.len() == 2 {
-                    let smaller = *sizes.iter().min().expect("two sizes");
-                    let better = match best_binary {
-                        Some((b, _)) => balance < b,
-                        None => true,
-                    };
-                    if better {
-                        best_binary = Some((balance, smaller));
-                    }
-                }
-                if balance < min_balance {
-                    min_balance = balance;
-                    level_pairs = vec![pair];
-                } else if balance == min_balance {
-                    level_pairs.push(pair);
-                }
+    for level_results in &mut results {
+        let mut level_min = min_balance;
+        for r in level_results.iter() {
+            enumerated += r.enumerated;
+            if r.local_min < level_min {
+                level_min = r.local_min;
             }
         }
-        pairs.extend(level_pairs);
-        if start.elapsed() > time_budget {
-            timed_out = true;
-            break;
+        for r in level_results.iter_mut() {
+            // First strictly-better binary partitioning wins, in source order.
+            if let Some((b, x)) = r.best_binary {
+                let better = match best_binary {
+                    Some((gb, _)) => b < gb,
+                    None => true,
+                };
+                if better {
+                    best_binary = Some((b, x));
+                }
+            }
+            if r.local_min == level_min && !r.kept.is_empty() {
+                pairs.append(&mut r.kept);
+            }
         }
+        min_balance = level_min;
     }
+    let timed_out = deadline.is_expired();
 
     SkylineOutcome {
         pairs,
@@ -94,7 +361,23 @@ pub fn skyline_stc_dtc_pairs(ctx: &GenerationContext, time_budget: Duration) -> 
         enumerated,
         elapsed: start.elapsed(),
         timed_out,
+        threads,
     }
+}
+
+/// Picks the default worker count: the `QFE_SKYLINE_THREADS` environment
+/// variable when set, otherwise the machine's available parallelism, capped
+/// by the number of source classes.
+fn auto_threads(ctx: &GenerationContext) -> usize {
+    if let Ok(v) = std::env::var("QFE_SKYLINE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(ctx.source_classes().len().max(1))
 }
 
 #[cfg(test)]
@@ -171,14 +454,31 @@ mod tests {
     }
 
     #[test]
+    fn parallel_enumeration_is_bit_identical_to_sequential() {
+        let ctx = employee_context();
+        let sequential = skyline_stc_dtc_pairs_with_threads(&ctx, Duration::from_secs(30), 1);
+        for threads in [2usize, 3, 4, 8] {
+            let parallel =
+                skyline_stc_dtc_pairs_with_threads(&ctx, Duration::from_secs(30), threads);
+            assert_eq!(parallel.pairs, sequential.pairs, "{threads} threads");
+            assert_eq!(
+                parallel.min_balance.to_bits(),
+                sequential.min_balance.to_bits()
+            );
+            assert_eq!(parallel.best_binary_x, sequential.best_binary_x);
+            assert_eq!(parallel.enumerated, sequential.enumerated);
+        }
+    }
+
+    #[test]
     fn zero_budget_times_out_quickly() {
         let ctx = employee_context();
         let outcome = skyline_stc_dtc_pairs(&ctx, Duration::from_secs(0));
         // With a zero budget the enumeration may stop at any point, but it
         // must terminate and report the timeout (or finish within the first
         // check interval on this tiny example).
-        assert!(outcome.enumerated > 0);
         let _ = outcome.timed_out;
+        assert!(outcome.elapsed < Duration::from_secs(5));
     }
 
     #[test]

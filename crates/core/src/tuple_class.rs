@@ -46,6 +46,39 @@ impl TupleClassSpace {
     /// Builds the tuple-class space: resolves every selection-predicate
     /// attribute of `queries` against `join` and partitions its domain.
     pub fn build(join: &JoinedRelation, queries: &[SpjQuery]) -> Result<Self> {
+        let domains = Self::active_domains(join, queries)?;
+        Self::build_with_domains(join, queries, &domains)
+    }
+
+    /// The active domains of every selection-predicate column of `queries`,
+    /// computed from `join`. [`Self::build_with_domains`] accepts the result,
+    /// which lets callers cache the (join-scan) domain computation across
+    /// incrementally advanced contexts.
+    pub fn active_domains(
+        join: &JoinedRelation,
+        queries: &[SpjQuery],
+    ) -> Result<BTreeMap<usize, Vec<Value>>> {
+        let mut domains = BTreeMap::new();
+        for q in queries {
+            for term in q.predicate.all_terms() {
+                let col = join
+                    .resolve_column(term.attribute())
+                    .map_err(QfeError::from)?;
+                domains
+                    .entry(col)
+                    .or_insert_with(|| join.active_domain(col));
+            }
+        }
+        Ok(domains)
+    }
+
+    /// [`Self::build`] with the per-column active domains supplied by the
+    /// caller (they must match what `join.active_domain` would return).
+    pub fn build_with_domains(
+        join: &JoinedRelation,
+        queries: &[SpjQuery],
+        domains: &BTreeMap<usize, Vec<Value>>,
+    ) -> Result<Self> {
         // Group predicate terms by resolved column index.
         let mut terms_by_col: BTreeMap<usize, Vec<qfe_query::Term>> = BTreeMap::new();
         for q in queries {
@@ -61,7 +94,10 @@ impl TupleClassSpace {
             let meta = join.column_at(col).ok_or_else(|| QfeError::Internal {
                 message: format!("column {col} out of range"),
             })?;
-            let active_domain = join.active_domain(col);
+            let active_domain = domains
+                .get(&col)
+                .cloned()
+                .unwrap_or_else(|| join.active_domain(col));
             let term_refs: Vec<&qfe_query::Term> = terms.iter().collect();
             let blocks = if meta.data_type.is_numeric() {
                 partition_numeric_domain_for(&term_refs, &active_domain, meta.data_type)
@@ -172,47 +208,126 @@ impl TupleClassSpace {
     /// exactly `modify_count` attributes, restricted to attribute positions
     /// marked modifiable. Each destination is returned together with the
     /// changed positions.
+    ///
+    /// This is the collecting wrapper around
+    /// [`Self::for_each_destination_class`]; hot paths should prefer the
+    /// visitor, which enumerates without allocating per destination.
     pub fn destination_classes(
         &self,
         source: &TupleClass,
         modify_count: usize,
         modifiable: &[bool],
     ) -> Vec<(TupleClass, Vec<usize>)> {
+        let mut out = Vec::new();
+        let _ =
+            self.for_each_destination_class(source, modify_count, modifiable, |class, changed| {
+                out.push((class.to_vec(), changed.to_vec()));
+                std::ops::ControlFlow::Continue(())
+            });
+        out
+    }
+
+    /// Visits every destination class derived from `source` by changing
+    /// exactly `modify_count` modifiable attribute positions, in the same
+    /// order as [`Self::destination_classes`] (changed-position combinations
+    /// lexicographically; within a combination, later positions vary
+    /// fastest, block indices ascending and skipping the source block).
+    ///
+    /// The visitor receives a *scratch* class and the changed positions; it
+    /// must clone them if it keeps them. Returning
+    /// [`ControlFlow::Break`](std::ops::ControlFlow::Break) stops the
+    /// enumeration early (e.g. on a time budget); the final return value
+    /// propagates whether the enumeration ran to completion.
+    pub fn for_each_destination_class<F>(
+        &self,
+        source: &TupleClass,
+        modify_count: usize,
+        modifiable: &[bool],
+        mut visit: F,
+    ) -> std::ops::ControlFlow<()>
+    where
+        F: FnMut(&TupleClass, &[usize]) -> std::ops::ControlFlow<()>,
+    {
+        use std::ops::ControlFlow;
+
         let positions: Vec<usize> = (0..self.attributes.len())
             .filter(|&i| modifiable.get(i).copied().unwrap_or(true))
             .collect();
         if modify_count == 0 || modify_count > positions.len() {
-            return Vec::new();
+            return ControlFlow::Continue(());
         }
-        let mut out = Vec::new();
-        // Enumerate position subsets of the requested size.
+        // One scratch class mutated in place; one scratch combination buffer.
+        let mut scratch: TupleClass = source.clone();
+        let mut chosen: Vec<usize> = vec![0; modify_count];
+        let mut alt: Vec<usize> = vec![0; modify_count];
         let mut combo: Vec<usize> = (0..modify_count).collect();
-        loop {
-            let chosen: Vec<usize> = combo.iter().map(|&i| positions[i]).collect();
-            // Cartesian product over alternative blocks at the chosen positions.
-            let mut partials: Vec<TupleClass> = vec![source.clone()];
-            for &pos in &chosen {
-                let mut next = Vec::new();
-                for partial in &partials {
-                    for b in 0..self.attributes[pos].blocks.len() {
-                        if b == source[pos] {
-                            continue;
+        'combos: loop {
+            for (slot, &ci) in combo.iter().enumerate() {
+                chosen[slot] = positions[ci];
+            }
+            // Initialize the block odometer: every chosen position starts at
+            // its first non-source block.
+            let mut viable = true;
+            for (slot, &pos) in chosen.iter().enumerate() {
+                let first = usize::from(source[pos] == 0);
+                if first >= self.attributes[pos].blocks.len() {
+                    viable = false;
+                    break;
+                }
+                alt[slot] = first;
+                scratch[pos] = first;
+            }
+            if viable {
+                loop {
+                    if visit(&scratch, &chosen).is_break() {
+                        for &pos in chosen.iter() {
+                            scratch[pos] = source[pos];
                         }
-                        let mut derived = partial.clone();
-                        derived[pos] = b;
-                        next.push(derived);
+                        return ControlFlow::Break(());
+                    }
+                    // Advance the odometer, last chosen position fastest,
+                    // skipping the source block.
+                    let mut slot = modify_count;
+                    loop {
+                        if slot == 0 {
+                            break;
+                        }
+                        slot -= 1;
+                        let pos = chosen[slot];
+                        let mut next = alt[slot] + 1;
+                        if next == source[pos] {
+                            next += 1;
+                        }
+                        if next < self.attributes[pos].blocks.len() {
+                            alt[slot] = next;
+                            scratch[pos] = next;
+                            break;
+                        }
+                        // Wrap this position and carry.
+                        let first = usize::from(source[pos] == 0);
+                        alt[slot] = first;
+                        scratch[pos] = first;
+                        if slot == 0 {
+                            // Odometer exhausted for this combination.
+                            slot = usize::MAX;
+                            break;
+                        }
+                    }
+                    if slot == usize::MAX {
+                        break;
                     }
                 }
-                partials = next;
             }
-            for d in partials {
-                out.push((d, chosen.clone()));
+            // Restore the scratch class before moving to the next
+            // combination of changed positions.
+            for &pos in chosen.iter() {
+                scratch[pos] = source[pos];
             }
-            // Next combination (lexicographic).
+            // Next position combination (lexicographic).
             let mut i = modify_count;
             loop {
                 if i == 0 {
-                    return out;
+                    break 'combos;
                 }
                 i -= 1;
                 if combo[i] < positions.len() - (modify_count - i) {
@@ -224,6 +339,7 @@ impl TupleClassSpace {
                 }
             }
         }
+        ControlFlow::Continue(())
     }
 
     /// The set of distinct classes among the join's rows plus the given extra

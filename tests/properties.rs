@@ -275,3 +275,95 @@ fn driver_terminates_and_is_consistent() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Parallel skyline determinism
+// ---------------------------------------------------------------------------
+
+/// A random schema/query mix that exercises categorical and numeric
+/// attributes, multi-conjunct predicates, and varying class-space sizes.
+fn random_candidates(rng: &mut StdRng) -> Vec<SpjQuery> {
+    let mut queries = Vec::new();
+    let n = rng.gen_range(2usize..7);
+    for _ in 0..n {
+        let threshold = rng.gen_range(1000i64..9000);
+        let predicate = match rng.gen_range(0u8..4) {
+            0 => DnfPredicate::single(Term::compare("salary", ComparisonOp::Gt, threshold)),
+            1 => DnfPredicate::single(Term::compare("salary", ComparisonOp::Le, threshold)),
+            2 => DnfPredicate::single(Term::eq("dept", DEPTS[rng.gen_range(0..DEPTS.len())])),
+            _ => DnfPredicate::new(vec![
+                qfe_query::Conjunct::new(vec![Term::eq(
+                    "dept",
+                    DEPTS[rng.gen_range(0..DEPTS.len())],
+                )]),
+                qfe_query::Conjunct::new(vec![Term::compare(
+                    "salary",
+                    ComparisonOp::Ge,
+                    threshold,
+                )]),
+            ]),
+        };
+        queries.push(SpjQuery::new(vec!["Employee"], vec!["Eid"], predicate));
+    }
+    queries
+}
+
+#[test]
+fn parallel_skyline_is_identical_to_sequential_on_random_schemas() {
+    use qfe_core::{skyline_stc_dtc_pairs_with_threads, GenerationContext};
+    let mut rng = StdRng::seed_from_u64(107);
+    let mut checked = 0;
+    for _ in 0..32 {
+        let rows = employee_rows(&mut rng);
+        let db = build_employee(&rows);
+        let queries = random_candidates(&mut rng);
+        let result = evaluate(&queries[0], &db).unwrap();
+        let ctx = match GenerationContext::new(&db, &result, &queries) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let budget = std::time::Duration::from_secs(60);
+        let sequential = skyline_stc_dtc_pairs_with_threads(&ctx, budget, 1);
+        for threads in [2usize, 4, 8] {
+            let parallel = skyline_stc_dtc_pairs_with_threads(&ctx, budget, threads);
+            assert_eq!(parallel.pairs, sequential.pairs, "{threads} threads");
+            assert_eq!(
+                parallel.min_balance.to_bits(),
+                sequential.min_balance.to_bits(),
+                "min_balance must be bit-identical"
+            );
+            assert_eq!(parallel.best_binary_x, sequential.best_binary_x);
+            assert_eq!(parallel.enumerated, sequential.enumerated);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 16, "too few non-degenerate random instances");
+}
+
+#[test]
+fn bitset_class_matching_agrees_with_bound_evaluation_on_random_schemas() {
+    use qfe_core::GenerationContext;
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..32 {
+        let rows = employee_rows(&mut rng);
+        let db = build_employee(&rows);
+        let queries = random_candidates(&mut rng);
+        let result = evaluate(&queries[0], &db).unwrap();
+        let ctx = match GenerationContext::new(&db, &result, &queries) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        for row in ctx.join().rows() {
+            let Some(class) = ctx.class_space().classify(&row.tuple) else {
+                continue;
+            };
+            for (qi, bound) in ctx.bound_queries().iter().enumerate() {
+                assert_eq!(
+                    ctx.class_matches(&class, qi),
+                    bound.matches_row(&row.tuple),
+                    "kernel matching must agree with direct evaluation"
+                );
+            }
+        }
+    }
+}
