@@ -1,0 +1,74 @@
+//! Term-bitmap cache hit paths: assembling candidate selection bitmaps from
+//! a warm per-join cache vs. computing them cold vs. walking rows.
+//!
+//! The cached path is what every QBO verify pass and every `evaluate_on_join`
+//! over a shared join actually exercises after the first candidate — pure
+//! bitmap AND/OR over previously computed per-term bitmaps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qfe_bench::{candidates_for, Scale};
+use qfe_query::{BoundQuery, TermBitmapCache};
+use qfe_relation::{foreign_key_join, ColumnarJoin};
+
+fn bench(c: &mut Criterion) {
+    let workload = Scale::Small.scientific();
+    let target = workload.query("Q2").expect("query").clone();
+    let candidates = candidates_for(&workload.database, &target, 19);
+    let join = foreign_key_join(&workload.database, &target.tables).expect("join");
+    let columnar = ColumnarJoin::from_join(&join);
+    let bound: Vec<BoundQuery> = candidates
+        .iter()
+        .map(|q| BoundQuery::bind(q, &join).expect("binds"))
+        .collect();
+
+    let mut group = c.benchmark_group("qbo_batch");
+    group.sample_size(10);
+
+    // Warm cache: after the first pass every term bitmap is a cache hit, so
+    // each candidate is assembled purely by bitmap algebra.
+    let mut warm = TermBitmapCache::new();
+    for b in &bound {
+        let _ = b.selection_bitmap(&columnar, &mut warm);
+    }
+    group.bench_function("selection_bitmap_warm_cache", |bencher| {
+        bencher.iter(|| {
+            let mut selected = 0usize;
+            for b in &bound {
+                selected += b.selection_bitmap(&columnar, &mut warm).count_ones();
+            }
+            black_box(selected)
+        })
+    });
+
+    // Cold cache: every term bitmap is recomputed by a typed column scan.
+    group.bench_function("selection_bitmap_cold_cache", |bencher| {
+        bencher.iter(|| {
+            let mut cache = TermBitmapCache::new();
+            let mut selected = 0usize;
+            for b in &bound {
+                selected += b.selection_bitmap(&columnar, &mut cache).count_ones();
+            }
+            black_box(selected)
+        })
+    });
+
+    // Row baseline: the pre-columnar evaluation walks every joined row per
+    // candidate.
+    group.bench_function("row_matches_baseline", |bencher| {
+        bencher.iter(|| {
+            let mut selected = 0usize;
+            for b in &bound {
+                for jr in join.rows() {
+                    if b.matches_row(&jr.tuple) {
+                        selected += 1;
+                    }
+                }
+            }
+            black_box(selected)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,16 +4,17 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation] [--paper-scale]
+//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel] [--paper-scale]
 //! ```
 //!
 //! The default scale is `Small` (reduced cardinalities, runs in seconds);
 //! `--paper-scale` uses the paper's dataset cardinalities and δ = 1 s.
 
 use qfe_bench::{
-    ablation_estimator, extra_entropy, extra_initial_size, manager_report, skyline_parallel_json,
-    skyline_parallel_report, skyline_parallel_rows, table1, table2, table3, table4, table5, table6,
-    table7, user_study, Scale,
+    ablation_estimator, extra_entropy, extra_initial_size, manager_report, qbo_batch_json,
+    qbo_batch_measurements, qbo_batch_report, skyline_parallel_json, skyline_parallel_report,
+    skyline_parallel_rows, table1, table2, table3, table4, table5, table6, table7, user_study,
+    Scale,
 };
 
 fn main() {
@@ -73,6 +74,16 @@ fn main() {
     }
     if want("manager") {
         println!("{}", manager_report());
+    }
+    if want("qbo-batch") {
+        let (rows, join_rows) = qbo_batch_measurements(scale, 80, 3);
+        println!("{}", qbo_batch_report(&rows, join_rows));
+        let json = qbo_batch_json(scale, &rows, join_rows);
+        let path = "BENCH_qbo.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
     if want("skyline-parallel") {
         let rows = skyline_parallel_rows(scale, &[1, 2, 4, 8], 3);

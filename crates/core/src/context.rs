@@ -24,7 +24,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use qfe_query::{BoundQuery, QueryResult, SpjQuery};
-use qfe_relation::{foreign_key_join, Database, JoinIndex, JoinedRelation, Tuple, Value};
+use qfe_relation::{
+    foreign_key_join, ColumnarJoin, Database, JoinIndex, JoinedRelation, Tuple, Value,
+};
 
 use crate::cost::balance_score;
 use crate::error::{QfeError, Result};
@@ -78,6 +80,15 @@ pub struct GenerationContext {
     queries: Vec<SpjQuery>,
     join_tables: Vec<String>,
     join: Arc<JoinedRelation>,
+    /// Columnar mirror of [`Self::join`]: typed vectors, sorted string
+    /// dictionaries and null bitmaps. Built once per join; `advance` keeps it
+    /// fresh via [`ColumnarJoin::patch_cell`] (or shares it untouched when no
+    /// edits were applied). The context reads its active domains off it (the
+    /// sorted dictionaries *are* the domains) and exposes it via
+    /// [`Self::columnar`] for vectorized candidate evaluation
+    /// (`BoundQuery::selection_bitmap` + `TermBitmapCache`, which keys its
+    /// validity on the mirror's generation counter).
+    columnar: Arc<ColumnarJoin>,
     join_index: Arc<JoinIndex>,
     bound: Vec<BoundQuery>,
     space: TupleClassSpace,
@@ -130,8 +141,11 @@ impl GenerationContext {
             return Err(QfeError::MixedJoinSchemas);
         }
         let join = Arc::new(foreign_key_join(&db, &join_tables)?);
+        let columnar = Arc::new(ColumnarJoin::from_join(&join));
         let join_index = Arc::new(JoinIndex::build(&join));
-        let column_domains = TupleClassSpace::active_domains(&join, &queries)?;
+        let column_domains = TupleClassSpace::active_domains_with(&join, &queries, |col| {
+            columnar.active_domain(col)
+        })?;
         let space = TupleClassSpace::build_with_domains(&join, &queries, &column_domains)?;
         Self::assemble(
             db,
@@ -139,6 +153,7 @@ impl GenerationContext {
             queries,
             join_tables,
             join,
+            columnar,
             join_index,
             column_domains,
             space,
@@ -157,6 +172,7 @@ impl GenerationContext {
         queries: Vec<SpjQuery>,
         join_tables: Vec<String>,
         join: Arc<JoinedRelation>,
+        columnar: Arc<ColumnarJoin>,
         join_index: Arc<JoinIndex>,
         column_domains: BTreeMap<usize, Vec<Value>>,
         space: TupleClassSpace,
@@ -185,6 +201,7 @@ impl GenerationContext {
             queries,
             join_tables,
             join,
+            columnar,
             join_index,
             bound,
             space,
@@ -244,16 +261,20 @@ impl GenerationContext {
             return Self::new_shared(Arc::new(db), Arc::clone(&self.original_result), queries);
         }
 
-        // Database and join: shared when unchanged, patched otherwise.
-        let (db, join, affected_rows) = if edits.is_empty() {
+        // Database, join and columnar mirror: shared when unchanged, patched
+        // in place otherwise (the mirror's generation counter advances with
+        // every patch, invalidating term-bitmap caches keyed on it).
+        let (db, join, columnar, affected_rows) = if edits.is_empty() {
             (
                 Arc::clone(&self.db),
                 Arc::clone(&self.join),
+                Arc::clone(&self.columnar),
                 BTreeSet::new(),
             )
         } else {
             let db = Arc::new(crate::realize::apply_edits(&self.db, edits)?);
             let mut join = (*self.join).clone();
+            let mut columnar = (*self.columnar).clone();
             let mut affected: BTreeSet<usize> = BTreeSet::new();
             for edit in edits {
                 for &jrow in self.join_index.joined_rows_of(&edit.table, edit.row) {
@@ -264,11 +285,12 @@ impl GenerationContext {
                             && self.join.rows()[jrow].provenance.get(&edit.table) == Some(&edit.row)
                         {
                             join.patch_cell(jrow, col_idx, edit.new_value.clone());
+                            columnar.patch_cell(jrow, col_idx, &edit.new_value);
                         }
                     }
                 }
             }
-            (db, Arc::new(join), affected)
+            (db, Arc::new(join), Arc::new(columnar), affected)
         };
         let join_index = Arc::clone(&self.join_index);
 
@@ -296,14 +318,14 @@ impl GenerationContext {
         let column_domains: BTreeMap<usize, Vec<Value>> = needed_columns
             .into_iter()
             .map(|col| {
-                // The join scan (plus sort/dedup) runs only for columns whose
+                // The (columnar) domain scan runs only for columns whose
                 // values actually changed or that the cache never saw.
                 let domain = if edited_join_columns.contains(&col) {
-                    join.active_domain(col)
+                    columnar.active_domain(col)
                 } else {
                     match self.column_domains.get(&col) {
                         Some(cached) => cached.clone(),
-                        None => join.active_domain(col),
+                        None => columnar.active_domain(col),
                     }
                 };
                 (col, domain)
@@ -330,6 +352,7 @@ impl GenerationContext {
             queries,
             self.join_tables.clone(),
             join,
+            columnar,
             join_index,
             column_domains,
             space,
@@ -418,6 +441,16 @@ impl GenerationContext {
     /// The foreign-key join of the candidate queries' tables over `D`.
     pub fn join(&self) -> &JoinedRelation {
         &self.join
+    }
+
+    /// The columnar mirror of [`Self::join`] (typed vectors, sorted string
+    /// dictionaries, null bitmaps). The context computes its active domains
+    /// from it, and embedders evaluate candidates against it vectorized
+    /// ([`qfe_query::BoundQuery::selection_bitmap`] with a
+    /// `TermBitmapCache`). Kept fresh by [`Self::advance`]: shared untouched
+    /// across rounds without edits, patched cell-by-cell otherwise.
+    pub fn columnar(&self) -> &ColumnarJoin {
+        &self.columnar
     }
 
     /// The join index of [`Self::join`].
@@ -952,8 +985,10 @@ mod tests {
             fresh.modifiable_attributes()
         );
         assert_eq!(advanced.projection_columns(), fresh.projection_columns());
-        // The join and the database are shared, not recomputed.
+        // The join, the columnar mirror and the database are shared, not
+        // recomputed.
         assert!(Arc::ptr_eq(&advanced.join, &ctx.join));
+        assert!(Arc::ptr_eq(&advanced.columnar, &ctx.columnar));
         assert!(Arc::ptr_eq(&advanced.db, &ctx.db));
         // Class-level reasoning agrees on every source class and query.
         for class in fresh.source_classes().keys() {
@@ -982,6 +1017,18 @@ mod tests {
         assert_eq!(advanced.join().len(), fresh.join().len());
         for (a, f) in advanced.join().rows().iter().zip(fresh.join().rows()) {
             assert_eq!(a.tuple, f.tuple);
+        }
+        // The patched columnar mirror tracks the patched join cell-for-cell
+        // (and its generation advanced, invalidating term-bitmap caches).
+        assert!(advanced.columnar().generation() > ctx.columnar().generation());
+        for (r, jr) in advanced.join().rows().iter().enumerate() {
+            for c in 0..advanced.join().arity() {
+                assert_eq!(
+                    advanced.columnar().value_at(r, c),
+                    jr.tuple.get(c).cloned().unwrap_or(Value::Null),
+                    "cell ({r},{c})"
+                );
+            }
         }
         for (a, f) in advanced
             .class_space()

@@ -45,21 +45,43 @@
 //!   shared atomic deadline, then merges per-source results deterministically
 //!   — whenever the enumeration completes within the δ budget, the parallel
 //!   outcome is byte-identical to the sequential one at every thread count
-//!   (timed-out runs are best-effort, as sequentially). Threading knobs: the
-//!   worker count defaults to
-//!   `std::thread::available_parallelism` (capped by the number of source
-//!   classes), can be pinned with
-//!   [`skyline_stc_dtc_pairs_with_threads`], and is overridable process-wide
-//!   with the `QFE_SKYLINE_THREADS` environment variable. The δ budget is
-//!   checked against a precomputed deadline at an adaptive interval
+//!   (timed-out runs are best-effort, as sequentially). Skewed class spaces
+//!   — few sources, huge per-source fan-out — are *sub-source sharded*:
+//!   when the (level, source) grid cannot keep every worker four tasks deep,
+//!   each cell splits into contiguous changed-attribute combination ranges
+//!   whose shard results merge back in enumeration order, preserving the
+//!   deterministic outcome. Threading knobs: the worker count defaults to
+//!   `std::thread::available_parallelism` (capped by the task grid), can be
+//!   pinned with [`skyline_stc_dtc_pairs_with_threads`], and is overridable
+//!   process-wide with the `QFE_SKYLINE_THREADS` environment variable. The δ
+//!   budget is checked against a precomputed deadline at an adaptive interval
 //!   (tightening past 80% of the budget) so overshoot stays bounded.
+//! * **Columnar join mirror.** Every [`GenerationContext`] carries a
+//!   [`qfe_relation::ColumnarJoin`] — typed `i64`/`f64`/bool vectors,
+//!   dictionary-coded strings with per-column *sorted* dictionaries, and null
+//!   bitmaps — built once per join. The context reads its active domains off
+//!   it (the sorted dictionaries *are* the domains, no row-value cloning)
+//!   and exposes it via [`GenerationContext::columnar`] so embedders can
+//!   evaluate candidates vectorized: each atomic term compiles to a
+//!   selection bitmap ([`qfe_query::BoundQuery::selection_bitmap`]) via a
+//!   tight typed loop (dictionary range tests for string comparisons),
+//!   memoized per (column, op, literal) in a `qfe_query::TermBitmapCache`
+//!   shared by every candidate bound to the join. `qfe-qbo`'s batched
+//!   candidate verification (`BatchVerifier`/`verify_batch`) runs on the
+//!   same machinery over its own per-join mirrors. The mirror is rebuilt
+//!   only when the join itself is rebuilt; see the next bullet for when it
+//!   is merely patched.
 //! * **Incremental per-round contexts.** Between rounds the candidate set
 //!   only shrinks and `D` changes only by explicit cell edits;
-//!   [`GenerationContext::advance`] reuses the join, join index and cached
-//!   active domains, and remaps source classes through the old→new block
-//!   refinement instead of reclassifying every row. [`QfeEngine`] advances
-//!   its cached round context automatically, and the engine, its snapshots
-//!   and every per-round context share one `Arc`'d copy of `(D, R)`.
+//!   [`GenerationContext::advance`] reuses the join, the columnar mirror,
+//!   the join index and cached active domains, and remaps source classes
+//!   through the old→new block refinement instead of reclassifying every
+//!   row. Without edits the mirror is `Arc`-shared untouched; with edits it
+//!   is patched cell-by-cell ([`qfe_relation::ColumnarJoin::patch_cell`]),
+//!   bumping its generation counter so term-bitmap caches self-invalidate.
+//!   [`QfeEngine`] advances its cached round context automatically, and the
+//!   engine, its snapshots and every per-round context share one `Arc`'d
+//!   copy of `(D, R)`.
 //!
 //! ## Step-API quickstart
 //!

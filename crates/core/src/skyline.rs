@@ -25,6 +25,17 @@
 //! `QFE_SKYLINE_THREADS` environment variable);
 //! [`skyline_stc_dtc_pairs_with_threads`] pins it explicitly.
 //!
+//! **Sub-source sharding.** Skewed class spaces — few source classes, each
+//! with a huge destination fan-out — would leave workers idle if tasks only
+//! split at (cost level, source class). When the (level, source) task count
+//! cannot keep every worker busy ([`SHARD_OVERSUBSCRIPTION`]-fold), each
+//! task is further split into contiguous ranges of changed-attribute
+//! *combinations* (the outer dimension of the destination enumeration, see
+//! [`TupleClassSpace::for_each_destination_class_in_combos`](crate::TupleClassSpace::for_each_destination_class_in_combos)).
+//! Shard results are merged back in combination order with the same
+//! running-minimum rules before the cross-source merge, so the outcome stays
+//! byte-identical to the sequential one at any thread count.
+//!
 //! # Deadline handling
 //!
 //! The δ budget is enforced against a precomputed `Instant` deadline shared
@@ -68,6 +79,12 @@ const TIME_CHECK_INTERVAL: usize = 64;
 /// The tightened re-check interval once past ~80% of the budget, bounding the
 /// δ overshoot.
 const NEAR_DEADLINE_CHECK_INTERVAL: usize = 8;
+
+/// How many tasks per worker the parallel enumeration aims for. When the
+/// plain (cost level, source class) grid falls short, tasks are sub-sharded
+/// over changed-attribute combination ranges until every worker can expect
+/// this many.
+const SHARD_OVERSUBSCRIPTION: usize = 4;
 
 /// Shared deadline state: a precomputed `Instant` plus a flag that fans the
 /// first observation out to every worker.
@@ -155,12 +172,15 @@ struct SourceLevelResult {
     enumerated: usize,
 }
 
-/// Enumerates one source class at one cost level.
+/// Enumerates one source class at one cost level, restricted to the given
+/// range of changed-attribute combinations (`0..usize::MAX` = the whole
+/// source; sub-source shards pass narrower ranges).
 fn enumerate_source_level(
     ctx: &GenerationContext,
     source_idx: usize,
     source: &TupleClass,
     edit_cost: usize,
+    combos: std::ops::Range<usize>,
     entering_min: f64,
     ticker: &mut Ticker<'_>,
 ) -> SourceLevelResult {
@@ -175,10 +195,11 @@ fn enumerate_source_level(
     let mut dst_scratch = ctx.match_scratch();
     // Hoist the source bitset out of the destination loop.
     let source_bits = ctx.class_match_words(source, &mut src_scratch).to_vec();
-    let _ = ctx.class_space().for_each_destination_class(
+    let _ = ctx.class_space().for_each_destination_class_in_combos(
         source,
         edit_cost,
         ctx.modifiable_attributes(),
+        combos,
         |destination, changed| {
             result.enumerated += 1;
             if ticker.tick() {
@@ -242,10 +263,11 @@ pub fn skyline_stc_dtc_pairs_with_threads(
     let start = Instant::now();
     let deadline = Deadline::new(start, time_budget);
     let sources: Vec<&TupleClass> = ctx.source_classes().keys().collect();
-    let threads = threads.clamp(1, sources.len().max(1));
     let attribute_count = ctx.class_space().attribute_count();
-
     let levels = attribute_count.max(1);
+    // Sub-source sharding lets more workers than source classes pull their
+    // weight; the hard cap is the sharded task-grid size.
+    let threads = threads.clamp(1, (sources.len() * levels * SHARD_OVERSUBSCRIPTION).max(1));
 
     // Collect per-(cost level, source) results. Sequentially the running
     // minimum prunes what later sources keep; the parallel workers instead
@@ -264,8 +286,15 @@ pub fn skyline_stc_dtc_pairs_with_threads(
                     per_level.push(level_results);
                     break 'seq;
                 }
-                let r =
-                    enumerate_source_level(ctx, idx, source, edit_cost, min_so_far, &mut ticker);
+                let r = enumerate_source_level(
+                    ctx,
+                    idx,
+                    source,
+                    edit_cost,
+                    0..usize::MAX,
+                    min_so_far,
+                    &mut ticker,
+                );
                 if r.local_min < min_so_far {
                     min_so_far = r.local_min;
                 }
@@ -275,30 +304,80 @@ pub fn skyline_stc_dtc_pairs_with_threads(
         }
         per_level
     } else {
-        // One flat work-stealing pass over every (level, source) task — no
-        // per-level barrier, workers are spawned exactly once.
+        // One flat work-stealing pass over every task — no per-level
+        // barrier, workers are spawned exactly once. A task is normally one
+        // (cost level, source class); when that grid is too coarse to keep
+        // the workers busy (skewed class spaces with few sources), each cell
+        // is sub-sharded into contiguous changed-attribute combination
+        // ranges.
+        struct ShardTask {
+            level: usize,
+            source_idx: usize,
+            shard: usize,
+            combos: std::ops::Range<usize>,
+        }
+        let base_tasks = levels * sources.len();
+        let target_shards = if base_tasks >= threads * SHARD_OVERSUBSCRIPTION {
+            1
+        } else {
+            (threads * SHARD_OVERSUBSCRIPTION).div_ceil(base_tasks)
+        };
+        let mut tasks: Vec<ShardTask> = Vec::with_capacity(base_tasks);
+        for level in 1..=levels {
+            let combo_count = ctx
+                .class_space()
+                .destination_combo_count(level, ctx.modifiable_attributes());
+            let shards = target_shards.min(combo_count.max(1));
+            for source_idx in 0..sources.len() {
+                if shards <= 1 {
+                    tasks.push(ShardTask {
+                        level,
+                        source_idx,
+                        shard: 0,
+                        combos: 0..usize::MAX,
+                    });
+                } else {
+                    let per_shard = combo_count.div_ceil(shards);
+                    let mut start = 0;
+                    let mut shard = 0;
+                    while start < combo_count {
+                        let end = (start + per_shard).min(combo_count);
+                        tasks.push(ShardTask {
+                            level,
+                            source_idx,
+                            shard,
+                            combos: start..end,
+                        });
+                        shard += 1;
+                        start = end;
+                    }
+                }
+            }
+        }
         let cursor = AtomicUsize::new(0);
-        let task_count = levels * sources.len();
-        let mut flat: Vec<(usize, SourceLevelResult)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
+        let workers = threads.min(tasks.len()).max(1);
+        let mut flat: Vec<(usize, usize, SourceLevelResult)> = std::thread::scope(|scope| {
+            let tasks = &tasks;
+            let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local: Vec<(usize, SourceLevelResult)> = Vec::new();
+                        let mut local: Vec<(usize, usize, SourceLevelResult)> = Vec::new();
                         let mut ticker = Ticker::new(&deadline);
                         loop {
-                            let task = cursor.fetch_add(1, Ordering::Relaxed);
-                            if task >= task_count || deadline.is_expired() {
+                            let t = cursor.fetch_add(1, Ordering::Relaxed);
+                            if t >= tasks.len() || deadline.is_expired() {
                                 break;
                             }
-                            let edit_cost = task / sources.len() + 1;
-                            let idx = task % sources.len();
+                            let task = &tasks[t];
                             local.push((
-                                edit_cost,
+                                task.level,
+                                task.shard,
                                 enumerate_source_level(
                                     ctx,
-                                    idx,
-                                    sources[idx],
-                                    edit_cost,
+                                    task.source_idx,
+                                    sources[task.source_idx],
+                                    task.level,
+                                    task.combos.clone(),
                                     f64::INFINITY,
                                     &mut ticker,
                                 ),
@@ -313,10 +392,35 @@ pub fn skyline_stc_dtc_pairs_with_threads(
                 .flat_map(|h| h.join().expect("skyline worker panicked"))
                 .collect()
         });
-        flat.sort_unstable_by_key(|(level, r)| (*level, r.source_idx));
+        // Merge sub-source shards back into one result per (level, source),
+        // in combination order, with the running-minimum rules the
+        // single-task enumeration applies — the combination ranges partition
+        // the source's enumeration order, so this is exact.
+        flat.sort_unstable_by_key(|(level, shard, r)| (*level, r.source_idx, *shard));
         let mut per_level: Vec<Vec<SourceLevelResult>> = (0..levels).map(|_| Vec::new()).collect();
-        for (level, r) in flat {
-            per_level[level - 1].push(r);
+        for (level, _, r) in flat {
+            let bucket = &mut per_level[level - 1];
+            match bucket.last_mut() {
+                Some(prev) if prev.source_idx == r.source_idx => {
+                    prev.enumerated += r.enumerated;
+                    if let Some((b, x)) = r.best_binary {
+                        let better = match prev.best_binary {
+                            Some((pb, _)) => b < pb,
+                            None => true,
+                        };
+                        if better {
+                            prev.best_binary = Some((b, x));
+                        }
+                    }
+                    if r.local_min < prev.local_min {
+                        prev.local_min = r.local_min;
+                        prev.kept = r.kept;
+                    } else if r.local_min == prev.local_min {
+                        prev.kept.extend(r.kept);
+                    }
+                }
+                _ => bucket.push(r),
+            }
         }
         per_level
     };
@@ -377,7 +481,10 @@ fn auto_threads(ctx: &GenerationContext) -> usize {
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    hw.min(ctx.source_classes().len().max(1))
+    // Sub-source sharding keeps extra workers productive even when there are
+    // fewer source classes than cores; the useful ceiling is the task grid.
+    let levels = ctx.class_space().attribute_count().max(1);
+    hw.min((ctx.source_classes().len() * levels).max(1))
 }
 
 #[cfg(test)]
@@ -460,6 +567,29 @@ mod tests {
         for threads in [2usize, 3, 4, 8] {
             let parallel =
                 skyline_stc_dtc_pairs_with_threads(&ctx, Duration::from_secs(30), threads);
+            assert_eq!(parallel.pairs, sequential.pairs, "{threads} threads");
+            assert_eq!(
+                parallel.min_balance.to_bits(),
+                sequential.min_balance.to_bits()
+            );
+            assert_eq!(parallel.best_binary_x, sequential.best_binary_x);
+            assert_eq!(parallel.enumerated, sequential.enumerated);
+        }
+    }
+
+    #[test]
+    fn sub_source_sharding_stays_bit_identical_on_skewed_spaces() {
+        // The employee context has only 2 source classes over 3 levels: any
+        // worker count ≥ 2 falls below the oversubscription target, so every
+        // (level, source) cell is sub-sharded over combination ranges — and
+        // worker counts beyond the source-class count must still merge to the
+        // sequential result.
+        let ctx = employee_context();
+        let sequential = skyline_stc_dtc_pairs_with_threads(&ctx, Duration::from_secs(30), 1);
+        for threads in [2usize, 5, 16, 64] {
+            let parallel =
+                skyline_stc_dtc_pairs_with_threads(&ctx, Duration::from_secs(30), threads);
+            assert!(parallel.threads > 1, "{threads} workers requested");
             assert_eq!(parallel.pairs, sequential.pairs, "{threads} threads");
             assert_eq!(
                 parallel.min_balance.to_bits(),

@@ -58,15 +58,28 @@ impl TupleClassSpace {
         join: &JoinedRelation,
         queries: &[SpjQuery],
     ) -> Result<BTreeMap<usize, Vec<Value>>> {
+        Self::active_domains_with(join, queries, |col| join.active_domain(col))
+    }
+
+    /// [`Self::active_domains`] with the per-column domain computation
+    /// supplied by the caller — `domain_of(col)` must return exactly what
+    /// `join.active_domain(col)` would. [`GenerationContext`](crate::GenerationContext)
+    /// passes the columnar mirror's
+    /// [`active_domain`](qfe_relation::ColumnarJoin::active_domain), which
+    /// reads sorted dictionaries and typed vectors instead of cloning and
+    /// sorting boxed row values.
+    pub fn active_domains_with(
+        join: &JoinedRelation,
+        queries: &[SpjQuery],
+        domain_of: impl Fn(usize) -> Vec<Value>,
+    ) -> Result<BTreeMap<usize, Vec<Value>>> {
         let mut domains = BTreeMap::new();
         for q in queries {
             for term in q.predicate.all_terms() {
                 let col = join
                     .resolve_column(term.attribute())
                     .map_err(QfeError::from)?;
-                domains
-                    .entry(col)
-                    .or_insert_with(|| join.active_domain(col));
+                domains.entry(col).or_insert_with(|| domain_of(col));
             }
         }
         Ok(domains)
@@ -243,6 +256,52 @@ impl TupleClassSpace {
         source: &TupleClass,
         modify_count: usize,
         modifiable: &[bool],
+        visit: F,
+    ) -> std::ops::ControlFlow<()>
+    where
+        F: FnMut(&TupleClass, &[usize]) -> std::ops::ControlFlow<()>,
+    {
+        self.for_each_destination_class_in_combos(
+            source,
+            modify_count,
+            modifiable,
+            0..usize::MAX,
+            visit,
+        )
+    }
+
+    /// The number of changed-position combinations
+    /// [`Self::for_each_destination_class`] walks for one source at one cost
+    /// level: `C(modifiable positions, modify_count)`. The unit of the
+    /// skyline's sub-source work sharding.
+    pub fn destination_combo_count(&self, modify_count: usize, modifiable: &[bool]) -> usize {
+        let n = (0..self.attributes.len())
+            .filter(|&i| modifiable.get(i).copied().unwrap_or(true))
+            .count();
+        if modify_count == 0 || modify_count > n {
+            return 0;
+        }
+        // C(n, k), saturating (attribute counts are tiny in practice).
+        let mut c: usize = 1;
+        for i in 1..=modify_count {
+            c = c.saturating_mul(n - modify_count + i) / i;
+        }
+        c
+    }
+
+    /// [`Self::for_each_destination_class`] restricted to the changed-position
+    /// combinations with (lexicographic) index in `combos` — the enumeration
+    /// order is exactly the corresponding contiguous slice of the full
+    /// enumeration, so walking `0..a`, `a..b`, `b..` in turn visits every
+    /// destination once, in the full order. This is how the parallel skyline
+    /// shards a single skewed source class across workers without giving up
+    /// its deterministic merge.
+    pub fn for_each_destination_class_in_combos<F>(
+        &self,
+        source: &TupleClass,
+        modify_count: usize,
+        modifiable: &[bool],
+        combos: std::ops::Range<usize>,
         mut visit: F,
     ) -> std::ops::ControlFlow<()>
     where
@@ -253,7 +312,7 @@ impl TupleClassSpace {
         let positions: Vec<usize> = (0..self.attributes.len())
             .filter(|&i| modifiable.get(i).copied().unwrap_or(true))
             .collect();
-        if modify_count == 0 || modify_count > positions.len() {
+        if modify_count == 0 || modify_count > positions.len() || combos.is_empty() {
             return ControlFlow::Continue(());
         }
         // One scratch class mutated in place; one scratch combination buffer.
@@ -261,7 +320,20 @@ impl TupleClassSpace {
         let mut chosen: Vec<usize> = vec![0; modify_count];
         let mut alt: Vec<usize> = vec![0; modify_count];
         let mut combo: Vec<usize> = (0..modify_count).collect();
+        let mut combo_idx: usize = 0;
         'combos: loop {
+            if combo_idx >= combos.end {
+                break 'combos;
+            }
+            let in_range = combo_idx >= combos.start;
+            combo_idx += 1;
+            if !in_range {
+                // Skip to the next combination without enumerating blocks.
+                if !advance_combination(&mut combo, positions.len()) {
+                    break 'combos;
+                }
+                continue 'combos;
+            }
             for (slot, &ci) in combo.iter().enumerate() {
                 chosen[slot] = positions[ci];
             }
@@ -323,20 +395,8 @@ impl TupleClassSpace {
             for &pos in chosen.iter() {
                 scratch[pos] = source[pos];
             }
-            // Next position combination (lexicographic).
-            let mut i = modify_count;
-            loop {
-                if i == 0 {
-                    break 'combos;
-                }
-                i -= 1;
-                if combo[i] < positions.len() - (modify_count - i) {
-                    combo[i] += 1;
-                    for j in i + 1..modify_count {
-                        combo[j] = combo[j - 1] + 1;
-                    }
-                    break;
-                }
+            if !advance_combination(&mut combo, positions.len()) {
+                break 'combos;
             }
         }
         ControlFlow::Continue(())
@@ -348,6 +408,26 @@ impl TupleClassSpace {
         let mut set: BTreeSet<TupleClass> = self.source_classes(join).into_keys().collect();
         set.extend(extra.iter().cloned());
         set
+    }
+}
+
+/// Advances `combo` to the next k-combination of `0..positions` in
+/// lexicographic order; returns `false` when the combinations are exhausted.
+fn advance_combination(combo: &mut [usize], positions: usize) -> bool {
+    let k = combo.len();
+    let mut i = k;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if combo[i] < positions - (k - i) {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
     }
 }
 
@@ -547,6 +627,45 @@ mod tests {
                 ));
             }
             assert!(outcomes.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn combo_range_enumeration_is_a_contiguous_slice_of_the_full_order() {
+        let (join, queries) = employee_setup();
+        let space = TupleClassSpace::build(&join, &queries).unwrap();
+        let source = space.classify(&join.rows()[1].tuple).unwrap();
+        let modifiable = vec![true; space.attribute_count()];
+        assert_eq!(
+            space.destination_combo_count(1, &modifiable),
+            space.attribute_count()
+        );
+        assert_eq!(
+            space.destination_combo_count(space.attribute_count() + 1, &modifiable),
+            0
+        );
+        assert_eq!(space.destination_combo_count(0, &modifiable), 0);
+        for k in 1..=space.attribute_count() {
+            let full = space.destination_classes(&source, k, &modifiable);
+            let combos = space.destination_combo_count(k, &modifiable);
+            assert!(combos >= 1);
+            // Walking the combination range in chunks re-concatenates to the
+            // full enumeration, in the full order.
+            let mut pieces = Vec::new();
+            let cuts = [0, combos / 3, 2 * combos / 3, combos];
+            for w in cuts.windows(2) {
+                let _ = space.for_each_destination_class_in_combos(
+                    &source,
+                    k,
+                    &modifiable,
+                    w[0]..w[1],
+                    |c, ch| {
+                        pieces.push((c.clone(), ch.to_vec()));
+                        std::ops::ControlFlow::Continue(())
+                    },
+                );
+            }
+            assert_eq!(pieces, full, "modify_count {k}");
         }
     }
 

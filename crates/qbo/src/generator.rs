@@ -8,6 +8,7 @@ use crate::error::{QboError, Result};
 use crate::join_enum::connected_table_subsets;
 use crate::predicate_enum::{enumerate_predicates, split_rows, AttributeSpace};
 use crate::projection::candidate_projections;
+use crate::verify::{BatchVerifier, VerifyStats};
 
 /// Generates candidate SPJ queries `Q` with `Q(D) = R` from an example
 /// database-result pair `(D, R)` — the role the paper delegates to the QBO
@@ -39,12 +40,24 @@ impl QueryGenerator {
     /// `config.max_candidates`. Returns [`QboError::NoCandidates`] when the
     /// search space contains no verified candidate.
     pub fn generate(&self, db: &Database, result: &QueryResult) -> Result<Vec<SpjQuery>> {
+        self.generate_with_stats(db, result).map(|(c, _)| c)
+    }
+
+    /// [`Self::generate`] plus the verification counters (candidates checked,
+    /// signature-cache replays, rows scanned) — the raw material for the
+    /// `qbo-batch` bench scenario.
+    pub fn generate_with_stats(
+        &self,
+        db: &Database,
+        result: &QueryResult,
+    ) -> Result<(Vec<SpjQuery>, VerifyStats)> {
         if result.is_empty() {
             return Err(QboError::EmptyResult);
         }
         let mut candidates: Vec<SpjQuery> = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         let mut saw_projection = false;
+        let mut stats = VerifyStats::default();
 
         for tables in connected_table_subsets(db, self.config.max_join_tables) {
             if candidates.len() >= self.config.max_candidates {
@@ -57,6 +70,10 @@ impl QueryGenerator {
             if join.is_empty() {
                 continue;
             }
+            // One columnar mirror + term-bitmap cache serves every candidate
+            // enumerated on this join (built lazily: joins without a usable
+            // projection never pay for it).
+            let mut verifier: Option<BatchVerifier> = None;
             let space = AttributeSpace::new(&join);
             for projection in
                 candidate_projections(&join, result, self.config.infer_projection_by_values)
@@ -78,16 +95,26 @@ impl QueryGenerator {
                     let query = SpjQuery::new(tables.clone(), projection.clone(), predicate);
                     // Verify against the real evaluator (defence in depth: the
                     // enumeration already checked row membership).
-                    match evaluate_on_join(&query, &join) {
-                        Ok(r) if r.bag_equal(result) => {
-                            let key = query.to_string();
-                            if seen.insert(key) {
-                                candidates.push(query);
-                            }
+                    let verified = if self.config.columnar_verify {
+                        verifier
+                            .get_or_insert_with(|| BatchVerifier::new(&join, result))
+                            .verify(&join, &query)
+                    } else {
+                        stats.candidates_checked += 1;
+                        stats.rows_scanned += join.len() as u64;
+                        matches!(
+                            evaluate_on_join(&query, &join), Ok(r) if r.bag_equal(result))
+                    };
+                    if verified {
+                        let key = query.to_string();
+                        if seen.insert(key) {
+                            candidates.push(query);
                         }
-                        _ => {}
                     }
                 }
+            }
+            if let Some(v) = &verifier {
+                stats.absorb(&v.stats());
             }
         }
 
@@ -104,7 +131,7 @@ impl QueryGenerator {
                 .cmp(&b.complexity())
                 .then_with(|| a.to_string().cmp(&b.to_string()))
         });
-        Ok(candidates)
+        Ok((candidates, stats))
     }
 
     /// Generates candidates and guarantees that `target` (which must satisfy

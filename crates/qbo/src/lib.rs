@@ -14,6 +14,17 @@
 //! mechanism the paper uses to scale the candidate count in its Table 6
 //! experiment.
 //!
+//! Verification is *batched*: every candidate enumerated on a join is checked
+//! through one [`BatchVerifier`] — a columnar mirror of the join
+//! (`qfe_relation::ColumnarJoin`) plus a shared per-(column, op, literal)
+//! term-bitmap cache — so a candidate's selection is bitmap algebra over
+//! mostly cached bitmaps, wrong-cardinality candidates are rejected without
+//! materializing rows, and signature-equal candidates (same projection,
+//! same selection bitmap) replay a cached verdict. [`verify_batch`] exposes
+//! the same machinery for an externally built frontier (e.g. the constant
+//! mutations of [`grow_candidates`], which share one verifier per join
+//! schema).
+//!
 //! ## Example
 //!
 //! ```
@@ -59,11 +70,16 @@ mod join_enum;
 mod mutation;
 mod predicate_enum;
 mod projection;
+mod verify;
 
 pub use config::QboConfig;
 pub use error::{QboError, Result};
 pub use generator::QueryGenerator;
 pub use join_enum::connected_table_subsets;
-pub use mutation::{grow_candidates, mutate_constants, mutate_operators};
+pub use mutation::{
+    grow_candidates, grow_candidates_mode, mutate_constants, mutate_constants_mode,
+    mutate_operators, mutate_operators_mode,
+};
 pub use predicate_enum::{enumerate_predicates, split_rows, AttributeSpace, RowSplit};
 pub use projection::candidate_projections;
+pub use verify::{verify_batch, BatchVerifier, VerifyStats};

@@ -1,0 +1,315 @@
+//! Batched candidate verification over a columnar join.
+//!
+//! QBO's generate-and-verify pass is the hottest loop of candidate
+//! generation: every enumerated predicate becomes a query that must be
+//! checked against `Q(D) = R`, and constant mutation multiplies the frontier
+//! further. Evaluating each candidate row-at-a-time re-touches every joined
+//! row per query.
+//!
+//! [`BatchVerifier`] verifies the whole frontier against **one**
+//! [`ColumnarJoin`]:
+//!
+//! * each candidate's selection runs as bitmap algebra over the shared
+//!   per-(column, op, literal) [`TermBitmapCache`] — the frontier's queries
+//!   overwhelmingly share terms (the enumeration derives them from the same
+//!   per-attribute analyses; constant mutation perturbs one term at a time),
+//!   so most candidates touch no row data at all;
+//! * candidates whose selection bitmap has the wrong cardinality are rejected
+//!   without materializing a single projected row (bag equality needs equal
+//!   cardinality);
+//! * results are **deduplicated by projection-bitmap signature**: two
+//!   candidates with the same (projection columns, distinct flag, selection
+//!   bitmap) produce the same result, so the verdict is computed once and
+//!   replayed for every signature-equal candidate.
+//!
+//! The verdicts are exactly those of
+//! [`evaluate_on_join`](qfe_query::evaluate_on_join) followed by
+//! [`QueryResult::bag_equal`] — property tests in the workspace root enforce
+//! the equivalence on randomized schemas and predicates.
+
+use std::collections::HashMap;
+
+use qfe_query::{BoundQuery, QueryResult, SpjQuery, TermBitmapCache};
+use qfe_relation::{Bitmap, ColumnarJoin, JoinedRelation};
+
+/// Counters describing what a [`BatchVerifier`] did — the raw material for
+/// the `qbo-batch` bench scenario (candidates/sec, rows scanned).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Candidates checked (including signature-cache replays).
+    pub candidates_checked: u64,
+    /// Candidates that verified (`Q(D) = R`).
+    pub verified: u64,
+    /// Verdicts replayed from the projection-bitmap-signature cache.
+    pub signature_hits: u64,
+    /// Candidates rejected on selection cardinality alone (no rows
+    /// materialized).
+    pub cardinality_rejects: u64,
+    /// Joined rows touched: full column scans for term-bitmap misses plus
+    /// selected rows materialized for bag comparison.
+    pub rows_scanned: u64,
+    /// Term bitmaps served from the cache.
+    pub term_bitmap_hits: u64,
+    /// Term bitmaps computed (one typed column scan each).
+    pub term_bitmap_misses: u64,
+}
+
+impl VerifyStats {
+    /// Merges another stats block into this one.
+    pub fn absorb(&mut self, other: &VerifyStats) {
+        self.candidates_checked += other.candidates_checked;
+        self.verified += other.verified;
+        self.signature_hits += other.signature_hits;
+        self.cardinality_rejects += other.cardinality_rejects;
+        self.rows_scanned += other.rows_scanned;
+        self.term_bitmap_hits += other.term_bitmap_hits;
+        self.term_bitmap_misses += other.term_bitmap_misses;
+    }
+}
+
+/// The result-determining signature of a candidate on a fixed join: two
+/// candidates with equal signatures produce byte-identical results.
+type ResultSignature = (Vec<usize>, bool, Bitmap);
+
+/// Verifies many candidate queries against one `(join, expected)` pair. See
+/// the module docs.
+#[derive(Debug)]
+pub struct BatchVerifier {
+    columnar: ColumnarJoin,
+    cache: TermBitmapCache,
+    expected: QueryResult,
+    verdicts: HashMap<ResultSignature, bool>,
+    stats: VerifyStats,
+}
+
+impl BatchVerifier {
+    /// Builds a verifier for `join`, checking candidates against `expected`.
+    ///
+    /// The columnar mirror is built here, once; every subsequent
+    /// [`Self::verify`] call runs on bitmaps.
+    pub fn new(join: &JoinedRelation, expected: &QueryResult) -> BatchVerifier {
+        BatchVerifier {
+            columnar: ColumnarJoin::from_join(join),
+            cache: TermBitmapCache::new(),
+            expected: expected.clone(),
+            verdicts: HashMap::new(),
+            stats: VerifyStats::default(),
+        }
+    }
+
+    /// Whether `query` (bound against `join`, the join this verifier was
+    /// built from) reproduces the expected result.
+    ///
+    /// Exactly `evaluate_on_join(query, join)?.bag_equal(expected)`, with a
+    /// query that fails to bind counting as unverified.
+    pub fn verify(&mut self, join: &JoinedRelation, query: &SpjQuery) -> bool {
+        self.stats.candidates_checked += 1;
+        let Ok(bound) = BoundQuery::bind(query, join) else {
+            return false;
+        };
+        let misses_before = self.cache.misses();
+        let bitmap = bound.selection_bitmap(&self.columnar, &mut self.cache);
+        self.stats.term_bitmap_hits = self.cache.hits();
+        self.stats.term_bitmap_misses = self.cache.misses();
+        self.stats.rows_scanned +=
+            (self.cache.misses() - misses_before) * self.columnar.len() as u64;
+
+        let selected = bitmap.count_ones();
+        if !bound.is_distinct() && selected != self.expected.len() {
+            // Bag equality requires equal cardinality: reject without
+            // materializing anything. (A distinct query's cardinality only
+            // emerges after deduplication.)
+            self.stats.cardinality_rejects += 1;
+            return false;
+        }
+        let signature: ResultSignature = (
+            bound.projection_indices().to_vec(),
+            bound.is_distinct(),
+            bitmap,
+        );
+        if let Some(&verdict) = self.verdicts.get(&signature) {
+            self.stats.signature_hits += 1;
+            if verdict {
+                self.stats.verified += 1;
+            }
+            return verdict;
+        }
+        self.stats.rows_scanned += selected as u64;
+        let result = bound.materialize_selection(join, &signature.2);
+        let verdict = result.bag_equal(&self.expected);
+        self.verdicts.insert(signature, verdict);
+        if verdict {
+            self.stats.verified += 1;
+        }
+        verdict
+    }
+
+    /// Verifies a whole frontier in order; `out[i]` is the verdict of
+    /// `queries[i]`.
+    pub fn verify_batch(&mut self, join: &JoinedRelation, queries: &[SpjQuery]) -> Vec<bool> {
+        queries.iter().map(|q| self.verify(join, q)).collect()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> VerifyStats {
+        self.stats
+    }
+
+    /// The expected result candidates are checked against.
+    pub fn expected(&self) -> &QueryResult {
+        &self.expected
+    }
+
+    /// Number of distinct result signatures resolved so far.
+    pub fn distinct_signatures(&self) -> usize {
+        self.verdicts.len()
+    }
+}
+
+/// Verifies the whole `queries` frontier against one columnar mirror of
+/// `join`: `out[i]` is `true` iff `queries[i]` reproduces `expected` on the
+/// join. One [`BatchVerifier`] (one [`ColumnarJoin`] build, one shared term
+/// cache) serves the entire batch.
+pub fn verify_batch(
+    join: &JoinedRelation,
+    queries: &[SpjQuery],
+    expected: &QueryResult,
+) -> Vec<bool> {
+    BatchVerifier::new(join, expected).verify_batch(join, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_query::{evaluate_on_join, ComparisonOp, DnfPredicate, Term};
+    use qfe_relation::{
+        foreign_key_join, tuple, ColumnDef, DataType, Database, Table, TableSchema,
+    };
+
+    fn employee_db() -> Database {
+        let employee = Table::with_rows(
+            TableSchema::new(
+                "Employee",
+                vec![
+                    ColumnDef::new("Eid", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::new("gender", DataType::Text),
+                    ColumnDef::new("dept", DataType::Text),
+                    ColumnDef::new("salary", DataType::Int),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["Eid"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "Alice", "F", "Sales", 3700i64],
+                tuple![2i64, "Bob", "M", "IT", 4200i64],
+                tuple![3i64, "Celina", "F", "Service", 3000i64],
+                tuple![4i64, "Darren", "M", "IT", 5000i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(employee).unwrap();
+        db
+    }
+
+    fn q(pred: DnfPredicate) -> SpjQuery {
+        SpjQuery::new(vec!["Employee"], vec!["name"], pred)
+    }
+
+    #[test]
+    fn verdicts_match_the_row_evaluator() {
+        let db = employee_db();
+        let join = foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let queries = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                4000i64,
+            ))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+            q(DnfPredicate::single(Term::eq("gender", "F"))),
+            q(DnfPredicate::always_true()),
+            // Unknown attribute: must count as unverified, not error.
+            q(DnfPredicate::single(Term::eq("wage", 1i64))),
+        ];
+        let expected = evaluate_on_join(&queries[0], &join).unwrap();
+        let verdicts = verify_batch(&join, &queries, &expected);
+        for (query, &v) in queries.iter().zip(&verdicts) {
+            let row_verdict = evaluate_on_join(query, &join)
+                .map(|r| r.bag_equal(&expected))
+                .unwrap_or(false);
+            assert_eq!(v, row_verdict, "{query}");
+        }
+        assert_eq!(verdicts, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn signature_cache_replays_equal_results() {
+        let db = employee_db();
+        let join = foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let expected =
+            evaluate_on_join(&q(DnfPredicate::single(Term::eq("gender", "M"))), &join).unwrap();
+        let mut verifier = BatchVerifier::new(&join, &expected);
+        // Three distinct predicates selecting the same rows: one
+        // materialization, two signature replays.
+        let frontier = vec![
+            q(DnfPredicate::single(Term::eq("gender", "M"))),
+            q(DnfPredicate::single(Term::eq("dept", "IT"))),
+            q(DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Ge,
+                4200i64,
+            ))),
+        ];
+        let verdicts = verifier.verify_batch(&join, &frontier);
+        assert_eq!(verdicts, vec![true, true, true]);
+        assert_eq!(verifier.distinct_signatures(), 1);
+        let stats = verifier.stats();
+        assert_eq!(stats.signature_hits, 2);
+        assert_eq!(stats.candidates_checked, 3);
+        assert_eq!(stats.verified, 3);
+        // Re-verifying hits the term cache: no new column scans.
+        let scans_before = stats.term_bitmap_misses;
+        let _ = verifier.verify_batch(&join, &frontier);
+        assert_eq!(verifier.stats().term_bitmap_misses, scans_before);
+    }
+
+    #[test]
+    fn cardinality_mismatch_rejects_without_materializing() {
+        let db = employee_db();
+        let join = foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let expected =
+            evaluate_on_join(&q(DnfPredicate::single(Term::eq("gender", "M"))), &join).unwrap();
+        let mut verifier = BatchVerifier::new(&join, &expected);
+        assert!(!verifier.verify(&join, &q(DnfPredicate::always_true())));
+        assert_eq!(verifier.stats().cardinality_rejects, 1);
+        assert_eq!(verifier.distinct_signatures(), 0);
+    }
+
+    #[test]
+    fn distinct_queries_compare_after_deduplication() {
+        let db = employee_db();
+        let join = foreign_key_join(&db, &["Employee".to_string()]).unwrap();
+        let set_query = SpjQuery::new(
+            vec!["Employee"],
+            vec!["gender"],
+            DnfPredicate::always_true(),
+        )
+        .with_distinct(true);
+        let expected = evaluate_on_join(&set_query, &join).unwrap();
+        assert_eq!(expected.len(), 2);
+        let mut verifier = BatchVerifier::new(&join, &expected);
+        assert!(verifier.verify(&join, &set_query));
+        // The bag twin (no DISTINCT) has 4 rows: rejected, and its signature
+        // is distinct from the set query's.
+        let bag_query = SpjQuery::new(
+            vec!["Employee"],
+            vec!["gender"],
+            DnfPredicate::always_true(),
+        );
+        assert!(!verifier.verify(&join, &bag_query));
+    }
+}

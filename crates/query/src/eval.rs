@@ -1,11 +1,12 @@
 //! Query evaluation against databases and precomputed joins.
 
-use qfe_relation::{foreign_key_join, Database, JoinedRelation, Value};
+use qfe_relation::{foreign_key_join, Bitmap, ColumnarJoin, Database, JoinedRelation, Value};
 
 use crate::error::{QueryError, Result};
 use crate::predicate::DnfPredicate;
 use crate::result::QueryResult;
 use crate::spj::SpjQuery;
+use crate::vectorized::TermBitmapCache;
 
 /// A query whose column references have been resolved against a specific
 /// joined relation.
@@ -101,6 +102,74 @@ impl BoundQuery {
             .map(|(i, _)| i)
             .collect()
     }
+
+    /// The query's selection bitmap over a columnar join: bit `r` is set iff
+    /// the predicate holds for row `r` (exactly [`Self::matches_row`], but
+    /// assembled by AND/OR over cached per-term bitmaps).
+    pub fn selection_bitmap(&self, columnar: &ColumnarJoin, cache: &mut TermBitmapCache) -> Bitmap {
+        let rows = columnar.len();
+        let conjuncts = self.predicate.conjuncts();
+        if conjuncts.is_empty() {
+            return Bitmap::all_set(rows);
+        }
+        let mut acc = Bitmap::new(rows);
+        for conjunct in conjuncts {
+            let mut selected = Bitmap::all_set(rows);
+            for term in conjunct.terms() {
+                match self
+                    .attribute_idx
+                    .iter()
+                    .find(|(n, _)| n == term.attribute())
+                {
+                    Some((_, col)) => {
+                        selected.and_assign(cache.term_bitmap(columnar, *col, term));
+                    }
+                    // Unresolvable attribute ⇒ NULL lookup ⇒ the term fails.
+                    None => selected = Bitmap::new(rows),
+                }
+                if selected.is_zero() {
+                    break;
+                }
+            }
+            acc.or_assign(&selected);
+        }
+        acc
+    }
+
+    /// Evaluates the bound query through the vectorized columnar path.
+    ///
+    /// `columnar` must mirror `join` (same rows in the same order); the
+    /// result is identical to [`Self::evaluate`].
+    pub fn evaluate_columnar(
+        &self,
+        join: &JoinedRelation,
+        columnar: &ColumnarJoin,
+        cache: &mut TermBitmapCache,
+    ) -> QueryResult {
+        let bitmap = self.selection_bitmap(columnar, cache);
+        self.materialize_selection(join, &bitmap)
+    }
+
+    /// Materializes the query's result from a precomputed selection bitmap
+    /// over `join` (projection + `DISTINCT` dedup) — the shared tail of
+    /// [`Self::evaluate_columnar`] and batched verification in `qfe-qbo`.
+    pub fn materialize_selection(&self, join: &JoinedRelation, bitmap: &Bitmap) -> QueryResult {
+        let rows = bitmap
+            .iter_ones()
+            .map(|r| join.rows()[r].tuple.project(&self.projection_idx))
+            .collect();
+        let result = QueryResult::new(self.projection_names.clone(), rows);
+        if self.distinct {
+            result.deduplicated()
+        } else {
+            result
+        }
+    }
+
+    /// Whether the query uses set semantics (`SELECT DISTINCT`).
+    pub fn is_distinct(&self) -> bool {
+        self.distinct
+    }
 }
 
 /// Evaluates a query against a precomputed joined relation.
@@ -109,6 +178,19 @@ impl BoundQuery {
 /// uses the foreign-key join of the candidate queries' shared join schema.
 pub fn evaluate_on_join(query: &SpjQuery, join: &JoinedRelation) -> Result<QueryResult> {
     Ok(BoundQuery::bind(query, join)?.evaluate(join))
+}
+
+/// [`evaluate_on_join`] through the vectorized columnar path: the selection
+/// runs as bitmap algebra over `cache`'s per-term bitmaps instead of touching
+/// rows. `columnar` must mirror `join`; results are identical to the row
+/// evaluator's.
+pub fn evaluate_on_join_columnar(
+    query: &SpjQuery,
+    join: &JoinedRelation,
+    columnar: &ColumnarJoin,
+    cache: &mut TermBitmapCache,
+) -> Result<QueryResult> {
+    Ok(BoundQuery::bind(query, join)?.evaluate_columnar(join, columnar, cache))
 }
 
 /// Evaluates a query against a database by first computing the foreign-key

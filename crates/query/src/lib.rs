@@ -49,9 +49,10 @@ mod serial;
 mod spj;
 mod spju;
 mod sql;
+mod vectorized;
 
 pub use error::{QueryError, Result};
-pub use eval::{evaluate, evaluate_on_join, BoundQuery};
+pub use eval::{evaluate, evaluate_on_join, evaluate_on_join_columnar, BoundQuery};
 pub use partition::{
     partition_bound_queries, partition_queries, partition_queries_on_join, QueryGroup,
     QueryPartition,
@@ -61,3 +62,4 @@ pub use result::QueryResult;
 pub use spj::SpjQuery;
 pub use spju::SpjuQuery;
 pub use sql::{parse_sql, to_sql};
+pub use vectorized::{compute_term_bitmap, TermBitmapCache};

@@ -1,0 +1,576 @@
+//! Columnar storage for joined relations.
+//!
+//! QFE evaluates *many* candidate predicates against the *same* foreign-key
+//! join: QBO's generate-and-verify pass, `BoundQuery` evaluation and the
+//! outcome kernel's construction all repeatedly ask "which rows satisfy
+//! `attr op literal`?".  Walking the row-oriented [`JoinedRelation`] answers
+//! that one boxed [`Value`] at a time — pointer chasing, string comparisons
+//! and clones on every probe.
+//!
+//! [`ColumnarJoin`] is the bandwidth-friendly mirror of a join, built once
+//! and shared by every candidate bound to it:
+//!
+//! * **typed column vectors** — `i64`, `f64`, `bool`, and dictionary-coded
+//!   strings (`u32` codes into a per-column *sorted* dictionary, so string
+//!   comparisons become integer range tests);
+//! * **null bitmaps** — SQL comparisons against NULL are never satisfied, so
+//!   a term's selection bitmap is computed branchlessly and masked with the
+//!   column's null bitmap;
+//! * **patch hooks** — [`ColumnarJoin::patch_cell`] mirrors
+//!   [`JoinedRelation::patch_cell`], and a [`generation`](ColumnarJoin::generation)
+//!   counter lets term-bitmap caches (in `qfe-query`) invalidate cheaply when
+//!   the underlying join changes between feedback rounds.
+//!
+//! Columns whose stored values do not conform to the declared type (possible
+//! only through unchecked joined-row patching) fall back to a row-of-values
+//! representation that preserves exact semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitmap::Bitmap;
+use crate::join::JoinedRelation;
+use crate::types::DataType;
+use crate::value::Value;
+
+/// Process-wide generation allocator: every freshly built *and* every patched
+/// mirror gets a generation no other mirror state has ever had, so a
+/// term-bitmap cache keyed on the generation can never be fooled by a
+/// different mirror that happens to share a counter value (e.g. two mirrors
+/// both starting at 0 across feedback rounds).
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The typed backing store of one joined column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// `BIGINT` column: one `i64` per row (null rows hold 0).
+    Int(Vec<i64>),
+    /// `DOUBLE` column: one `f64` per row (null rows hold 0.0).
+    Float(Vec<f64>),
+    /// Text column, dictionary-coded: `codes[row]` indexes into `dict`,
+    /// which is sorted and duplicate-free, so code order is string order
+    /// (null rows hold code 0).
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Sorted distinct strings.
+        dict: Vec<String>,
+    },
+    /// Boolean column (null rows hold `false`).
+    Bool(Vec<bool>),
+    /// Fallback for columns with values that do not conform to the declared
+    /// type: plain values, evaluated row-at-a-time.
+    Mixed(Vec<Value>),
+}
+
+/// One column of a [`ColumnarJoin`]: typed data plus a null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarColumn {
+    /// The typed values.
+    pub data: ColumnData,
+    /// Bit `r` set ⇔ row `r` is NULL in this column.
+    pub nulls: Bitmap,
+}
+
+impl ColumnarColumn {
+    /// The value of row `row`, decoded back to a [`Value`].
+    pub fn value_at(&self, row: usize) -> Value {
+        if self.nulls.get(row) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Str { codes, dict } => Value::Text(dict[codes[row] as usize].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+            ColumnData::Mixed(v) => v[row].clone(),
+        }
+    }
+}
+
+/// A columnar mirror of a [`JoinedRelation`]. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarJoin {
+    columns: Vec<ColumnarColumn>,
+    rows: usize,
+    generation: u64,
+}
+
+impl ColumnarJoin {
+    /// Builds the columnar mirror of `join`.
+    pub fn from_join(join: &JoinedRelation) -> ColumnarJoin {
+        let rows = join.len();
+        let columns = join
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(col, meta)| build_column(join, col, meta.data_type, rows))
+            .collect();
+        ColumnarJoin {
+            columns,
+            rows,
+            generation: next_generation(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the join has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column at position `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnarColumn {
+        &self.columns[idx]
+    }
+
+    /// The mirror's generation: allocated from a process-wide counter at
+    /// build time and re-allocated by every [`Self::patch_cell`], so no two
+    /// distinct mirror states (even of different joins, even across rounds)
+    /// ever share one. Term-bitmap caches key their validity on it. A `clone`
+    /// shares its source's generation — their contents are identical until
+    /// one of them is patched.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The value of `(row, col)`, decoded back to a [`Value`].
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value_at(row)
+    }
+
+    /// Overwrites one cell, keeping the columnar mirror in sync with
+    /// [`JoinedRelation::patch_cell`] on the source join. Dictionary columns
+    /// absorb unseen strings by inserting into the sorted dictionary (codes
+    /// are remapped); a value that does not fit the column's typed store
+    /// demotes the column to the exact row-of-values fallback.
+    ///
+    /// # Panics
+    /// Panics when `row` or `col` is out of range.
+    pub fn patch_cell(&mut self, row: usize, col: usize, value: &Value) {
+        assert!(col < self.columns.len(), "patch_cell: column out of range");
+        assert!(row < self.rows, "patch_cell: row out of range");
+        self.generation = next_generation();
+        let column = &mut self.columns[col];
+        if value.is_null() {
+            column.nulls.set(row);
+            return;
+        }
+        match (&mut column.data, value) {
+            (ColumnData::Int(v), Value::Int(i)) => v[row] = *i,
+            (ColumnData::Float(v), Value::Float(f)) => v[row] = *f,
+            // No Float-column ← Int arm: the mirrored join keeps the exact
+            // Int, and `i as f64` rounds beyond 2^53 — such patches demote to
+            // the exact fallback below instead.
+            (ColumnData::Bool(v), Value::Bool(b)) => v[row] = *b,
+            (ColumnData::Str { codes, dict }, Value::Text(s)) => {
+                let code = match dict.binary_search_by(|d| d.as_str().cmp(s.as_str())) {
+                    Ok(pos) => pos as u32,
+                    Err(pos) => {
+                        dict.insert(pos, s.clone());
+                        for c in codes.iter_mut() {
+                            if *c as usize >= pos {
+                                *c += 1;
+                            }
+                        }
+                        pos as u32
+                    }
+                };
+                codes[row] = code;
+            }
+            (ColumnData::Mixed(v), value) => v[row] = value.clone(),
+            (_, value) => {
+                // Type-violating patch: demote to the exact fallback.
+                let mut decoded: Vec<Value> = (0..self.rows).map(|r| column.value_at(r)).collect();
+                decoded[row] = value.clone();
+                column.data = ColumnData::Mixed(decoded);
+            }
+        }
+        self.columns[col].nulls.unset(row);
+    }
+
+    /// Distinct values appearing in the column — exactly what
+    /// [`JoinedRelation::active_domain`] returns for the mirrored join, but
+    /// computed without cloning row values (for dictionary columns the sorted
+    /// dictionary *is* the domain, filtered to codes in use).
+    pub fn active_domain(&self, col: usize) -> Vec<Value> {
+        let column = &self.columns[col];
+        let has_null = !column.nulls.is_zero();
+        let mut out: Vec<Value> = Vec::new();
+        if has_null {
+            out.push(Value::Null);
+        }
+        match &column.data {
+            ColumnData::Int(v) => {
+                let mut vals: Vec<i64> = (0..self.rows)
+                    .filter(|&r| !column.nulls.get(r))
+                    .map(|r| v[r])
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                out.extend(vals.into_iter().map(Value::Int));
+            }
+            ColumnData::Float(v) => {
+                // Stable sort + Value-equality dedup so the surviving
+                // representative of equal floats (e.g. -0.0 vs +0.0) matches
+                // what sort+dedup over row-order Values keeps.
+                let mut vals: Vec<f64> = (0..self.rows)
+                    .filter(|&r| !column.nulls.get(r))
+                    .map(|r| v[r])
+                    .collect();
+                vals.sort_by(|a, b| float_total_cmp(*a, *b));
+                vals.dedup_by(|a, b| float_total_cmp(*a, *b).is_eq());
+                out.extend(vals.into_iter().map(Value::Float));
+            }
+            ColumnData::Str { codes, dict } => {
+                let mut used = vec![false; dict.len()];
+                for (r, &c) in codes.iter().enumerate() {
+                    if !column.nulls.get(r) {
+                        used[c as usize] = true;
+                    }
+                }
+                out.extend(
+                    dict.iter()
+                        .zip(&used)
+                        .filter(|(_, &u)| u)
+                        .map(|(s, _)| Value::Text(s.clone())),
+                );
+            }
+            ColumnData::Bool(v) => {
+                let mut seen = [false; 2];
+                for (r, &b) in v.iter().enumerate() {
+                    if !column.nulls.get(r) {
+                        seen[usize::from(b)] = true;
+                    }
+                }
+                if seen[0] {
+                    out.push(Value::Bool(false));
+                }
+                if seen[1] {
+                    out.push(Value::Bool(true));
+                }
+            }
+            ColumnData::Mixed(v) => {
+                let mut vals: Vec<Value> = (0..self.rows)
+                    .filter(|&r| !column.nulls.get(r))
+                    .map(|r| v[r].clone())
+                    .collect();
+                vals.sort();
+                vals.dedup();
+                out.extend(vals);
+            }
+        }
+        out
+    }
+}
+
+/// The paper-substrate total order on `f64`: NaN sorts greatest and compares
+/// equal to itself (mirrors `Value::cmp` on two floats).
+pub fn float_total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+    }
+}
+
+fn build_column(
+    join: &JoinedRelation,
+    col: usize,
+    declared: DataType,
+    rows: usize,
+) -> ColumnarColumn {
+    let mut nulls = Bitmap::new(rows);
+    let value_of = |r: usize| join.rows()[r].tuple.get(col).unwrap_or(&Value::Null);
+
+    // Verify the column really is homogeneous in its declared type; joined
+    // rows normally are (table insertion validates), but patched joins could
+    // hold anything.
+    let conforms = (0..rows).all(|r| {
+        let v = value_of(r);
+        v.is_null() || type_matches(v, declared)
+    });
+    if !conforms {
+        let data: Vec<Value> = (0..rows).map(|r| value_of(r).clone()).collect();
+        for (r, v) in data.iter().enumerate() {
+            if v.is_null() {
+                nulls.set(r);
+            }
+        }
+        return ColumnarColumn {
+            data: ColumnData::Mixed(data),
+            nulls,
+        };
+    }
+
+    let data = match declared {
+        DataType::Int => {
+            let mut v = vec![0i64; rows];
+            for (r, slot) in v.iter_mut().enumerate() {
+                match value_of(r) {
+                    Value::Int(i) => *slot = *i,
+                    _ => nulls.set(r),
+                }
+            }
+            ColumnData::Int(v)
+        }
+        DataType::Float => {
+            let mut v = vec![0f64; rows];
+            for (r, slot) in v.iter_mut().enumerate() {
+                match value_of(r) {
+                    Value::Float(f) => *slot = *f,
+                    _ => nulls.set(r),
+                }
+            }
+            ColumnData::Float(v)
+        }
+        DataType::Bool => {
+            let mut v = vec![false; rows];
+            for (r, slot) in v.iter_mut().enumerate() {
+                match value_of(r) {
+                    Value::Bool(b) => *slot = *b,
+                    _ => nulls.set(r),
+                }
+            }
+            ColumnData::Bool(v)
+        }
+        DataType::Text => {
+            let mut dict: Vec<&str> = Vec::new();
+            for r in 0..rows {
+                match value_of(r) {
+                    Value::Text(s) => dict.push(s.as_str()),
+                    _ => nulls.set(r),
+                }
+            }
+            dict.sort_unstable();
+            dict.dedup();
+            let codes: Vec<u32> = (0..rows)
+                .map(|r| match value_of(r) {
+                    Value::Text(s) => {
+                        dict.binary_search(&s.as_str())
+                            .expect("dictionary covers every string") as u32
+                    }
+                    _ => 0,
+                })
+                .collect();
+            ColumnData::Str {
+                codes,
+                dict: dict.into_iter().map(String::from).collect(),
+            }
+        }
+    };
+    ColumnarColumn { data, nulls }
+}
+
+fn type_matches(v: &Value, declared: DataType) -> bool {
+    matches!(
+        (v, declared),
+        (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Bool(_), DataType::Bool)
+            | (Value::Text(_), DataType::Text)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::foreign_key::ForeignKey;
+    use crate::join::full_foreign_key_join;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::table::Table;
+    use crate::tuple;
+    use crate::tuple::Tuple;
+
+    fn mixed_db() -> Database {
+        let t = Table::with_rows(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                    ColumnDef::nullable("score", DataType::Float),
+                    ColumnDef::nullable("active", DataType::Bool),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["id"])
+            .unwrap(),
+            vec![
+                tuple![1i64, "bob", 1.5, true],
+                Tuple::new(vec![
+                    Value::Int(2),
+                    Value::Text("alice".into()),
+                    Value::Null,
+                    Value::Bool(false),
+                ]),
+                tuple![3i64, "bob", 0.5, false],
+                Tuple::new(vec![
+                    Value::Int(4),
+                    Value::Text("zed".into()),
+                    Value::Float(1.5),
+                    Value::Null,
+                ]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(t).unwrap();
+        db
+    }
+
+    #[test]
+    fn round_trips_every_cell() {
+        let db = mixed_db();
+        let join = full_foreign_key_join(&db).unwrap();
+        let cj = ColumnarJoin::from_join(&join);
+        assert_eq!(cj.len(), join.len());
+        assert_eq!(cj.arity(), join.arity());
+        for (r, jr) in join.rows().iter().enumerate() {
+            for c in 0..join.arity() {
+                assert_eq!(
+                    cj.value_at(r, c),
+                    jr.tuple.get(c).cloned().unwrap_or(Value::Null),
+                    "cell ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_is_sorted_and_codes_follow_string_order() {
+        let db = mixed_db();
+        let join = full_foreign_key_join(&db).unwrap();
+        let cj = ColumnarJoin::from_join(&join);
+        let name_col = join.resolve_column("name").unwrap();
+        let ColumnData::Str { codes, dict } = &cj.column(name_col).data else {
+            panic!("name must be dictionary-coded");
+        };
+        assert_eq!(dict, &["alice", "bob", "zed"]);
+        assert_eq!(codes, &[1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn active_domain_matches_row_oriented_join() {
+        let db = mixed_db();
+        let join = full_foreign_key_join(&db).unwrap();
+        let cj = ColumnarJoin::from_join(&join);
+        for c in 0..join.arity() {
+            assert_eq!(cj.active_domain(c), join.active_domain(c), "column {c}");
+        }
+    }
+
+    #[test]
+    fn patch_cell_tracks_joined_relation_patches() {
+        let db = mixed_db();
+        let mut join = full_foreign_key_join(&db).unwrap();
+        let mut cj = ColumnarJoin::from_join(&join);
+        let g0 = cj.generation();
+        let name_col = join.resolve_column("name").unwrap();
+        let score_col = join.resolve_column("score").unwrap();
+
+        // Patch with an unseen string: the dictionary absorbs it.
+        join.patch_cell(0, name_col, Value::Text("carol".into()));
+        cj.patch_cell(0, name_col, &Value::Text("carol".into()));
+        // Patch a float, a null, and an un-null.
+        join.patch_cell(2, score_col, Value::Float(9.5));
+        cj.patch_cell(2, score_col, &Value::Float(9.5));
+        join.patch_cell(0, score_col, Value::Null);
+        cj.patch_cell(0, score_col, &Value::Null);
+        join.patch_cell(1, score_col, Value::Float(2.0));
+        cj.patch_cell(1, score_col, &Value::Float(2.0));
+        assert!(cj.generation() > g0);
+
+        for (r, jr) in join.rows().iter().enumerate() {
+            for c in 0..join.arity() {
+                assert_eq!(
+                    cj.value_at(r, c),
+                    jr.tuple.get(c).cloned().unwrap_or(Value::Null),
+                    "cell ({r},{c})"
+                );
+            }
+        }
+        assert_eq!(cj.active_domain(name_col), join.active_domain(name_col));
+        assert_eq!(cj.active_domain(score_col), join.active_domain(score_col));
+    }
+
+    #[test]
+    fn type_violating_patch_demotes_to_mixed() {
+        let db = mixed_db();
+        let join = full_foreign_key_join(&db).unwrap();
+        let mut cj = ColumnarJoin::from_join(&join);
+        let id_col = join.resolve_column("id").unwrap();
+        cj.patch_cell(1, id_col, &Value::Text("oops".into()));
+        assert!(matches!(cj.column(id_col).data, ColumnData::Mixed(_)));
+        assert_eq!(cj.value_at(1, id_col), Value::Text("oops".into()));
+        assert_eq!(cj.value_at(0, id_col), Value::Int(1));
+
+        // An Int patched into a Float column keeps the *exact* Int (the join
+        // it mirrors does) — no lossy f64 conversion.
+        let score_col = join.resolve_column("score").unwrap();
+        let big = (1i64 << 53) + 1;
+        cj.patch_cell(2, score_col, &Value::Int(big));
+        assert!(matches!(cj.column(score_col).data, ColumnData::Mixed(_)));
+        assert!(matches!(cj.value_at(2, score_col), Value::Int(x) if x == big));
+    }
+
+    #[test]
+    fn join_output_over_foreign_keys_is_mirrored() {
+        let parent = Table::with_rows(
+            TableSchema::new(
+                "P",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("tag", DataType::Text),
+                ],
+            )
+            .unwrap()
+            .with_primary_key(&["id"])
+            .unwrap(),
+            vec![tuple![1i64, "x"], tuple![2i64, "y"]],
+        )
+        .unwrap();
+        let child = Table::with_rows(
+            TableSchema::new(
+                "C",
+                vec![
+                    ColumnDef::new("pid", DataType::Int),
+                    ColumnDef::new("w", DataType::Int),
+                ],
+            )
+            .unwrap(),
+            vec![
+                tuple![1i64, 10i64],
+                tuple![1i64, 20i64],
+                tuple![2i64, 30i64],
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_table(parent).unwrap();
+        db.add_table(child).unwrap();
+        db.add_foreign_key(ForeignKey::new("C", "pid", "P", "id"))
+            .unwrap();
+        let join = full_foreign_key_join(&db).unwrap();
+        let cj = ColumnarJoin::from_join(&join);
+        assert_eq!(cj.len(), 3);
+        for c in 0..join.arity() {
+            assert_eq!(cj.active_domain(c), join.active_domain(c));
+        }
+    }
+}

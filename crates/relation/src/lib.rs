@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitmap;
+mod columnar;
 mod database;
 mod edit;
 mod error;
@@ -54,6 +56,8 @@ mod tuple;
 mod types;
 mod value;
 
+pub use bitmap::Bitmap;
+pub use columnar::{float_total_cmp, ColumnData, ColumnarColumn, ColumnarJoin};
 pub use database::Database;
 pub use edit::{
     diff_tables, min_edit_databases, min_edit_rows, min_edit_tables, EditOp, EXACT_MATCHING_LIMIT,
@@ -63,7 +67,7 @@ pub use foreign_key::ForeignKey;
 pub use join::{foreign_key_join, full_foreign_key_join, JoinedColumn, JoinedRelation, JoinedRow};
 pub use join_index::JoinIndex;
 pub use schema::{ColumnDef, TableSchema};
-pub use table::{bag_equal_rows, Table};
+pub use table::{bag_equal_rows, sorted_row_multiset, Table};
 pub use tuple::Tuple;
 pub use types::DataType;
 pub use value::{sql_literal, Value};

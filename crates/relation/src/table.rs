@@ -1,6 +1,5 @@
 //! Tables: a schema plus an ordered bag of tuples.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::{RelationError, Result};
@@ -275,13 +274,11 @@ impl Table {
         bag_equal_rows(&self.rows, &other.rows)
     }
 
-    /// Multiset of rows as a map row -> multiplicity.
-    pub fn row_counts(&self) -> HashMap<Tuple, usize> {
-        let mut counts = HashMap::with_capacity(self.rows.len());
-        for r in &self.rows {
-            *counts.entry(r.clone()).or_insert(0) += 1;
-        }
-        counts
+    /// Multiset of rows as sorted `(row, multiplicity)` runs. Built by
+    /// sorting row *references* — no per-row tuple clones, no hashing of
+    /// every cell (comparison short-circuits at the first differing column).
+    pub fn row_counts(&self) -> Vec<(&Tuple, usize)> {
+        sorted_row_multiset(&self.rows)
     }
 
     /// Projects the whole table onto the given column names, producing a new
@@ -314,21 +311,42 @@ impl Table {
 }
 
 /// Bag equality of two row collections.
+///
+/// Sort-based multiset comparison: both sides are sorted as row *references*
+/// (tuple comparison short-circuits at the first differing column) and
+/// compared pairwise — no per-row clones, no full-tuple hashing. The tuple
+/// order is total and consistent with equality (including the cross-type
+/// `Int(3) == Float(3.0)` numeric equality), so sorted-equal ⇔ bag-equal.
 pub fn bag_equal_rows(a: &[Tuple], b: &[Tuple]) -> bool {
     if a.len() != b.len() {
         return false;
     }
-    let mut counts: HashMap<&Tuple, i64> = HashMap::with_capacity(a.len());
-    for t in a {
-        *counts.entry(t).or_insert(0) += 1;
-    }
-    for t in b {
-        match counts.get_mut(t) {
-            Some(c) => *c -= 1,
-            None => return false,
+    match a.len() {
+        0 => true,
+        1 => a[0] == b[0],
+        _ => {
+            let mut ra: Vec<&Tuple> = a.iter().collect();
+            let mut rb: Vec<&Tuple> = b.iter().collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            ra == rb
         }
     }
-    counts.values().all(|&c| c == 0)
+}
+
+/// The sorted multiset of `rows` as `(row, multiplicity)` runs, without
+/// cloning any tuple.
+pub fn sorted_row_multiset(rows: &[Tuple]) -> Vec<(&Tuple, usize)> {
+    let mut refs: Vec<&Tuple> = rows.iter().collect();
+    refs.sort_unstable();
+    let mut out: Vec<(&Tuple, usize)> = Vec::new();
+    for r in refs {
+        match out.last_mut() {
+            Some((prev, count)) if *prev == r => *count += 1,
+            _ => out.push((r, 1)),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Table {
@@ -529,8 +547,12 @@ mod tests {
         let t = employee_table();
         let p = t.project("R", &["gender"]).unwrap();
         let counts = p.row_counts();
-        assert_eq!(counts.get(&tuple!["M"]), Some(&2));
-        assert_eq!(counts.get(&tuple!["F"]), Some(&2));
+        assert_eq!(counts.len(), 2);
+        let count_of = |v: &Tuple| counts.iter().find(|(r, _)| *r == v).map(|(_, c)| *c);
+        assert_eq!(count_of(&tuple!["M"]), Some(2));
+        assert_eq!(count_of(&tuple!["F"]), Some(2));
+        // Runs come out in sorted order.
+        assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

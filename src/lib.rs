@@ -9,14 +9,33 @@
 //! `qfe` crate:
 //!
 //! * [`relation`] — the in-memory relational substrate (tables, foreign keys,
-//!   joins, table edit distance).
-//! * [`query`] — select-project-join queries, evaluation and SQL text.
+//!   joins, table edit distance), including the columnar evaluation layer
+//!   ([`ColumnarJoin`](relation::ColumnarJoin) +
+//!   [`Bitmap`](relation::Bitmap)): typed column vectors, dictionary-coded
+//!   strings and null bitmaps mirroring a join.
+//! * [`query`] — select-project-join queries, evaluation and SQL text. Hot
+//!   many-queries-one-join paths evaluate vectorized: each atomic term
+//!   compiles to a selection bitmap served from a shared
+//!   [`TermBitmapCache`](query::TermBitmapCache), and candidates are
+//!   assembled by bitmap AND/OR instead of row walks.
 //! * [`qbo`] — the candidate-query generator (reverse engineering from a
-//!   database-result pair).
+//!   database-result pair). Its generate-and-verify pass and the constant
+//!   mutation frontier are batched through one columnar mirror per join
+//!   ([`BatchVerifier`](qbo::BatchVerifier)), deduplicating verdicts by
+//!   projection-bitmap signature.
 //! * [`core`] — the paper's contribution: tuple classes, the user-effort cost
 //!   model, Algorithms 1–4 and the interactive feedback driver.
 //! * [`datasets`] — seeded synthetic versions of the paper's evaluation
 //!   datasets and queries Q1–Q6.
+//!
+//! The columnar mirror of a join is built **once per join** — when a
+//! `GenerationContext` is constructed and when a QBO verification pass
+//! starts — and is only rebuilt when the join itself is (different join
+//! schema, or a key-column edit that changes the join structure). Between
+//! feedback rounds `GenerationContext::advance` either `Arc`-shares the
+//! mirror untouched (no edits) or patches the edited cells in place; every
+//! patch bumps the mirror's generation counter, which self-invalidates the
+//! term-bitmap caches keyed on it.
 //!
 //! ## Quick start
 //!

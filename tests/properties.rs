@@ -367,3 +367,310 @@ fn bitset_class_matching_agrees_with_bound_evaluation_on_random_schemas() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Columnar evaluation == row evaluation
+// ---------------------------------------------------------------------------
+
+const NAMES: [&str; 5] = ["alice", "bob", "carol", "dan", "eve"];
+
+/// A table with a text column, a nullable float column and a nullable int
+/// column, with random NULL patterns — the shapes the columnar layer must get
+/// exactly right.
+fn build_mixed(rng: &mut StdRng) -> Database {
+    let schema = TableSchema::new(
+        "T",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::nullable("score", DataType::Float),
+            ColumnDef::nullable("qty", DataType::Int),
+        ],
+    )
+    .unwrap()
+    .with_primary_key(&["id"])
+    .unwrap();
+    let n = rng.gen_range(3usize..14);
+    let rows: Vec<Tuple> = (0..n)
+        .map(|i| {
+            let score = if rng.gen_bool(0.25) {
+                Value::Null
+            } else {
+                Value::Float(rng.gen_range(-50i64..50) as f64 / 10.0)
+            };
+            let qty = if rng.gen_bool(0.25) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0i64..6))
+            };
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Text(NAMES[rng.gen_range(0..NAMES.len())].to_string()),
+                score,
+                qty,
+            ])
+        })
+        .collect();
+    let mut db = Database::new();
+    db.add_table(Table::with_rows(schema, rows).unwrap())
+        .unwrap();
+    db
+}
+
+/// A random atomic term over the mixed table, including NULL literals,
+/// cross-type comparisons (Int literal on the Float column and vice versa),
+/// dictionary misses and IN/NOT IN lists.
+fn random_mixed_term(rng: &mut StdRng) -> Term {
+    let ops = [
+        ComparisonOp::Eq,
+        ComparisonOp::Ne,
+        ComparisonOp::Lt,
+        ComparisonOp::Le,
+        ComparisonOp::Gt,
+        ComparisonOp::Ge,
+    ];
+    let op = ops[rng.gen_range(0..ops.len())];
+    match rng.gen_range(0u8..5) {
+        0 => {
+            let lit = match rng.gen_range(0u8..4) {
+                0 => Value::Text(NAMES[rng.gen_range(0..NAMES.len())].to_string()),
+                1 => Value::Text("zz-not-in-dictionary".to_string()),
+                2 => Value::Int(3), // cross-type vs. text
+                _ => Value::Null,
+            };
+            Term::Compare {
+                attribute: "name".to_string(),
+                op,
+                value: lit,
+            }
+        }
+        1 => {
+            let lit = match rng.gen_range(0u8..4) {
+                0 => Value::Float(rng.gen_range(-50i64..50) as f64 / 10.0),
+                1 => Value::Int(rng.gen_range(-5i64..5)), // cross-type vs. float
+                2 => Value::Float(f64::NAN),
+                _ => Value::Null,
+            };
+            Term::Compare {
+                attribute: "score".to_string(),
+                op,
+                value: lit,
+            }
+        }
+        2 => {
+            let lit = match rng.gen_range(0u8..3) {
+                0 => Value::Int(rng.gen_range(-1i64..7)),
+                // Midpoint floats vs. the int column.
+                1 => Value::Float(rng.gen_range(0i64..6) as f64 + 0.5),
+                _ => Value::Null,
+            };
+            Term::Compare {
+                attribute: "qty".to_string(),
+                op,
+                value: lit,
+            }
+        }
+        3 => {
+            let k = rng.gen_range(1usize..4);
+            let values: Vec<Value> = (0..k)
+                .map(|_| Value::Text(NAMES[rng.gen_range(0..NAMES.len())].to_string()))
+                .collect();
+            if rng.gen_bool(0.5) {
+                Term::is_in("name", values)
+            } else {
+                Term::not_in("name", values)
+            }
+        }
+        _ => {
+            let k = rng.gen_range(1usize..4);
+            let values: Vec<Value> = (0..k).map(|_| Value::Int(rng.gen_range(0i64..6))).collect();
+            if rng.gen_bool(0.5) {
+                Term::is_in("qty", values)
+            } else {
+                Term::not_in("qty", values)
+            }
+        }
+    }
+}
+
+/// A random SPJ query over the mixed table: 1–3 conjuncts of 1–3 terms, a
+/// random projection, sometimes DISTINCT.
+fn random_mixed_query(rng: &mut StdRng) -> SpjQuery {
+    let conjuncts: Vec<qfe_query::Conjunct> = (0..rng.gen_range(1usize..4))
+        .map(|_| {
+            qfe_query::Conjunct::new(
+                (0..rng.gen_range(1usize..4))
+                    .map(|_| random_mixed_term(rng))
+                    .collect(),
+            )
+        })
+        .collect();
+    let projection = match rng.gen_range(0u8..3) {
+        0 => vec!["name"],
+        1 => vec!["qty", "name"],
+        _ => vec!["id"],
+    };
+    let q = SpjQuery::new(vec!["T"], projection, DnfPredicate::new(conjuncts));
+    if rng.gen_bool(0.25) {
+        q.with_distinct(true)
+    } else {
+        q
+    }
+}
+
+#[test]
+fn columnar_evaluation_equals_row_evaluation_on_random_schemas() {
+    use qfe_query::{evaluate_on_join, evaluate_on_join_columnar, TermBitmapCache};
+    use qfe_relation::ColumnarJoin;
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..48 {
+        let db = build_mixed(&mut rng);
+        let join = foreign_key_join(&db, &["T".to_string()]).unwrap();
+        let columnar = ColumnarJoin::from_join(&join);
+        let mut cache = TermBitmapCache::new();
+        for _ in 0..8 {
+            let query = random_mixed_query(&mut rng);
+            let bound = BoundQuery::bind(&query, &join).unwrap();
+            // Bit-level agreement of the selection bitmap with the row
+            // evaluator...
+            let bitmap = bound.selection_bitmap(&columnar, &mut cache);
+            for (r, jr) in join.rows().iter().enumerate() {
+                assert_eq!(
+                    bitmap.get(r),
+                    bound.matches_row(&jr.tuple),
+                    "row {r} of {query}"
+                );
+            }
+            // ...and row-for-row agreement of the materialized results.
+            let row_result = evaluate_on_join(&query, &join).unwrap();
+            let col_result =
+                evaluate_on_join_columnar(&query, &join, &columnar, &mut cache).unwrap();
+            assert_eq!(row_result.rows(), col_result.rows(), "{query}");
+        }
+    }
+}
+
+#[test]
+fn columnar_evaluation_tracks_patches_including_type_violations() {
+    use qfe_query::{evaluate_on_join, evaluate_on_join_columnar, TermBitmapCache};
+    use qfe_relation::ColumnarJoin;
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..32 {
+        let db = build_mixed(&mut rng);
+        let mut join = foreign_key_join(&db, &["T".to_string()]).unwrap();
+        let mut columnar = ColumnarJoin::from_join(&join);
+        let mut cache = TermBitmapCache::new();
+        for _ in 0..6 {
+            // Random patch: any column, any value kind — type-violating
+            // patches demote the column to the exact fallback and must stay
+            // indistinguishable from the row path.
+            let row = rng.gen_range(0..join.len());
+            let col = rng.gen_range(0..join.arity());
+            let value = match rng.gen_range(0u8..4) {
+                0 => Value::Null,
+                1 => Value::Int(rng.gen_range(-5i64..9)),
+                2 => Value::Float(rng.gen_range(-50i64..50) as f64 / 10.0),
+                _ => Value::Text(NAMES[rng.gen_range(0..NAMES.len())].to_string()),
+            };
+            join.patch_cell(row, col, value.clone());
+            columnar.patch_cell(row, col, &value);
+            let query = random_mixed_query(&mut rng);
+            let row_result = evaluate_on_join(&query, &join).unwrap();
+            let col_result =
+                evaluate_on_join_columnar(&query, &join, &columnar, &mut cache).unwrap();
+            assert_eq!(row_result.rows(), col_result.rows(), "{query}");
+            // Patched cells decode identically.
+            assert_eq!(
+                columnar.value_at(row, col),
+                join.rows()[row]
+                    .tuple
+                    .get(col)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            );
+        }
+        // The columnar active domains track the patched join exactly.
+        for c in 0..join.arity() {
+            assert_eq!(columnar.active_domain(c), join.active_domain(c), "col {c}");
+        }
+    }
+}
+
+#[test]
+fn verify_batch_agrees_with_per_query_row_verification() {
+    use qfe_qbo::verify_batch;
+    use qfe_query::evaluate_on_join;
+    let mut rng = StdRng::seed_from_u64(111);
+    for _ in 0..32 {
+        let db = build_mixed(&mut rng);
+        let join = foreign_key_join(&db, &["T".to_string()]).unwrap();
+        let mut frontier: Vec<SpjQuery> = (0..12).map(|_| random_mixed_query(&mut rng)).collect();
+        // An unresolvable attribute must count as unverified, not error.
+        frontier.push(SpjQuery::new(
+            vec!["T"],
+            vec!["name"],
+            DnfPredicate::single(Term::eq("wage", 1i64)),
+        ));
+        let expected = evaluate_on_join(&frontier[0], &join).unwrap();
+        let verdicts = verify_batch(&join, &frontier, &expected);
+        assert_eq!(verdicts.len(), frontier.len());
+        assert!(verdicts[0], "a query always reproduces its own result");
+        for (query, &v) in frontier.iter().zip(&verdicts) {
+            let row_verdict = evaluate_on_join(query, &join)
+                .map(|r| r.bag_equal(&expected))
+                .unwrap_or(false);
+            assert_eq!(v, row_verdict, "{query}");
+        }
+    }
+}
+
+#[test]
+fn qbo_columnar_and_row_paths_accept_identical_candidate_sets() {
+    use qfe_qbo::{grow_candidates_mode, QboConfig, QueryGenerator};
+    let mut rng = StdRng::seed_from_u64(112);
+    let mut checked = 0;
+    for _ in 0..16 {
+        let rows = employee_rows(&mut rng);
+        let db = build_employee(&rows);
+        let target = SpjQuery::new(
+            vec!["Employee"],
+            vec!["Eid"],
+            DnfPredicate::single(Term::compare(
+                "salary",
+                ComparisonOp::Gt,
+                rng.gen_range(2000i64..8000),
+            )),
+        );
+        let result = evaluate(&target, &db).unwrap();
+        if result.is_empty() {
+            continue;
+        }
+        let columnar_gen = QueryGenerator::new(QboConfig::default());
+        let row_gen = QueryGenerator::new(QboConfig {
+            columnar_verify: false,
+            ..QboConfig::default()
+        });
+        let a = columnar_gen.generate(&db, &result);
+        let b = row_gen.generate(&db, &result);
+        let (a, b) = match (a, b) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(_), Err(_)) => continue,
+            (a, b) => panic!("paths disagree on failure: {a:?} vs {b:?}"),
+        };
+        let sql = |qs: &[SpjQuery]| qs.iter().map(|q| q.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            sql(&a),
+            sql(&b),
+            "generator candidate sets must be byte-identical"
+        );
+        let grown_columnar = grow_candidates_mode(&db, &result, &a, a.len() + 8, true).unwrap();
+        let grown_row = grow_candidates_mode(&db, &result, &a, a.len() + 8, false).unwrap();
+        assert_eq!(
+            sql(&grown_columnar),
+            sql(&grown_row),
+            "mutation frontiers must be byte-identical"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "too few non-degenerate random instances");
+}
