@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel] [--paper-scale]
+//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|service] [--paper-scale] [--fleet-sessions N]
 //! ```
 //!
 //! The default scale is `Small` (reduced cardinalities, runs in seconds);
@@ -12,9 +12,9 @@
 
 use qfe_bench::{
     ablation_estimator, extra_entropy, extra_initial_size, manager_report, qbo_batch_json,
-    qbo_batch_measurements, qbo_batch_report, skyline_parallel_json, skyline_parallel_report,
-    skyline_parallel_rows, table1, table2, table3, table4, table5, table6, table7, user_study,
-    Scale,
+    qbo_batch_measurements, qbo_batch_report, run_service_fleet, service_fleet_json,
+    service_fleet_summary, skyline_parallel_json, skyline_parallel_report, skyline_parallel_rows,
+    table1, table2, table3, table4, table5, table6, table7, user_study, Scale, ServiceFleetConfig,
 };
 
 fn main() {
@@ -24,11 +24,24 @@ fn main() {
     } else {
         Scale::Small
     };
-    let selections: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut fleet_sessions = None;
+    let mut selections: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fleet-sessions" => {
+                i += 1;
+                fleet_sessions = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                if fleet_sessions.is_none() {
+                    eprintln!("--fleet-sessions needs a number");
+                    std::process::exit(2);
+                }
+            }
+            a if a.starts_with("--") => {}
+            a => selections.push(a),
+        }
+        i += 1;
+    }
     let selections = if selections.is_empty() {
         vec!["all"]
     } else {
@@ -90,6 +103,20 @@ fn main() {
         println!("{}", skyline_parallel_report(&rows));
         let json = skyline_parallel_json(scale, &rows);
         let path = "BENCH_skyline.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if want("service") {
+        let config = ServiceFleetConfig {
+            sessions: fleet_sessions.unwrap_or(ServiceFleetConfig::default().sessions),
+            ..ServiceFleetConfig::default()
+        };
+        let report = run_service_fleet(&config);
+        println!("{}", service_fleet_summary(&config, &report));
+        let json = service_fleet_json(&config, &report);
+        let path = "BENCH_service.json";
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),

@@ -10,6 +10,13 @@
 
 #![forbid(unsafe_code)]
 
+mod service;
+
+pub use service::{
+    run_service_fleet, service_fleet_json, service_fleet_summary, ServiceFleetConfig,
+    ServiceFleetReport,
+};
+
 use std::fmt::Write as _;
 use std::time::Duration;
 

@@ -1,0 +1,399 @@
+//! The simulated-user fleet: many concurrent interactive sessions driven
+//! over real HTTP against an in-process `qfe-server`, with park/resume
+//! churn, measuring what an operator of the service would measure —
+//! sessions per second, round latency percentiles, and bytes per parked
+//! session with and without content-addressed workload sharing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qfe_core::{FeedbackRound, FeedbackUser as _, OracleUser};
+use qfe_server::{serve, HttpClient, ServerConfig};
+use qfe_snapstore::{HostConfig, LogStore, SessionHost, SnapshotStore};
+use qfe_wire::{FromJson, Json};
+
+/// Shape of a fleet run.
+#[derive(Debug, Clone)]
+pub struct ServiceFleetConfig {
+    /// Total sessions driven to completion.
+    pub sessions: usize,
+    /// Concurrent client threads (each keeps one keep-alive connection).
+    pub clients: usize,
+    /// Park the session every N answered rounds (0 disables churn). Half
+    /// the parks are followed by an explicit `resume`, the other half rely
+    /// on transparent rehydration at the next `step`.
+    pub park_every: usize,
+    /// Resident-engine watermark handed to the session host.
+    pub max_resident: Option<usize>,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServiceFleetConfig {
+    fn default() -> ServiceFleetConfig {
+        ServiceFleetConfig {
+            sessions: 64,
+            clients: 8,
+            // Example 1.1 sessions converge after one or two answers, so
+            // churn must kick in on the first answered round to bite.
+            park_every: 1,
+            max_resident: Some(16),
+            workers: 8,
+        }
+    }
+}
+
+/// What a fleet run measured.
+#[derive(Debug, Clone)]
+pub struct ServiceFleetReport {
+    /// Sessions driven to completion (and verified against their oracle).
+    pub sessions: usize,
+    /// Feedback rounds served across all sessions.
+    pub rounds: usize,
+    /// Explicit parks performed by the churn schedule.
+    pub parks: usize,
+    /// Wall-clock time for the whole fleet.
+    pub elapsed: Duration,
+    /// Completed sessions per second.
+    pub sessions_per_sec: f64,
+    /// Median step+answer round-trip latency, milliseconds.
+    pub p50_round_ms: f64,
+    /// 99th-percentile round-trip latency, milliseconds.
+    pub p99_round_ms: f64,
+    /// Mean bytes written per park with content addressing: the state
+    /// document alone, because the workload is already in the store.
+    pub parked_bytes_with_ca: f64,
+    /// Mean bytes a park would write without content addressing: state
+    /// plus a private copy of the workload payload.
+    pub parked_bytes_without_ca: f64,
+    /// Distinct workload payloads the store ended up holding.
+    pub workloads_stored: usize,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Per-thread tallies merged into the final report.
+#[derive(Debug, Default)]
+struct ClientTally {
+    latencies_ms: Vec<f64>,
+    parks: usize,
+    park_state_bytes: u64,
+    park_workload_bytes: u64,
+}
+
+fn expect_status(what: &str, reply: (u16, Json)) -> Json {
+    let (status, body) = reply;
+    assert!(
+        (200..300).contains(&status),
+        "{what}: HTTP {status}: {}",
+        body.render()
+    );
+    body
+}
+
+/// Drives one session over HTTP to completion, verifying the outcome
+/// against the oracle's target.
+fn drive_session(
+    client: &mut HttpClient,
+    session_index: usize,
+    park_every: usize,
+    tally: &mut ClientTally,
+) {
+    let (_, _, candidates, _) = qfe_datasets::example_1_1();
+    let target = candidates[session_index % candidates.len()].clone();
+    let oracle = OracleUser::new(target.clone());
+
+    let body = expect_status(
+        "create",
+        client
+            .post(
+                "/sessions",
+                &Json::parse("{\"workload\":\"example_1_1\"}").unwrap(),
+            )
+            .expect("create session"),
+    );
+    let id = body.field("id").unwrap().as_i64().unwrap();
+
+    let mut answered = 0usize;
+    loop {
+        let round_start = Instant::now();
+        let step = expect_status(
+            "step",
+            client.get(&format!("/sessions/{id}/step")).expect("step"),
+        );
+        match step.field("status").unwrap().as_str().unwrap() {
+            "done" => {
+                let label = step.field("label").unwrap().as_str().unwrap();
+                assert_eq!(
+                    Some(label),
+                    target.label.as_deref(),
+                    "fleet session converged on the wrong query"
+                );
+                break;
+            }
+            "await_feedback" => {
+                let round = FeedbackRound::from_json(step.field("round").unwrap())
+                    .expect("round deserializes");
+                let choice = oracle.choose(&round).expect("oracle finds its result");
+                expect_status(
+                    "answer",
+                    client
+                        .post(
+                            &format!("/sessions/{id}/answer"),
+                            &Json::object([("choice", Json::Int(choice as i64))]),
+                        )
+                        .expect("answer"),
+                );
+                tally
+                    .latencies_ms
+                    .push(round_start.elapsed().as_secs_f64() * 1000.0);
+                answered += 1;
+
+                if park_every > 0 && answered.is_multiple_of(park_every) {
+                    let receipt = expect_status(
+                        "park",
+                        client
+                            .post(&format!("/sessions/{id}/park"), &Json::Null)
+                            .expect("park"),
+                    );
+                    tally.parks += 1;
+                    tally.park_state_bytes +=
+                        receipt.field("state_bytes").unwrap().as_i64().unwrap() as u64;
+                    tally.park_workload_bytes +=
+                        receipt.field("workload_bytes").unwrap().as_i64().unwrap() as u64;
+                    if tally.parks.is_multiple_of(2) {
+                        expect_status(
+                            "resume",
+                            client
+                                .post(&format!("/sessions/{id}/resume"), &Json::Null)
+                                .expect("resume"),
+                        );
+                    } // else: the next step rehydrates transparently
+                }
+            }
+            other => panic!("unexpected step status {other}"),
+        }
+    }
+    expect_status(
+        "delete",
+        client.delete(&format!("/sessions/{id}")).expect("delete"),
+    );
+}
+
+static FLEET_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Runs the fleet: boots a `qfe-server` over a log-file store on an
+/// ephemeral port, drives `config.sessions` oracle-answered sessions from
+/// `config.clients` threads with park/resume churn, and reports throughput,
+/// latency percentiles, and parked-session byte costs.
+pub fn run_service_fleet(config: &ServiceFleetConfig) -> ServiceFleetReport {
+    let run = FLEET_RUN.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("qfe-service-fleet-{}-{run}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let log = Arc::new(LogStore::open(dir.join("fleet.log")).expect("log store opens"));
+    let host = SessionHost::open(
+        Arc::clone(&log) as Arc<dyn SnapshotStore>,
+        HostConfig {
+            max_resident: config.max_resident,
+        },
+    )
+    .expect("session host opens");
+    let server = serve(
+        "127.0.0.1:0",
+        host,
+        ServerConfig {
+            workers: config.workers,
+        },
+    )
+    .expect("server binds an ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let clients = config.clients.max(1);
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                let addr = addr.clone();
+                let sessions = config.sessions;
+                let park_every = config.park_every;
+                scope.spawn(move || {
+                    let mut client = HttpClient::new(addr);
+                    let mut tally = ClientTally::default();
+                    let mut session_index = client_index;
+                    while session_index < sessions {
+                        drive_session(&mut client, session_index, park_every, &mut tally);
+                        session_index += clients;
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet client thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let parks: usize = tallies.iter().map(|t| t.parks).sum();
+    let state_bytes: u64 = tallies.iter().map(|t| t.park_state_bytes).sum();
+    let workload_bytes: u64 = tallies.iter().map(|t| t.park_workload_bytes).sum();
+    let workloads_stored = log.workload_hashes().expect("store lists workloads").len();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServiceFleetReport {
+        sessions: config.sessions,
+        rounds: latencies.len(),
+        parks,
+        elapsed,
+        sessions_per_sec: config.sessions as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_round_ms: percentile(&latencies, 50.0),
+        p99_round_ms: percentile(&latencies, 99.0),
+        parked_bytes_with_ca: state_bytes as f64 / (parks as f64).max(1.0),
+        parked_bytes_without_ca: (state_bytes + workload_bytes) as f64 / (parks as f64).max(1.0),
+        workloads_stored,
+    }
+}
+
+/// Human-readable fleet summary for the experiments binary.
+pub fn service_fleet_summary(config: &ServiceFleetConfig, report: &ServiceFleetReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Service fleet (Example 1.1 over HTTP, log-file store, {} clients, park every {} rounds, max resident {:?})",
+        config.clients, config.park_every, config.max_resident
+    )
+    .unwrap();
+    writeln!(out, "{:<22} {:>12}", "sessions completed", report.sessions).unwrap();
+    writeln!(out, "{:<22} {:>12}", "rounds served", report.rounds).unwrap();
+    writeln!(out, "{:<22} {:>12}", "parks", report.parks).unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12.1}",
+        "sessions/sec", report.sessions_per_sec
+    )
+    .unwrap();
+    writeln!(out, "{:<22} {:>12.3}", "p50 round ms", report.p50_round_ms).unwrap();
+    writeln!(out, "{:<22} {:>12.3}", "p99 round ms", report.p99_round_ms).unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12.0}",
+        "park bytes (CA)", report.parked_bytes_with_ca
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12.0}",
+        "park bytes (no CA)", report.parked_bytes_without_ca
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12}",
+        "workloads stored", report.workloads_stored
+    )
+    .unwrap();
+    out
+}
+
+/// `BENCH_service.json` payload for a fleet run.
+pub fn service_fleet_json(config: &ServiceFleetConfig, report: &ServiceFleetReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"service-fleet\",\n");
+    out.push_str("  \"workload\": \"example-1-1-over-http-log-store\",\n");
+    out.push_str(&format!("  \"sessions\": {},\n", report.sessions));
+    out.push_str(&format!("  \"clients\": {},\n", config.clients));
+    out.push_str(&format!("  \"park_every\": {},\n", config.park_every));
+    out.push_str(&format!(
+        "  \"max_resident\": {},\n",
+        match config.max_resident {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    out.push_str(&format!("  \"rounds\": {},\n", report.rounds));
+    out.push_str(&format!("  \"parks\": {},\n", report.parks));
+    out.push_str(&format!(
+        "  \"elapsed_seconds\": {:.6},\n",
+        report.elapsed.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"sessions_per_sec\": {:.1},\n",
+        report.sessions_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"p50_round_ms\": {:.3},\n",
+        report.p50_round_ms
+    ));
+    out.push_str(&format!(
+        "  \"p99_round_ms\": {:.3},\n",
+        report.p99_round_ms
+    ));
+    out.push_str(&format!(
+        "  \"parked_bytes_per_session_with_content_addressing\": {:.0},\n",
+        report.parked_bytes_with_ca
+    ));
+    out.push_str(&format!(
+        "  \"parked_bytes_per_session_without_content_addressing\": {:.0},\n",
+        report.parked_bytes_without_ca
+    ));
+    out.push_str(&format!(
+        "  \"workloads_stored\": {}\n",
+        report.workloads_stored
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_completes_with_sharing() {
+        let config = ServiceFleetConfig {
+            sessions: 6,
+            clients: 3,
+            park_every: 1,
+            max_resident: Some(2),
+            workers: 3,
+        };
+        let report = run_service_fleet(&config);
+        assert_eq!(report.sessions, 6);
+        assert!(report.rounds >= 6, "every session answers at least once");
+        assert!(report.parks > 0);
+        // Content addressing: many sessions, one stored workload, and the
+        // per-park write cost excludes the workload bytes.
+        assert_eq!(report.workloads_stored, 1);
+        assert!(report.parked_bytes_with_ca < report.parked_bytes_without_ca);
+        let json = service_fleet_json(&config, &report);
+        assert!(json.contains("\"benchmark\": \"service-fleet\""));
+        assert!(json.contains("parked_bytes_per_session_with_content_addressing"));
+        let summary = service_fleet_summary(&config, &report);
+        assert!(summary.contains("sessions/sec"));
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[5.0], 99.0), 5.0);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+    }
+}

@@ -42,6 +42,14 @@ pub enum QfeError {
     UnknownSession { id: u64 },
     /// A session snapshot could not be serialized or deserialized.
     Snapshot { message: String },
+    /// A snapshot store operation failed (I/O error, corrupt record, missing
+    /// content-addressed workload). `context` names the operation and key so
+    /// an operator can locate the damage; the failure surfaces to the caller
+    /// instead of panicking inside the session manager.
+    Store { context: String, message: String },
+    /// An HTTP request or response could not be parsed or transported.
+    /// `context` names the endpoint or protocol stage.
+    Http { context: String, message: String },
     /// An internal invariant was violated (a bug in the caller or in QFE).
     Internal { message: String },
 }
@@ -80,6 +88,12 @@ impl fmt::Display for QfeError {
             ),
             QfeError::UnknownSession { id } => write!(f, "unknown session id {id}"),
             QfeError::Snapshot { message } => write!(f, "session snapshot error: {message}"),
+            QfeError::Store { context, message } => {
+                write!(f, "snapshot store error ({context}): {message}")
+            }
+            QfeError::Http { context, message } => {
+                write!(f, "http error ({context}): {message}")
+            }
             QfeError::Internal { message } => write!(f, "internal QFE error: {message}"),
         }
     }
@@ -128,6 +142,18 @@ mod tests {
             message: "bad json".into(),
         };
         assert!(e.to_string().contains("bad json"));
+        let e = QfeError::Store {
+            context: "get_session s7".into(),
+            message: "record truncated".into(),
+        };
+        assert!(e.to_string().contains("get_session s7"));
+        assert!(e.to_string().contains("record truncated"));
+        let e = QfeError::Http {
+            context: "POST /sessions".into(),
+            message: "connection reset".into(),
+        };
+        assert!(e.to_string().contains("POST /sessions"));
+        assert!(e.to_string().contains("connection reset"));
     }
 
     #[test]

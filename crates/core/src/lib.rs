@@ -213,6 +213,7 @@ pub use realize::{
     apply_edits, edits_to_ops, evaluate_modification, group_result, realize_pairs, CellEdit,
     GroupEffect, ModificationEvaluation, RealizedModification,
 };
+pub use serial::WorkloadPayload;
 pub use set_semantics::{all_set_semantics, mixed_semantics, with_set_semantics};
 pub use skyline::{skyline_stc_dtc_pairs, skyline_stc_dtc_pairs_with_threads, SkylineOutcome};
 pub use stats::{IterationStats, SessionReport};

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::driver::QfeSession;
 use crate::engine::{QfeEngine, SessionSnapshot, Step};
@@ -30,6 +30,14 @@ impl SessionId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a handle from its raw numeric id (the inverse of
+    /// [`SessionId::as_u64`], for wire protocols and durable stores). The id
+    /// is not checked against any manager; operations on an unhosted id fail
+    /// with [`QfeError::UnknownSession`] as usual.
+    pub fn from_u64(id: u64) -> SessionId {
+        SessionId(id)
+    }
 }
 
 impl fmt::Display for SessionId {
@@ -38,12 +46,33 @@ impl fmt::Display for SessionId {
     }
 }
 
-type SharedEngine = Arc<Mutex<QfeEngine>>;
+/// A hosted engine plus its idle clock: `last_touch` is updated on every
+/// step/answer/reject, so eviction policy (park the longest-idle session
+/// first) is deterministic and observable via
+/// [`SessionManager::idle_since`].
+#[derive(Debug)]
+struct Hosted {
+    engine: Mutex<QfeEngine>,
+    last_touch: Mutex<Instant>,
+}
+
+impl Hosted {
+    fn new(engine: QfeEngine) -> Arc<Hosted> {
+        Arc::new(Hosted {
+            engine: Mutex::new(engine),
+            last_touch: Mutex::new(Instant::now()),
+        })
+    }
+
+    fn touch(&self) {
+        *self.last_touch.lock().expect("idle clock lock poisoned") = Instant::now();
+    }
+}
 
 /// Hosts many concurrent [`QfeEngine`]s behind [`SessionId`] handles.
 #[derive(Debug, Default)]
 pub struct SessionManager {
-    sessions: RwLock<HashMap<SessionId, SharedEngine>>,
+    sessions: RwLock<HashMap<SessionId, Arc<Hosted>>>,
     next_id: AtomicU64,
 }
 
@@ -64,8 +93,26 @@ impl SessionManager {
         self.sessions
             .write()
             .expect("session table lock poisoned")
-            .insert(id, Arc::new(Mutex::new(engine)));
+            .insert(id, Hosted::new(engine));
         id
+    }
+
+    /// Starts hosting an engine under a caller-chosen id — the rehydration
+    /// path: a session parked to a durable store must come back under the
+    /// handle its clients already hold. Fails when the id is already
+    /// resident. The manager's id counter is advanced past `id` so freshly
+    /// created sessions can never collide with rehydrated ones.
+    pub fn adopt_as(&self, id: SessionId, engine: QfeEngine) -> Result<()> {
+        self.reserve_ids(id.0.saturating_add(1));
+        let mut sessions = self.sessions.write().expect("session table lock poisoned");
+        if sessions.contains_key(&id) {
+            return Err(QfeError::Store {
+                context: format!("adopt_as {id}"),
+                message: "session id is already resident".into(),
+            });
+        }
+        sessions.insert(id, Hosted::new(engine));
+        Ok(())
     }
 
     /// Restores a session from a snapshot and starts hosting it.
@@ -73,7 +120,19 @@ impl SessionManager {
         Ok(self.adopt(QfeEngine::resume(snapshot)?))
     }
 
-    fn engine(&self, id: SessionId) -> Result<SharedEngine> {
+    /// [`SessionManager::adopt_as`] from a snapshot.
+    pub fn restore_as(&self, id: SessionId, snapshot: SessionSnapshot) -> Result<()> {
+        self.adopt_as(id, QfeEngine::resume(snapshot)?)
+    }
+
+    /// Guarantees that every id handed out in the future is `>= min_next`.
+    /// Called when sessions from a previous process generation are found in a
+    /// durable store, so new ids never collide with parked ones.
+    pub fn reserve_ids(&self, min_next: u64) {
+        self.next_id.fetch_max(min_next, Ordering::Relaxed);
+    }
+
+    fn hosted(&self, id: SessionId) -> Result<Arc<Hosted>> {
         self.sessions
             .read()
             .expect("session table lock poisoned")
@@ -84,18 +143,22 @@ impl SessionManager {
 
     /// Advances a session: [`QfeEngine::step`] through the handle.
     pub fn step(&self, id: SessionId) -> Result<Step> {
-        self.engine(id)?
-            .lock()
-            .expect("engine lock poisoned")
-            .step()
+        let hosted = self.hosted(id)?;
+        hosted.touch();
+        let step = hosted.engine.lock().expect("engine lock poisoned").step();
+        step
     }
 
     /// Answers a session's pending round: [`QfeEngine::answer`].
     pub fn answer(&self, id: SessionId, choice_idx: usize) -> Result<()> {
-        self.engine(id)?
+        let hosted = self.hosted(id)?;
+        hosted.touch();
+        let answered = hosted
+            .engine
             .lock()
             .expect("engine lock poisoned")
-            .answer(choice_idx)
+            .answer(choice_idx);
+        answered
     }
 
     /// [`QfeEngine::answer_timed`] through the handle.
@@ -105,29 +168,67 @@ impl SessionManager {
         choice_idx: usize,
         user_time: Duration,
     ) -> Result<()> {
-        self.engine(id)?
+        let hosted = self.hosted(id)?;
+        hosted.touch();
+        let answered = hosted
+            .engine
             .lock()
             .expect("engine lock poisoned")
-            .answer_timed(choice_idx, user_time)
+            .answer_timed(choice_idx, user_time);
+        answered
     }
 
     /// Reports "none of these" for a session's pending round:
     /// [`QfeEngine::reject`].
     pub fn reject(&self, id: SessionId) -> Result<()> {
-        self.engine(id)?
-            .lock()
-            .expect("engine lock poisoned")
-            .reject()
+        let hosted = self.hosted(id)?;
+        hosted.touch();
+        let rejected = hosted.engine.lock().expect("engine lock poisoned").reject();
+        rejected
     }
 
     /// Externalizes a session's state: [`QfeEngine::snapshot`]. The session
     /// keeps running; pair with [`SessionManager::evict`] to migrate it away.
+    ///
+    /// Snapshotting does not reset the idle clock: parking a long-idle
+    /// session must not make it look freshly used.
     pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot> {
         Ok(self
-            .engine(id)?
+            .hosted(id)?
+            .engine
             .lock()
             .expect("engine lock poisoned")
             .snapshot())
+    }
+
+    /// How long ago the session was last stepped, answered or rejected.
+    /// Freshly created/adopted sessions start the clock at adoption.
+    pub fn idle_since(&self, id: SessionId) -> Result<Duration> {
+        Ok(self
+            .hosted(id)?
+            .last_touch
+            .lock()
+            .expect("idle clock lock poisoned")
+            .elapsed())
+    }
+
+    /// `(id, idle duration)` for every hosted session, most idle first (ties
+    /// broken by ascending id) — the order an eviction policy should park
+    /// sessions in. One consistent pass under the table read lock.
+    pub fn idle_sessions(&self) -> Vec<(SessionId, Duration)> {
+        let now = Instant::now();
+        let mut idle: Vec<(SessionId, Duration)> = self
+            .sessions
+            .read()
+            .expect("session table lock poisoned")
+            .iter()
+            .map(|(id, hosted)| {
+                let touched = *hosted.last_touch.lock().expect("idle clock lock poisoned");
+                (*id, now.saturating_duration_since(touched))
+            })
+            .collect();
+        idle.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        idle
     }
 
     /// Stops hosting a session. Returns `false` when the id was unknown
@@ -276,6 +377,89 @@ mod tests {
             manager.answer_timed(ghost, 0, Duration::ZERO),
             Err(QfeError::UnknownSession { .. })
         ));
+    }
+
+    #[test]
+    fn idle_clock_resets_on_step_and_answer() {
+        let manager = SessionManager::new();
+        let (session, _) = session_for(1);
+        let id = manager.create(&session);
+        assert!(manager.idle_since(id).unwrap() < Duration::from_secs(5));
+        std::thread::sleep(Duration::from_millis(15));
+        let idled = manager.idle_since(id).unwrap();
+        assert!(idled >= Duration::from_millis(15));
+        // Stepping resets the clock.
+        let _ = manager.step(id).unwrap();
+        assert!(manager.idle_since(id).unwrap() < idled);
+        std::thread::sleep(Duration::from_millis(15));
+        // Answering resets it again.
+        manager.answer(id, 0).unwrap();
+        assert!(manager.idle_since(id).unwrap() < Duration::from_millis(15));
+        assert!(matches!(
+            manager.idle_since(SessionId(404)),
+            Err(QfeError::UnknownSession { id: 404 })
+        ));
+    }
+
+    #[test]
+    fn idle_sessions_order_most_idle_first() {
+        let manager = SessionManager::new();
+        let (s1, _) = session_for(1);
+        let (s2, _) = session_for(2);
+        let a = manager.create(&s1);
+        let b = manager.create(&s2);
+        std::thread::sleep(Duration::from_millis(10));
+        let _ = manager.step(b).unwrap(); // b is now the freshest
+        let order: Vec<SessionId> = manager.idle_sessions().iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, vec![a, b]);
+        let _ = manager.step(a).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let order: Vec<SessionId> = manager.idle_sessions().iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, vec![b, a]);
+    }
+
+    #[test]
+    fn adopt_as_rehosts_under_the_original_id_and_reserves_ids() {
+        let manager = SessionManager::new();
+        let (session, target) = session_for(2);
+        let id = manager.create(&session);
+        let _ = manager.step(id).unwrap();
+        let snapshot = manager.snapshot(id).unwrap();
+        assert!(manager.evict(id));
+
+        // A fresh manager (a "restarted process") rehosts under the same id.
+        let fresh = SessionManager::new();
+        fresh.restore_as(id, snapshot.clone()).unwrap();
+        assert!(fresh.contains(id));
+        // Ids handed out afterwards never collide with the rehydrated one.
+        let (other, _) = session_for(1);
+        let new_id = fresh.create(&other);
+        assert!(new_id.as_u64() > id.as_u64());
+
+        // Rehosting over a resident id is a store error, not a panic.
+        assert!(matches!(
+            fresh.restore_as(id, snapshot),
+            Err(QfeError::Store { .. })
+        ));
+
+        // The rehydrated session still finishes.
+        let oracle = OracleUser::new(target.clone());
+        let outcome = loop {
+            match fresh.step(id).unwrap() {
+                Step::Done(outcome) => break outcome,
+                Step::AwaitFeedback(round) => {
+                    fresh.answer(id, oracle.choose(&round).unwrap()).unwrap()
+                }
+            }
+        };
+        assert_eq!(outcome.query.label, target.label);
+    }
+
+    #[test]
+    fn session_id_roundtrips_through_u64() {
+        let id = SessionId::from_u64(42);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(id, SessionId(42));
     }
 
     #[test]

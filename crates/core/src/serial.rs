@@ -21,6 +21,105 @@ use crate::stats::{IterationStats, SessionReport};
 /// future incompatible format change fails loudly instead of misparsing.
 const SNAPSHOT_VERSION: i64 = 1;
 
+/// Version tag for the *split* snapshot form (session state serialized
+/// separately from the shared workload payload).
+const STATE_VERSION: i64 = 1;
+
+/// The immutable bulk half of a session: the example pair `(D, R)` every
+/// snapshot on the same workload shares.
+///
+/// A [`SessionSnapshot`] serialized whole duplicates `D` and `R` per parked
+/// session. [`SessionSnapshot::split`] instead externalizes the pair once as
+/// a `WorkloadPayload` — content-addressed by the hash of its JSON text (see
+/// [`qfe_wire::content_hash`]) — and the per-session remainder as a small
+/// state document referencing it. Thousands of parked sessions on the same
+/// workload then share one stored copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPayload {
+    /// The example database `D`.
+    pub database: std::sync::Arc<Database>,
+    /// The example result `R`.
+    pub result: std::sync::Arc<QueryResult>,
+}
+
+impl WorkloadPayload {
+    /// The canonical serialized form whose [`qfe_wire::content_hash`] is the
+    /// workload's storage address.
+    pub fn canonical_text(&self) -> String {
+        self.to_json_string()
+    }
+}
+
+impl ToJson for WorkloadPayload {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("database", self.database.to_json()),
+            ("result", self.result.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadPayload {
+    fn from_json(json: &Json) -> WireResult<Self> {
+        Ok(WorkloadPayload {
+            database: std::sync::Arc::new(Database::from_json(json.field("database")?)?),
+            result: std::sync::Arc::new(QueryResult::from_json(json.field("result")?)?),
+        })
+    }
+}
+
+impl SessionSnapshot {
+    /// Splits the snapshot into its shared workload payload and the
+    /// per-session state JSON (everything *except* `D` and `R`). The inverse
+    /// is [`SessionSnapshot::from_parts`].
+    pub fn split(&self) -> (WorkloadPayload, Json) {
+        let workload = WorkloadPayload {
+            database: std::sync::Arc::clone(&self.database),
+            result: std::sync::Arc::clone(&self.result),
+        };
+        let state = Json::object([
+            ("version", Json::Int(STATE_VERSION)),
+            ("candidates", self.candidates.to_json()),
+            ("params", self.params.to_json()),
+            ("max_iterations", self.max_iterations.to_json()),
+            (
+                "query_generation_time",
+                self.query_generation_time.to_json(),
+            ),
+            ("remaining", self.remaining.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("pending", self.pending.to_json()),
+            ("rejected", Json::Bool(self.rejected)),
+            ("indistinguishable", Json::Bool(self.indistinguishable)),
+        ]);
+        (workload, state)
+    }
+
+    /// Reassembles a snapshot from a shared workload payload and the state
+    /// JSON produced by [`SessionSnapshot::split`].
+    pub fn from_parts(workload: WorkloadPayload, state: &Json) -> WireResult<SessionSnapshot> {
+        let version = state.field("version")?.as_i64()?;
+        if version != STATE_VERSION {
+            return Err(WireError::new(format!(
+                "unsupported session state version {version} (expected {STATE_VERSION})"
+            )));
+        }
+        Ok(SessionSnapshot {
+            database: workload.database,
+            result: workload.result,
+            candidates: Vec::<SpjQuery>::from_json(state.field("candidates")?)?,
+            params: CostParams::from_json(state.field("params")?)?,
+            max_iterations: state.field("max_iterations")?.as_usize()?,
+            query_generation_time: FromJson::from_json(state.field("query_generation_time")?)?,
+            remaining: Vec::from_json(state.field("remaining")?)?,
+            iterations: Vec::from_json(state.field("iterations")?)?,
+            pending: Option::from_json(state.field("pending")?)?,
+            rejected: state.field("rejected")?.as_bool()?,
+            indistinguishable: state.field("indistinguishable")?.as_bool()?,
+        })
+    }
+}
+
 impl ToJson for DatabaseDelta {
     fn to_json(&self) -> Json {
         self.edits.to_json()
@@ -333,6 +432,46 @@ mod tests {
             user_time: Duration::from_secs(5),
         };
         roundtrip(&stats);
+    }
+
+    #[test]
+    fn split_snapshots_reassemble_exactly() {
+        use crate::driver::QfeSession;
+        use qfe_datasets::example_1_1;
+
+        let (db, result, candidates, _) = example_1_1();
+        let session = QfeSession::builder(db, result)
+            .with_candidates(candidates)
+            .build()
+            .unwrap();
+        let mut engine = session.start();
+        let _ = engine.step().unwrap(); // snapshot mid-round: pending survives
+        let snapshot = engine.snapshot();
+
+        let (workload, state) = snapshot.split();
+        // The workload half is canonical: same pair, same text, same address.
+        let text = workload.canonical_text();
+        assert_eq!(
+            qfe_wire::content_hash(&text),
+            qfe_wire::content_hash(&workload.canonical_text())
+        );
+        // The state half no longer embeds the database tables.
+        assert!(state.get("database").is_none());
+        assert!(state.get("result").is_none());
+
+        let workload_back = WorkloadPayload::from_json_str(&text).unwrap();
+        assert_eq!(workload_back, workload);
+        let back = SessionSnapshot::from_parts(workload_back, &state).unwrap();
+        assert_eq!(back, snapshot);
+        // Whole-snapshot serialization is unaffected by the split.
+        assert_eq!(back.serialize(), snapshot.serialize());
+
+        let mut bad = state.clone();
+        if let Json::Object(pairs) = &mut bad {
+            pairs[0].1 = Json::Int(99);
+        }
+        let workload = SessionSnapshot::from_parts(snapshot.split().0, &bad);
+        assert!(workload.unwrap_err().to_string().contains("version 99"));
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! A minimal blocking HTTP/1.1 client for the session API.
+//!
+//! Keeps one keep-alive connection to the server and reconnects once,
+//! transparently, when the pooled connection has gone stale. All failures
+//! surface as [`QfeError::Http`] naming the request that failed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use qfe_core::{QfeError, Result};
+use qfe_wire::Json;
+
+/// Socket timeout for reads: a hung server fails the request instead of
+/// hanging the fleet thread forever.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A keep-alive JSON-over-HTTP client bound to one server address.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+fn http_err(context: &str, message: impl std::fmt::Display) -> QfeError {
+    QfeError::Http {
+        context: context.to_string(),
+        message: message.to_string(),
+    }
+}
+
+impl HttpClient {
+    /// A client for the server at `addr` (`"127.0.0.1:8080"`). Connects
+    /// lazily on the first request.
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            stream: None,
+        }
+    }
+
+    /// GETs `path`, returning the status and parsed JSON body.
+    pub fn get(&mut self, path: &str) -> Result<(u16, Json)> {
+        self.request("GET", path, None)
+    }
+
+    /// POSTs `body` to `path`, returning the status and parsed JSON body.
+    pub fn post(&mut self, path: &str, body: &Json) -> Result<(u16, Json)> {
+        self.request("POST", path, Some(body.render()))
+    }
+
+    /// Sends a DELETE to `path`.
+    pub fn delete(&mut self, path: &str) -> Result<(u16, Json)> {
+        self.request("DELETE", path, None)
+    }
+
+    fn connect(&mut self, context: &str) -> Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(|e| http_err(context, e))?;
+            stream
+                .set_read_timeout(Some(CLIENT_READ_TIMEOUT))
+                .map_err(|e| http_err(context, e))?;
+            // Requests are written as one buffer; never wait on Nagle.
+            stream.set_nodelay(true).map_err(|e| http_err(context, e))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream just ensured"))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<String>) -> Result<(u16, Json)> {
+        let context = format!("{method} {path}");
+        // One transparent retry, but only when the server provably never saw
+        // the request (connect/write failure, or the pooled keep-alive
+        // connection was closed before a single status byte came back). A
+        // failure mid-response is NOT retried: the server may already have
+        // applied a non-idempotent action such as `answer`, and re-sending it
+        // would surface a spurious conflict.
+        match self.try_request(&context, method, path, body.as_deref()) {
+            Ok(reply) => Ok(reply),
+            Err((true, _first)) => {
+                self.stream = None;
+                self.try_request(&context, method, path, body.as_deref())
+                    .map_err(|(_, err)| err)
+            }
+            Err((false, err)) => {
+                self.stream = None;
+                Err(err)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        context: &str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::result::Result<(u16, Json), (bool, QfeError)> {
+        let stream = self.connect(context).map_err(|e| (true, e))?;
+        let body = body.unwrap_or("");
+        // Head and body go out as one write (and one segment — see nodelay).
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\nHost: qfe\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        message.push_str(body);
+        stream
+            .write_all(message.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| (true, http_err(context, e)))?;
+
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| (false, http_err(context, e)))?,
+        );
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(|e| (true, http_err(context, e)))?;
+        if status_line.is_empty() {
+            return Err((true, http_err(context, "server closed the connection")));
+        }
+        self.finish_response(context, reader, &status_line)
+            .map_err(|e| (false, e))
+    }
+
+    fn finish_response(
+        &mut self,
+        context: &str,
+        mut reader: BufReader<TcpStream>,
+        status_line: &str,
+    ) -> Result<(u16, Json)> {
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| http_err(context, format!("bad status line {status_line:?}")))?;
+
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| http_err(context, e))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|e| http_err(context, format!("bad content-length: {e}")))?;
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+        let mut buf = vec![0u8; content_length];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| http_err(context, e))?;
+        if !keep_alive {
+            self.stream = None;
+        }
+        let text = String::from_utf8(buf)
+            .map_err(|e| http_err(context, format!("response not UTF-8: {e}")))?;
+        let json = Json::parse(&text)
+            .map_err(|e| http_err(context, format!("response not JSON ({e}): {text}")))?;
+        Ok((status, json))
+    }
+}

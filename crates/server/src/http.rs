@@ -1,0 +1,420 @@
+//! A hand-rolled HTTP/1.1 server: request parsing, response framing, and a
+//! fixed thread pool over a blocking accept loop.
+//!
+//! Deliberately small: `Content-Length`-framed bodies only (no chunked
+//! transfer), keep-alive connections, `Expect: 100-continue` support, and
+//! hard limits on header and body sizes so a misbehaving client cannot
+//! balloon the process. That subset is exactly what the JSON session API
+//! and its clients need — and it keeps the frontend free of dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body in bytes — snapshots of big workloads are
+/// megabytes, so this is generous without being unbounded.
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Per-connection socket read timeout; a stalled client frees its worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed HTTP request: everything the router needs, nothing more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path without query string (`/sessions/3/step`).
+    pub path: String,
+    /// Raw request body (empty for bodyless requests).
+    pub body: String,
+}
+
+/// An HTTP response the router hands back; the server frames and writes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body, always JSON text in this service.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+}
+
+/// The application behind the server: maps one request to one response.
+pub trait Handler: Send + Sync {
+    /// Handles a single request. Must not panic — a panicking handler takes
+    /// its worker thread down.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Status",
+    }
+}
+
+/// Outcome of reading one request off a connection.
+enum Parsed {
+    /// A complete request; serve it.
+    Ok(Request, /* keep_alive: */ bool),
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// The request was malformed; respond with this status and close.
+    Bad(u16, &'static str),
+}
+
+/// Reads one HTTP/1.1 request from the stream. Writes the interim
+/// `100 Continue` itself when the client asked for it.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Parsed::Eof,
+        Ok(_) => {}
+        Err(_) => return Parsed::Eof, // timeout or reset between requests
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+        _ => return Parsed::Bad(400, "malformed request line"),
+    };
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut head_bytes = line.len();
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut expects_continue = false;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Parsed::Eof,
+            Ok(_) => {}
+            Err(_) => return Parsed::Bad(400, "header read failed"),
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Parsed::Bad(413, "request head too large");
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Parsed::Bad(400, "malformed header");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                Ok(_) => return Parsed::Bad(413, "request body too large"),
+                Err(_) => return Parsed::Bad(400, "invalid content-length"),
+            },
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "expect" => expects_continue = value.eq_ignore_ascii_case("100-continue"),
+            _ => {}
+        }
+    }
+
+    if expects_continue && content_length > 0 {
+        // The client is holding the body back until we commit.
+        if reader
+            .get_mut()
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .is_err()
+        {
+            return Parsed::Eof;
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return Parsed::Bad(400, "request body shorter than content-length");
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return Parsed::Bad(400, "request body is not UTF-8");
+    };
+    Parsed::Ok(Request { method, path, body }, keep_alive)
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> bool {
+    // One write per response: head and body in the same segment, so Nagle's
+    // algorithm never holds the body back waiting for an ACK of the head.
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    message.push_str(&response.body);
+    stream.write_all(message.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+/// Serves one connection until it closes, errors, or asks to close.
+fn serve_connection(stream: TcpStream, handler: &dyn Handler) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    // Interactive request/response traffic: latency beats batching.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Parsed::Eof => return,
+            Parsed::Bad(status, message) => {
+                let body = format!("{{\"error\":{:?},\"kind\":\"bad_request\"}}", message);
+                let _ = write_response(reader.get_mut(), &Response::json(status, body), false);
+                return;
+            }
+            Parsed::Ok(request, keep_alive) => {
+                let response = handler.handle(&request);
+                if !write_response(reader.get_mut(), &response, keep_alive) || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Tuning for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { workers: 8 }
+    }
+}
+
+/// A running HTTP server: an accept thread feeding a fixed worker pool.
+///
+/// Dropping the server shuts it down: the accept loop is poked awake, new
+/// connections are refused, and the accept thread is joined. In-flight
+/// connections finish on their (detached) workers.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections.
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        for worker in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            std::thread::Builder::new()
+                .name(format!("qfe-http-{worker}"))
+                .spawn(move || loop {
+                    let stream = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return,
+                    };
+                    match stream {
+                        Ok(stream) => serve_connection(stream, handler.as_ref()),
+                        Err(_) => return, // server dropped the sender: shut down
+                    }
+                })?;
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("qfe-http-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        return; // tx drops here; idle workers exit
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if tx.send(stream).is_err() {
+                        return;
+                    }
+                }
+            })?;
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `incoming()`; poke it awake so it
+        // observes the flag. A failed connect means it is already gone.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Echo;
+
+    impl Handler for Echo {
+        fn handle(&self, request: &Request) -> Response {
+            Response::json(
+                200,
+                format!(
+                    "{{\"method\":{:?},\"path\":{:?},\"body_len\":{}}}",
+                    request.method,
+                    request.path,
+                    request.body.len()
+                ),
+            )
+        }
+    }
+
+    fn start() -> Server {
+        Server::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig { workers: 2 }).unwrap()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        format!("{} {}", status.trim_end(), String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_on_one_connection() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let first = roundtrip(&mut stream, "GET /a HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(first.starts_with("HTTP/1.1 200"));
+        assert!(first.contains("\"path\":\"/a\""));
+        // Same socket, second request — keep-alive works.
+        let second = roundtrip(
+            &mut stream,
+            "POST /b HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nwire",
+        );
+        assert!(second.contains("\"method\":\"POST\""));
+        assert!(second.contains("\"body_len\":4"));
+    }
+
+    #[test]
+    fn expect_continue_and_query_strings_are_handled() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(
+                b"POST /c?x=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\n",
+            )
+            .unwrap();
+        // Wait for the interim response before sending the body.
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut interim = String::new();
+        reader.read_line(&mut interim).unwrap();
+        assert!(interim.starts_with("HTTP/1.1 100"));
+        let mut blank = String::new();
+        reader.read_line(&mut blank).unwrap();
+        let reply = roundtrip(&mut stream, "ok");
+        assert!(
+            reply.contains("\"path\":\"/c\""),
+            "query string stripped: {reply}"
+        );
+        assert!(reply.contains("\"body_len\":2"));
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_close() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = roundtrip(&mut stream, "NONSENSE\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection closed after the error");
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_rejected() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let reply = roundtrip(
+            &mut stream,
+            "POST /big HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999999\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut server = start();
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is free again.
+        let _rebound = TcpListener::bind(addr).unwrap();
+    }
+}

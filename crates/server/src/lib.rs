@@ -1,0 +1,49 @@
+//! QFE as a service: a dependency-free HTTP/1.1 frontend over the session
+//! engine, with durable parking through `qfe-snapstore`.
+//!
+//! Three layers:
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 server (thread pool, keep-alive,
+//!   `Content-Length` framing, `Expect: 100-continue`) and nothing more.
+//! * [`routes`] — the JSON session API mapping requests onto a
+//!   [`qfe_snapstore::SessionHost`]: create, step, answer, reject, park,
+//!   resume, delete, plus `/healthz` and a session listing.
+//! * [`client`] — a matching keep-alive client used by the simulated-user
+//!   fleet bench, the examples, and the CI smoke test.
+//!
+//! [`serve`] wires the three together; the `qfe-server` binary is a thin
+//! argument parser around it.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use qfe_server::{serve, HttpClient, ServerConfig};
+//! use qfe_snapstore::{HostConfig, MemoryStore, SessionHost};
+//!
+//! let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+//! let server = serve("127.0.0.1:0", host, ServerConfig::default()).unwrap();
+//! let mut client = HttpClient::new(server.local_addr().to_string());
+//! let (status, body) = client.get("/healthz").unwrap();
+//! assert_eq!(status, 200);
+//! println!("{}", body.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod routes;
+
+use std::sync::Arc;
+
+pub use client::HttpClient;
+pub use http::{Handler, Request, Response, Server, ServerConfig};
+pub use routes::ServiceState;
+
+use qfe_snapstore::SessionHost;
+
+/// Boots the session service: binds `addr` (port 0 for an ephemeral port)
+/// and serves `host` until the returned [`Server`] is shut down or dropped.
+pub fn serve(addr: &str, host: SessionHost, config: ServerConfig) -> std::io::Result<Server> {
+    Server::bind(addr, Arc::new(ServiceState::new(host)), config)
+}

@@ -1,0 +1,123 @@
+//! The `qfe-server` binary: serve QFE sessions over HTTP.
+//!
+//! ```text
+//! qfe-server [--addr HOST:PORT] [--store mem|log:PATH|dir:PATH]
+//!            [--workers N] [--max-resident N]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:7878`, in-memory store, 8 workers, no
+//! resident watermark. See the operators guide in the umbrella crate docs
+//! for a curl walkthrough.
+
+use std::sync::Arc;
+
+use qfe_server::{serve, ServerConfig};
+use qfe_snapstore::{DirStore, HostConfig, LogStore, MemoryStore, SessionHost, SnapshotStore};
+
+struct Args {
+    addr: String,
+    store: String,
+    workers: usize,
+    max_resident: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        store: "mem".to_string(),
+        workers: 8,
+        max_resident: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--store" => args.store = value("--store")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-resident" => {
+                args.max_resident = Some(
+                    value("--max-resident")?
+                        .parse()
+                        .map_err(|e| format!("--max-resident: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: qfe-server [--addr HOST:PORT] [--store mem|log:PATH|dir:PATH] \
+                     [--workers N] [--max-resident N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn open_store(spec: &str) -> Result<Arc<dyn SnapshotStore>, String> {
+    if spec == "mem" {
+        return Ok(Arc::new(MemoryStore::new()));
+    }
+    if let Some(path) = spec.strip_prefix("log:") {
+        return Ok(Arc::new(LogStore::open(path).map_err(|e| e.to_string())?));
+    }
+    if let Some(path) = spec.strip_prefix("dir:") {
+        return Ok(Arc::new(DirStore::open(path).map_err(|e| e.to_string())?));
+    }
+    Err(format!(
+        "unknown store {spec:?}: expected mem, log:PATH or dir:PATH"
+    ))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let store = match open_store(&args.store) {
+        Ok(store) => store,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let host = match SessionHost::open(
+        store,
+        HostConfig {
+            max_resident: args.max_resident,
+        },
+    ) {
+        Ok(host) => host,
+        Err(e) => {
+            eprintln!("failed to open session host: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match serve(
+        &args.addr,
+        host,
+        ServerConfig {
+            workers: args.workers,
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    // Line-buffered announcement so scripts (and the CI smoke job) can
+    // scrape the bound address even with an ephemeral port.
+    println!("qfe-server listening on http://{}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,483 @@
+//! The JSON session API: maps HTTP requests onto a [`SessionHost`].
+//!
+//! | Method | Path                      | Meaning                          |
+//! |--------|---------------------------|----------------------------------|
+//! | GET    | `/healthz`                | liveness + occupancy counters    |
+//! | GET    | `/sessions`               | every hosted session id          |
+//! | POST   | `/sessions`               | create (named workload/snapshot) |
+//! | GET    | `/sessions/{id}/step`     | advance; next round or outcome   |
+//! | POST   | `/sessions/{id}/answer`   | answer the pending round         |
+//! | POST   | `/sessions/{id}/reject`   | reject every presented result    |
+//! | POST   | `/sessions/{id}/park`     | snapshot to the store, evict     |
+//! | POST   | `/sessions/{id}/resume`   | rehydrate from the store         |
+//! | DELETE | `/sessions/{id}`          | forget the session entirely      |
+//!
+//! Every response body is JSON. Errors are `{"error":…,"kind":…}` with the
+//! status carrying the class: 400 bad input, 404 unknown session or route,
+//! 405 wrong method, 409 protocol misuse (no pending round, bad choice),
+//! 500 store/internal failure.
+
+use std::time::Duration;
+
+use qfe_core::{QfeError, QfeSession, SessionId, SessionSnapshot, Step};
+use qfe_datasets::example_1_1;
+use qfe_snapstore::SessionHost;
+use qfe_wire::{FromJson, Json, ToJson};
+
+use crate::http::{Handler, Request, Response};
+
+/// The service: a [`SessionHost`] plus the route table.
+#[derive(Debug)]
+pub struct ServiceState {
+    host: SessionHost,
+}
+
+fn ok(body: Json) -> Response {
+    Response::json(200, body.render())
+}
+
+fn created(body: Json) -> Response {
+    Response::json(201, body.render())
+}
+
+fn error_response(status: u16, kind: &str, message: impl std::fmt::Display) -> Response {
+    Response::json(
+        status,
+        Json::object([
+            ("error", Json::Str(message.to_string())),
+            ("kind", Json::Str(kind.to_string())),
+        ])
+        .render(),
+    )
+}
+
+/// Maps a core error onto an HTTP status and machine-readable kind.
+fn qfe_error_response(e: &QfeError) -> Response {
+    let (status, kind) = match e {
+        QfeError::UnknownSession { .. } => (404, "unknown_session"),
+        QfeError::InvalidChoice { .. }
+        | QfeError::NoPendingRound
+        | QfeError::TargetNotInCandidates => (409, "conflict"),
+        QfeError::Snapshot { .. } => (400, "snapshot"),
+        QfeError::Store { .. } => (500, "store"),
+        QfeError::Http { .. } => (500, "http"),
+        _ => (500, "internal"),
+    };
+    error_response(status, kind, e)
+}
+
+fn step_body(step: &Step) -> Json {
+    match step {
+        Step::AwaitFeedback(round) => Json::object([
+            ("status", Json::Str("await_feedback".to_string())),
+            ("round", round.to_json()),
+        ]),
+        Step::Done(outcome) => Json::object([
+            ("status", Json::Str("done".to_string())),
+            ("query", outcome.query.to_json()),
+            ("sql", Json::Str(qfe_query::to_sql(&outcome.query))),
+            (
+                "label",
+                match &outcome.query.label {
+                    Some(label) => Json::Str(label.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "indistinguishable",
+                Json::Array(
+                    outcome
+                        .indistinguishable
+                        .iter()
+                        .map(|q| q.to_json())
+                        .collect(),
+                ),
+            ),
+            ("report", outcome.report.to_json()),
+        ]),
+    }
+}
+
+/// Builds a fresh session for a named workload. The catalog currently holds
+/// the paper's running example; snapshot adoption covers everything else.
+fn named_workload_session(name: &str) -> Option<QfeSession> {
+    match name {
+        "example_1_1" => {
+            let (db, result, candidates, _) = example_1_1();
+            QfeSession::builder(db, result)
+                .with_candidates(candidates)
+                .build()
+                .ok()
+        }
+        _ => None,
+    }
+}
+
+impl ServiceState {
+    /// Wraps a session host as an HTTP handler.
+    pub fn new(host: SessionHost) -> ServiceState {
+        ServiceState { host }
+    }
+
+    /// The wrapped host (for in-process callers and tests).
+    pub fn host(&self) -> &SessionHost {
+        &self.host
+    }
+
+    fn healthz(&self) -> Response {
+        let parked = match self.host.parked_count() {
+            Ok(n) => n,
+            Err(e) => return qfe_error_response(&e),
+        };
+        ok(Json::object([
+            ("status", Json::Str("ok".to_string())),
+            ("resident", Json::Int(self.host.resident_count() as i64)),
+            ("parked", Json::Int(parked as i64)),
+        ]))
+    }
+
+    fn list_sessions(&self) -> Response {
+        match self.host.session_ids() {
+            Ok(ids) => ok(Json::object([(
+                "sessions",
+                Json::Array(ids.iter().map(|id| Json::Int(id.as_u64() as i64)).collect()),
+            )])),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn create_session(&self, body: &str) -> Response {
+        let doc = match Json::parse(body) {
+            Ok(doc) => doc,
+            Err(e) => return error_response(400, "bad_request", e),
+        };
+        let id = if let Some(snapshot) = doc.get("snapshot") {
+            match SessionSnapshot::from_json(snapshot) {
+                Ok(snapshot) => self.host.restore(snapshot),
+                Err(e) => return error_response(400, "snapshot", e),
+            }
+        } else if let Some(name) = doc.get("workload") {
+            let name = match name.as_str() {
+                Ok(name) => name,
+                Err(e) => return error_response(400, "bad_request", e),
+            };
+            match named_workload_session(name) {
+                Some(session) => self.host.create(&session),
+                None => {
+                    return error_response(
+                        400,
+                        "bad_request",
+                        format!("unknown workload {name:?} (try \"example_1_1\")"),
+                    )
+                }
+            }
+        } else {
+            return error_response(
+                400,
+                "bad_request",
+                "body must carry either \"workload\" or \"snapshot\"",
+            );
+        };
+        match id {
+            Ok(id) => created(Json::object([("id", Json::Int(id.as_u64() as i64))])),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn step(&self, id: SessionId) -> Response {
+        match self.host.step(id) {
+            Ok(step) => ok(step_body(&step)),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn answer(&self, id: SessionId, body: &str) -> Response {
+        let doc = match Json::parse(body) {
+            Ok(doc) => doc,
+            Err(e) => return error_response(400, "bad_request", e),
+        };
+        let choice = match doc.field("choice").and_then(|c| c.as_usize()) {
+            Ok(choice) => choice,
+            Err(e) => return error_response(400, "bad_request", e),
+        };
+        let answered = match doc.get("user_millis") {
+            Some(millis) => match millis.as_f64() {
+                Ok(ms) if ms >= 0.0 => {
+                    self.host
+                        .answer_timed(id, choice, Duration::from_secs_f64(ms / 1000.0))
+                }
+                Ok(_) => return error_response(400, "bad_request", "user_millis must be >= 0"),
+                Err(e) => return error_response(400, "bad_request", e),
+            },
+            None => self.host.answer(id, choice),
+        };
+        match answered {
+            Ok(()) => ok(Json::object([(
+                "status",
+                Json::Str("answered".to_string()),
+            )])),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn reject(&self, id: SessionId) -> Response {
+        match self.host.reject(id) {
+            Ok(()) => ok(Json::object([(
+                "status",
+                Json::Str("rejected".to_string()),
+            )])),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn park(&self, id: SessionId) -> Response {
+        match self.host.park(id) {
+            Ok(receipt) => ok(Json::object([
+                ("status", Json::Str("parked".to_string())),
+                ("workload_hash", Json::Str(receipt.workload_hash)),
+                ("state_bytes", Json::Int(receipt.state_bytes as i64)),
+                ("workload_bytes", Json::Int(receipt.workload_bytes as i64)),
+                ("workload_shared", Json::Bool(receipt.workload_was_shared)),
+            ])),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn resume(&self, id: SessionId) -> Response {
+        match self.host.resume(id) {
+            Ok(was_parked) => ok(Json::object([
+                ("status", Json::Str("resumed".to_string())),
+                ("was_parked", Json::Bool(was_parked)),
+            ])),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    fn delete(&self, id: SessionId) -> Response {
+        match self.host.evict(id) {
+            Ok(true) => ok(Json::object([("status", Json::Str("deleted".to_string()))])),
+            Ok(false) => error_response(404, "unknown_session", format!("no session {id}")),
+            Err(e) => qfe_error_response(&e),
+        }
+    }
+}
+
+fn parse_id(segment: &str) -> Option<SessionId> {
+    segment.parse::<u64>().ok().map(SessionId::from_u64)
+}
+
+impl Handler for ServiceState {
+    fn handle(&self, request: &Request) -> Response {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => self.healthz(),
+            ("GET", ["sessions"]) => self.list_sessions(),
+            ("POST", ["sessions"]) => self.create_session(&request.body),
+            (_, ["healthz"]) | (_, ["sessions"]) => {
+                error_response(405, "method_not_allowed", format!("{method} not allowed"))
+            }
+            (method, ["sessions", id, action]) => match parse_id(id) {
+                None => error_response(404, "unknown_session", format!("bad session id {id:?}")),
+                Some(id) => match (method, *action) {
+                    ("GET", "step") => self.step(id),
+                    ("POST", "answer") => self.answer(id, &request.body),
+                    ("POST", "reject") => self.reject(id),
+                    ("POST", "park") => self.park(id),
+                    ("POST", "resume") => self.resume(id),
+                    _ => error_response(
+                        404,
+                        "not_found",
+                        format!("no route {method} {}", request.path),
+                    ),
+                },
+            },
+            ("DELETE", ["sessions", id]) => match parse_id(id) {
+                None => error_response(404, "unknown_session", format!("bad session id {id:?}")),
+                Some(id) => self.delete(id),
+            },
+            _ => error_response(
+                404,
+                "not_found",
+                format!("no route {method} {}", request.path),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfe_snapstore::{HostConfig, MemoryStore};
+    use std::sync::Arc;
+
+    fn service() -> ServiceState {
+        let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+        ServiceState::new(host)
+    }
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    fn json(response: &Response) -> Json {
+        Json::parse(&response.body).unwrap()
+    }
+
+    #[test]
+    fn full_session_over_the_route_table() {
+        let service = service();
+        let health = service.handle(&req("GET", "/healthz", ""));
+        assert_eq!(health.status, 200);
+
+        let create = service.handle(&req("POST", "/sessions", "{\"workload\":\"example_1_1\"}"));
+        assert_eq!(create.status, 201, "{}", create.body);
+        let id = json(&create).field("id").unwrap().as_i64().unwrap();
+
+        let list = service.handle(&req("GET", "/sessions", ""));
+        assert!(list.body.contains(&format!("{id}")));
+
+        // Drive to completion with the oracle for candidate 1.
+        let (_, _, candidates, _) = example_1_1();
+        let target = candidates[1].clone();
+        let oracle = qfe_core::OracleUser::new(target.clone());
+        use qfe_core::FeedbackUser;
+        let label = loop {
+            let step = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+            assert_eq!(step.status, 200, "{}", step.body);
+            let doc = json(&step);
+            match doc.field("status").unwrap().as_str().unwrap() {
+                "done" => break doc.field("label").unwrap().as_str().unwrap().to_string(),
+                "await_feedback" => {
+                    let round =
+                        qfe_core::FeedbackRound::from_json(doc.field("round").unwrap()).unwrap();
+                    let choice = oracle.choose(&round).unwrap();
+                    let answer = service.handle(&req(
+                        "POST",
+                        &format!("/sessions/{id}/answer"),
+                        &format!("{{\"choice\":{choice},\"user_millis\":12.5}}"),
+                    ));
+                    assert_eq!(answer.status, 200, "{}", answer.body);
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        };
+        assert_eq!(label, target.label.unwrap());
+
+        let delete = service.handle(&req("DELETE", &format!("/sessions/{id}"), ""));
+        assert_eq!(delete.status, 200);
+        assert_eq!(
+            service
+                .handle(&req("GET", &format!("/sessions/{id}/step"), ""))
+                .status,
+            404
+        );
+    }
+
+    #[test]
+    fn park_resume_and_snapshot_adoption_routes() {
+        let service = service();
+        let create = service.handle(&req("POST", "/sessions", "{\"workload\":\"example_1_1\"}"));
+        let id = json(&create).field("id").unwrap().as_i64().unwrap();
+        let _ = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+
+        let park = service.handle(&req("POST", &format!("/sessions/{id}/park"), ""));
+        assert_eq!(park.status, 200, "{}", park.body);
+        let receipt = json(&park);
+        assert!(receipt.field("state_bytes").unwrap().as_i64().unwrap() > 0);
+        assert!(!receipt.field("workload_shared").unwrap().as_bool().unwrap());
+
+        let resume = service.handle(&req("POST", &format!("/sessions/{id}/resume"), ""));
+        assert_eq!(resume.status, 200);
+        assert!(json(&resume)
+            .field("was_parked")
+            .unwrap()
+            .as_bool()
+            .unwrap());
+        // Resuming a resident session is a cheap no-op.
+        let again = service.handle(&req("POST", &format!("/sessions/{id}/resume"), ""));
+        assert!(!json(&again).field("was_parked").unwrap().as_bool().unwrap());
+
+        // Snapshot adoption: park one session, POST its stored snapshot as
+        // a new session.
+        let snapshot = service
+            .host()
+            .manager()
+            .snapshot(SessionId::from_u64(id as u64))
+            .unwrap();
+        let body = format!("{{\"snapshot\":{}}}", snapshot.serialize());
+        let adopted = service.handle(&req("POST", "/sessions", &body));
+        assert_eq!(adopted.status, 201, "{}", adopted.body);
+        let new_id = json(&adopted).field("id").unwrap().as_i64().unwrap();
+        assert_ne!(new_id, id);
+    }
+
+    #[test]
+    fn errors_map_to_statuses() {
+        let service = service();
+        // Unknown session.
+        assert_eq!(
+            service.handle(&req("GET", "/sessions/99/step", "")).status,
+            404
+        );
+        // Bad id, bad route, bad method.
+        assert_eq!(
+            service.handle(&req("GET", "/sessions/xx/step", "")).status,
+            404
+        );
+        assert_eq!(service.handle(&req("GET", "/nope", "")).status, 404);
+        assert_eq!(service.handle(&req("DELETE", "/healthz", "")).status, 405);
+        // Bad create bodies.
+        assert_eq!(
+            service.handle(&req("POST", "/sessions", "{nope")).status,
+            400
+        );
+        assert_eq!(service.handle(&req("POST", "/sessions", "{}")).status, 400);
+        assert_eq!(
+            service
+                .handle(&req("POST", "/sessions", "{\"workload\":\"nope\"}"))
+                .status,
+            400
+        );
+        assert_eq!(
+            service
+                .handle(&req("POST", "/sessions", "{\"snapshot\":{}}"))
+                .status,
+            400
+        );
+        // Protocol misuse: answering with no pending round is a conflict.
+        let create = service.handle(&req("POST", "/sessions", "{\"workload\":\"example_1_1\"}"));
+        let id = json(&create).field("id").unwrap().as_i64().unwrap();
+        let answer = service.handle(&req(
+            "POST",
+            &format!("/sessions/{id}/answer"),
+            "{\"choice\":0}",
+        ));
+        assert_eq!(answer.status, 409, "{}", answer.body);
+        assert_eq!(
+            json(&answer).field("kind").unwrap().as_str().unwrap(),
+            "conflict"
+        );
+        // Malformed answer bodies.
+        let bad = service.handle(&req("POST", &format!("/sessions/{id}/answer"), "{}"));
+        assert_eq!(bad.status, 400);
+        let _ = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+        let neg = service.handle(&req(
+            "POST",
+            &format!("/sessions/{id}/answer"),
+            "{\"choice\":0,\"user_millis\":-1}",
+        ));
+        assert_eq!(neg.status, 400);
+        // Out-of-range choice is a conflict, not a panic.
+        let wild = service.handle(&req(
+            "POST",
+            &format!("/sessions/{id}/answer"),
+            "{\"choice\":999}",
+        ));
+        assert_eq!(wild.status, 409, "{}", wild.body);
+    }
+}

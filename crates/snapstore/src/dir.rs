@@ -1,0 +1,225 @@
+//! The directory-per-deployment store: one file per parked session.
+//!
+//! ```text
+//! <root>/sessions/<key>.json     — parked session state documents
+//! <root>/workloads/<hash>.json   — content-addressed workload payloads
+//! ```
+//!
+//! The trivially inspectable backend: operators can `ls` the parked
+//! sessions, `cat` a state document, and delete a damaged record with `rm`.
+//! Writes go to a temp file and are renamed into place, so readers never
+//! observe a half-written document. Keys are percent-encoded into file
+//! names, so any key the host produces is representable.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::store::{SnapshotStore, StoreError, StoreResult};
+
+/// [`SnapshotStore`] backed by a directory tree, one file per record.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+/// Percent-encodes a key into a safe file stem: alphanumerics and `._-`
+/// pass through, everything else becomes `%XX` per byte.
+fn encode_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for &b in key.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02x}"));
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_key`]; `None` for stems this store never produced.
+fn decode_key(stem: &str) -> Option<String> {
+    let mut bytes = Vec::with_capacity(stem.len());
+    let mut chars = stem.bytes();
+    while let Some(b) = chars.next() {
+        if b == b'%' {
+            let hi = chars.next()?;
+            let lo = chars.next()?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            bytes.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes).ok()
+}
+
+impl DirStore {
+    /// Opens (or creates) the store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> StoreResult<DirStore> {
+        let root = root.as_ref().to_path_buf();
+        for sub in ["sessions", "workloads"] {
+            std::fs::create_dir_all(root.join(sub))
+                .map_err(|e| StoreError::new(format!("open dir store {}", root.display()), e))?;
+        }
+        Ok(DirStore { root })
+    }
+
+    /// The root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn record_path(&self, namespace: &str, key: &str) -> PathBuf {
+        self.root
+            .join(namespace)
+            .join(format!("{}.json", encode_key(key)))
+    }
+
+    fn write_atomic(&self, context: &str, path: &Path, text: &str) -> StoreResult<()> {
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f =
+                std::fs::File::create(&tmp).map_err(|e| StoreError::new(context.to_string(), e))?;
+            f.write_all(text.as_bytes())
+                .map_err(|e| StoreError::new(context.to_string(), e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| StoreError::new(context.to_string(), e))
+    }
+
+    fn read(&self, context: &str, path: &Path) -> StoreResult<Option<String>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::new(context.to_string(), e)),
+        }
+    }
+
+    fn list(&self, namespace: &str) -> StoreResult<Vec<String>> {
+        let dir = self.root.join(namespace);
+        let context = format!("list {}", dir.display());
+        let mut keys = Vec::new();
+        let entries = std::fs::read_dir(&dir).map_err(|e| StoreError::new(context.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::new(context.clone(), e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".json") else {
+                continue; // temp files and foreign droppings
+            };
+            if let Some(key) = decode_key(stem) {
+                keys.push(key);
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+impl SnapshotStore for DirStore {
+    fn put_session(&self, key: &str, text: &str) -> StoreResult<()> {
+        let path = self.record_path("sessions", key);
+        self.write_atomic(&format!("put_session {key}"), &path, text)
+    }
+
+    fn get_session(&self, key: &str) -> StoreResult<Option<String>> {
+        let path = self.record_path("sessions", key);
+        self.read(&format!("get_session {key}"), &path)
+    }
+
+    fn remove_session(&self, key: &str) -> StoreResult<bool> {
+        let path = self.record_path("sessions", key);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::new(format!("remove_session {key}"), e)),
+        }
+    }
+
+    fn session_keys(&self) -> StoreResult<Vec<String>> {
+        self.list("sessions")
+    }
+
+    fn put_workload(&self, hash: &str, text: &str) -> StoreResult<()> {
+        let path = self.record_path("workloads", hash);
+        if path.exists() {
+            return Ok(()); // content-addressed: identical by construction
+        }
+        self.write_atomic(&format!("put_workload {hash}"), &path, text)
+    }
+
+    fn get_workload(&self, hash: &str) -> StoreResult<Option<String>> {
+        let path = self.record_path("workloads", hash);
+        self.read(&format!("get_workload {hash}"), &path)
+    }
+
+    fn has_workload(&self, hash: &str) -> StoreResult<bool> {
+        Ok(self.record_path("workloads", hash).exists())
+    }
+
+    fn workload_hashes(&self) -> StoreResult<Vec<String>> {
+        self.list("workloads")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qfe-dirstore-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn dir_store_roundtrips_and_survives_reopen() {
+        let root = temp_root("roundtrip");
+        {
+            let store = DirStore::open(&root).unwrap();
+            store.put_session("s1", "{\"v\":1}").unwrap();
+            store.put_session("s1", "{\"v\":2}").unwrap();
+            store.put_workload("deadbeef", "{\"w\":1}").unwrap();
+        }
+        let store = DirStore::open(&root).unwrap();
+        assert_eq!(store.get_session("s1").unwrap().unwrap(), "{\"v\":2}");
+        assert_eq!(store.session_keys().unwrap(), vec!["s1"]);
+        assert_eq!(store.workload_hashes().unwrap(), vec!["deadbeef"]);
+        assert!(store.remove_session("s1").unwrap());
+        assert!(!store.remove_session("s1").unwrap());
+        assert!(store.session_keys().unwrap().is_empty());
+        assert!(store.root().ends_with(root.file_name().unwrap()));
+    }
+
+    #[test]
+    fn awkward_keys_are_encoded() {
+        let root = temp_root("encode");
+        let store = DirStore::open(&root).unwrap();
+        let key = "weird/key with spaces%and#stuff";
+        store.put_session(key, "{}").unwrap();
+        assert_eq!(store.get_session(key).unwrap().unwrap(), "{}");
+        assert_eq!(store.session_keys().unwrap(), vec![key.to_string()]);
+        // The encoded file actually lives directly under sessions/.
+        let encoded = encode_key(key);
+        assert!(root
+            .join("sessions")
+            .join(format!("{encoded}.json"))
+            .exists());
+        assert_eq!(decode_key(&encoded).unwrap(), key);
+    }
+
+    #[test]
+    fn workload_files_are_write_once() {
+        let root = temp_root("once");
+        let store = DirStore::open(&root).unwrap();
+        store.put_workload("h", "first").unwrap();
+        store.put_workload("h", "second").unwrap();
+        assert_eq!(store.get_workload("h").unwrap().unwrap(), "first");
+        assert!(store.has_workload("h").unwrap());
+        assert!(!store.has_workload("other").unwrap());
+        assert_eq!(store.get_workload("other").unwrap(), None);
+    }
+}

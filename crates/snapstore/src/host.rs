@@ -1,0 +1,461 @@
+//! A [`SessionManager`] wrapped with a durable store and a memory-pressure
+//! watermark: the service-facing session host.
+//!
+//! Requests address sessions by id exactly as with a bare manager; the host
+//! transparently rehydrates a parked session from the store on its next
+//! request, and parks the longest-idle sessions whenever the resident count
+//! exceeds the configured watermark. A parked session costs no heap beyond
+//! the store's index entry — the PIMDAL framing: keep cold state off the
+//! memory bus entirely.
+//!
+//! Durability: parking writes the session through [`park_snapshot`];
+//! rehydration leaves the stored copy in place, so a crash after resume
+//! falls back to the last parked state instead of losing the session.
+//! The copy is replaced on the next park.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe_core::{
+    QfeEngine, QfeError, QfeSession, Result, SessionId, SessionManager, SessionSnapshot, Step,
+};
+
+use crate::park::{load_snapshot, park_snapshot, ParkReceipt};
+use crate::store::{SnapshotStore, StoreError};
+
+/// Converts a store failure into the core error vocabulary.
+fn store_qfe(e: StoreError) -> QfeError {
+    QfeError::Store {
+        context: e.context,
+        message: e.message,
+    }
+}
+
+/// Tuning for a [`SessionHost`].
+#[derive(Debug, Clone, Default)]
+pub struct HostConfig {
+    /// Resident-engine watermark: after any request, the longest-idle
+    /// sessions are parked until at most this many engines stay on the
+    /// heap. `None` disables pressure-driven parking (explicit `park`
+    /// still works).
+    pub max_resident: Option<usize>,
+}
+
+impl HostConfig {
+    /// Config with the given resident watermark.
+    pub fn with_max_resident(max_resident: usize) -> HostConfig {
+        HostConfig {
+            max_resident: Some(max_resident),
+        }
+    }
+}
+
+/// A [`SessionManager`] with a durable snapshot store behind it.
+#[derive(Debug)]
+pub struct SessionHost {
+    manager: SessionManager,
+    store: Arc<dyn SnapshotStore>,
+    config: HostConfig,
+}
+
+fn store_key(id: SessionId) -> String {
+    format!("s{}", id.as_u64())
+}
+
+fn parse_store_key(key: &str) -> Option<u64> {
+    key.strip_prefix('s')?.parse().ok()
+}
+
+impl SessionHost {
+    /// Opens a host over `store`. Session ids found parked in the store are
+    /// reserved, so ids created by this process generation never collide
+    /// with sessions parked by a previous one.
+    pub fn open(store: Arc<dyn SnapshotStore>, config: HostConfig) -> Result<SessionHost> {
+        let manager = SessionManager::new();
+        let keys = store.session_keys().map_err(store_qfe)?;
+        if let Some(max_id) = keys.iter().filter_map(|k| parse_store_key(k)).max() {
+            manager.reserve_ids(max_id.saturating_add(1));
+        }
+        Ok(SessionHost {
+            manager,
+            store,
+            config,
+        })
+    }
+
+    /// The wrapped manager (resident sessions only).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<dyn SnapshotStore> {
+        &self.store
+    }
+
+    /// Starts hosting a new session. May immediately park other sessions
+    /// (or this one) if the resident watermark is exceeded.
+    pub fn create(&self, session: &QfeSession) -> Result<SessionId> {
+        let id = self.manager.create(session);
+        self.enforce_watermark()?;
+        Ok(id)
+    }
+
+    /// Starts hosting an existing engine (e.g. adopted from a snapshot sent
+    /// over the wire).
+    pub fn adopt(&self, engine: QfeEngine) -> Result<SessionId> {
+        let id = self.manager.adopt(engine);
+        self.enforce_watermark()?;
+        Ok(id)
+    }
+
+    /// Restores a session from a snapshot under a fresh id.
+    pub fn restore(&self, snapshot: SessionSnapshot) -> Result<SessionId> {
+        let id = self.manager.restore(snapshot)?;
+        self.enforce_watermark()?;
+        Ok(id)
+    }
+
+    /// Advances a session, rehydrating it from the store first if parked.
+    pub fn step(&self, id: SessionId) -> Result<Step> {
+        self.ensure_resident(id)?;
+        let step = self.manager.step(id);
+        self.enforce_watermark()?;
+        step
+    }
+
+    /// Answers a session's pending round, rehydrating first if parked.
+    pub fn answer(&self, id: SessionId, choice_idx: usize) -> Result<()> {
+        self.ensure_resident(id)?;
+        let answered = self.manager.answer(id, choice_idx);
+        self.enforce_watermark()?;
+        answered
+    }
+
+    /// [`SessionManager::answer_timed`] with transparent rehydration.
+    pub fn answer_timed(
+        &self,
+        id: SessionId,
+        choice_idx: usize,
+        user_time: Duration,
+    ) -> Result<()> {
+        self.ensure_resident(id)?;
+        let answered = self.manager.answer_timed(id, choice_idx, user_time);
+        self.enforce_watermark()?;
+        answered
+    }
+
+    /// Rejects a session's pending round, rehydrating first if parked.
+    pub fn reject(&self, id: SessionId) -> Result<()> {
+        self.ensure_resident(id)?;
+        let rejected = self.manager.reject(id);
+        self.enforce_watermark()?;
+        rejected
+    }
+
+    /// Parks a session: snapshots it to the store (workload payload stored
+    /// once, content-addressed) and evicts the engine from memory. Parking
+    /// an already-parked session is a no-op that reports the stored record.
+    pub fn park(&self, id: SessionId) -> Result<ParkReceipt> {
+        let key = store_key(id);
+        match self.manager.snapshot(id) {
+            Ok(snapshot) => {
+                let receipt =
+                    park_snapshot(self.store.as_ref(), &key, &snapshot).map_err(store_qfe)?;
+                self.manager.evict(id);
+                Ok(receipt)
+            }
+            Err(QfeError::UnknownSession { .. }) => self
+                .parked_receipt(&key)?
+                .ok_or(QfeError::UnknownSession { id: id.as_u64() }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ensures a session is resident, rehydrating it if parked. Returns
+    /// `true` when this call brought it back from the store.
+    pub fn resume(&self, id: SessionId) -> Result<bool> {
+        if self.manager.contains(id) {
+            return Ok(false);
+        }
+        self.ensure_resident(id)?;
+        self.enforce_watermark()?;
+        Ok(true)
+    }
+
+    /// Parks every resident session — the drain-on-shutdown path.
+    pub fn drain(&self) -> Result<usize> {
+        let ids = self.manager.session_ids();
+        for &id in &ids {
+            self.park(id)?;
+        }
+        Ok(ids.len())
+    }
+
+    /// True when the session is resident or parked.
+    pub fn contains(&self, id: SessionId) -> Result<bool> {
+        if self.manager.contains(id) {
+            return Ok(true);
+        }
+        Ok(self
+            .store
+            .get_session(&store_key(id))
+            .map_err(store_qfe)?
+            .is_some())
+    }
+
+    /// Number of engines currently on the heap.
+    pub fn resident_count(&self) -> usize {
+        self.manager.len()
+    }
+
+    /// Number of sessions parked in the store and not resident.
+    pub fn parked_count(&self) -> Result<usize> {
+        Ok(self.parked_ids()?.len())
+    }
+
+    /// Every hosted session id — resident and parked — in ascending order.
+    pub fn session_ids(&self) -> Result<Vec<SessionId>> {
+        let mut ids = self.manager.session_ids();
+        ids.extend(self.parked_ids()?);
+        ids.sort();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    /// Stops hosting a session entirely: evicts the engine and deletes any
+    /// parked record. Returns `false` when the id was unknown everywhere.
+    pub fn evict(&self, id: SessionId) -> Result<bool> {
+        let resident = self.manager.evict(id);
+        let parked = self
+            .store
+            .remove_session(&store_key(id))
+            .map_err(store_qfe)?;
+        Ok(resident || parked)
+    }
+
+    fn parked_ids(&self) -> Result<Vec<SessionId>> {
+        Ok(self
+            .store
+            .session_keys()
+            .map_err(store_qfe)?
+            .iter()
+            .filter_map(|k| parse_store_key(k))
+            .map(SessionId::from_u64)
+            .filter(|id| !self.manager.contains(*id))
+            .collect())
+    }
+
+    /// Reconstructs a receipt for an already-parked session from the store.
+    fn parked_receipt(&self, key: &str) -> Result<Option<ParkReceipt>> {
+        let Some(record) = self.store.get_session(key).map_err(store_qfe)? else {
+            return Ok(None);
+        };
+        let state_bytes = record.len();
+        let hash = qfe_wire::Json::parse(&record)
+            .ok()
+            .and_then(|j| {
+                j.field("workload")
+                    .ok()
+                    .and_then(|h| h.as_str().ok().map(String::from))
+            })
+            .unwrap_or_default();
+        let workload_bytes = self
+            .store
+            .get_workload(&hash)
+            .map_err(store_qfe)?
+            .map(|w| w.len())
+            .unwrap_or(0);
+        Ok(Some(ParkReceipt {
+            workload_hash: hash,
+            state_bytes,
+            workload_bytes,
+            workload_was_shared: true,
+        }))
+    }
+
+    fn ensure_resident(&self, id: SessionId) -> Result<()> {
+        if self.manager.contains(id) {
+            return Ok(());
+        }
+        let key = store_key(id);
+        let snapshot = load_snapshot(self.store.as_ref(), &key)
+            .map_err(store_qfe)?
+            .ok_or(QfeError::UnknownSession { id: id.as_u64() })?;
+        match self.manager.restore_as(id, snapshot) {
+            Ok(()) => Ok(()),
+            // Another thread rehydrated the same session between our check
+            // and our adopt; the session is resident, which is all we need.
+            Err(QfeError::Store { .. }) if self.manager.contains(id) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn enforce_watermark(&self) -> Result<()> {
+        let Some(max) = self.config.max_resident else {
+            return Ok(());
+        };
+        loop {
+            let idle = self.manager.idle_sessions();
+            if idle.len() <= max {
+                return Ok(());
+            }
+            for (id, _) in &idle[..idle.len() - max.min(idle.len())] {
+                match self.park(*id) {
+                    Ok(_) => {}
+                    // A concurrent request already parked or evicted it.
+                    Err(QfeError::UnknownSession { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use qfe_core::{FeedbackUser, OracleUser};
+    use qfe_datasets::example_1_1;
+    use qfe_query::SpjQuery;
+
+    fn session_and_target(idx: usize) -> (QfeSession, SpjQuery) {
+        let (db, result, candidates, _) = example_1_1();
+        let target = candidates[idx].clone();
+        let session = QfeSession::builder(db, result)
+            .with_candidates(candidates)
+            .build()
+            .unwrap();
+        (session, target)
+    }
+
+    fn drive(host: &SessionHost, id: SessionId, target: &SpjQuery) -> String {
+        let oracle = OracleUser::new(target.clone());
+        loop {
+            match host.step(id).unwrap() {
+                Step::Done(outcome) => break outcome.query.label.clone().unwrap_or_default(),
+                Step::AwaitFeedback(round) => {
+                    host.answer(id, oracle.choose(&round).unwrap()).unwrap()
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn park_resume_preserves_the_session() {
+        let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+        let (session, target) = session_and_target(1);
+        let id = host.create(&session).unwrap();
+        let round = match host.step(id).unwrap() {
+            Step::AwaitFeedback(round) => round,
+            Step::Done(_) => panic!("round expected"),
+        };
+
+        let receipt = host.park(id).unwrap();
+        assert!(!receipt.workload_was_shared);
+        assert_eq!(host.resident_count(), 0);
+        assert_eq!(host.parked_count().unwrap(), 1);
+        assert!(host.contains(id).unwrap());
+        // Parking twice is an idempotent no-op reporting the stored record.
+        let again = host.park(id).unwrap();
+        assert!(again.workload_was_shared);
+        assert_eq!(again.workload_hash, receipt.workload_hash);
+        assert_eq!(again.state_bytes, receipt.state_bytes);
+
+        // The next request transparently rehydrates under the same id and
+        // re-presents the cached round.
+        match host.step(id).unwrap() {
+            Step::AwaitFeedback(r) => assert_eq!(r, round),
+            Step::Done(_) => panic!("pending round must survive the park"),
+        }
+        assert_eq!(host.resident_count(), 1);
+        assert_eq!(drive(&host, id, &target), target.label.clone().unwrap());
+    }
+
+    #[test]
+    fn watermark_parks_longest_idle_first() {
+        let host = SessionHost::open(
+            Arc::new(MemoryStore::new()),
+            HostConfig::with_max_resident(2),
+        )
+        .unwrap();
+        let ids: Vec<SessionId> = (0..3)
+            .map(|i| host.create(&session_and_target(i % 3).0).unwrap())
+            .collect();
+        // Three created, watermark two: the longest-idle (first-created,
+        // never touched) session was parked.
+        assert_eq!(host.resident_count(), 2);
+        assert_eq!(host.parked_count().unwrap(), 1);
+        assert!(!host.manager().contains(ids[0]));
+        // All three are still addressable.
+        let all = host.session_ids().unwrap();
+        assert_eq!(all, ids);
+        // Touching the parked one rehydrates it and parks another instead.
+        let _ = host.step(ids[0]).unwrap();
+        assert!(host.manager().contains(ids[0]));
+        assert_eq!(host.resident_count(), 2);
+    }
+
+    #[test]
+    fn zero_watermark_keeps_every_session_off_heap() {
+        let host = SessionHost::open(
+            Arc::new(MemoryStore::new()),
+            HostConfig::with_max_resident(0),
+        )
+        .unwrap();
+        let (session, target) = session_and_target(2);
+        let id = host.create(&session).unwrap();
+        assert_eq!(host.resident_count(), 0, "parked immediately");
+        // Every request rehydrates, works, and parks again.
+        assert_eq!(drive(&host, id, &target), target.label.clone().unwrap());
+        assert_eq!(host.resident_count(), 0);
+    }
+
+    #[test]
+    fn unknown_and_corrupt_sessions_error_cleanly() {
+        let store = Arc::new(MemoryStore::new());
+        let host = SessionHost::open(
+            Arc::clone(&store) as Arc<dyn SnapshotStore>,
+            HostConfig::default(),
+        )
+        .unwrap();
+        let ghost = SessionId::from_u64(99);
+        assert!(matches!(
+            host.step(ghost),
+            Err(QfeError::UnknownSession { id: 99 })
+        ));
+        // A corrupt parked record surfaces as a Store error for that id…
+        store.put_session("s7", "{corrupt").unwrap();
+        let err = host.step(SessionId::from_u64(7)).unwrap_err();
+        assert!(matches!(err, QfeError::Store { .. }));
+        assert!(err.to_string().contains("s7"));
+        // …and the host keeps serving other sessions afterwards.
+        let (session, target) = session_and_target(1);
+        let id = host.create(&session).unwrap();
+        assert_eq!(drive(&host, id, &target), target.label.clone().unwrap());
+    }
+
+    #[test]
+    fn open_reserves_parked_ids_and_drain_parks_everything() {
+        let store: Arc<dyn SnapshotStore> = Arc::new(MemoryStore::new());
+        let first = SessionHost::open(Arc::clone(&store), HostConfig::default()).unwrap();
+        let (session, _) = session_and_target(0);
+        let id = first.create(&session).unwrap();
+        let _ = first.step(id).unwrap();
+        assert_eq!(first.drain().unwrap(), 1);
+        assert_eq!(first.resident_count(), 0);
+
+        // A second host generation over the same store: new ids never
+        // collide with the parked one.
+        let second = SessionHost::open(Arc::clone(&store), HostConfig::default()).unwrap();
+        let (other, _) = session_and_target(1);
+        let new_id = second.create(&other).unwrap();
+        assert!(new_id.as_u64() > id.as_u64());
+        assert!(second.contains(id).unwrap());
+        // Evicting removes both the resident engine and the parked record.
+        assert!(second.evict(id).unwrap());
+        assert!(!second.contains(id).unwrap());
+        assert!(!second.evict(id).unwrap());
+    }
+}

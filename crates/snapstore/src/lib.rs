@@ -1,0 +1,47 @@
+//! # qfe-snapstore — durable, content-addressed session parking
+//!
+//! A QFE deployment hosts many long-lived interactive sessions with large
+//! idle gaps between feedback rounds. Keeping every idle [`QfeEngine`]
+//! resident wastes memory, and keeping it only in memory loses the session
+//! on a crash. This crate provides the storage discipline for parking
+//! sessions off the heap and across process restarts:
+//!
+//! * [`SnapshotStore`] — the trait a durable backend implements, with three
+//!   implementations: [`MemoryStore`] (tests and single-process eviction),
+//!   [`LogStore`] (one append-only log file with an in-memory index, cheap
+//!   to write, survives crashes mid-record), and [`DirStore`]
+//!   (directory-per-deployment with one file per session, trivially
+//!   inspectable by operators).
+//! * **Content addressing** — the example pair `(D, R)` of a workload is
+//!   serialized once, keyed by the hash of its canonical JSON text
+//!   ([`qfe_wire::content_hash`]), and every parked session on that workload
+//!   stores only a tiny state document referencing the hash. Thousands of
+//!   parked sessions share one copy of the bulk data (see
+//!   [`park_snapshot`] / [`load_snapshot`]).
+//! * [`SessionHost`] — a [`SessionManager`] wrapped with a store and a
+//!   memory-pressure watermark: sessions over the resident limit are parked
+//!   longest-idle-first, and any request for a parked session transparently
+//!   rehydrates it under its original id.
+//!
+//! Failures surface as [`QfeError::Store`] with a context string naming the
+//! operation and key — a corrupt or missing snapshot produces a clean error
+//! for one request, never a poisoned lock or a crashed host.
+//!
+//! [`QfeEngine`]: qfe_core::QfeEngine
+//! [`SessionManager`]: qfe_core::SessionManager
+//! [`QfeError::Store`]: qfe_core::QfeError
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dir;
+mod host;
+mod log;
+mod park;
+mod store;
+
+pub use dir::DirStore;
+pub use host::{HostConfig, SessionHost};
+pub use log::LogStore;
+pub use park::{load_snapshot, park_snapshot, ParkReceipt};
+pub use store::{MemoryStore, SnapshotStore, StoreError, StoreResult};

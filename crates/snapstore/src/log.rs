@@ -1,0 +1,344 @@
+//! The single-file append-only log store.
+//!
+//! One log file holds every record; an in-memory index built by scanning the
+//! log at open maps each live key to the byte range of its body. Writes are
+//! appends (cheap, crash-friendly: a torn trailing record is truncated away
+//! at the next open), reads seek into the file — a parked
+//! session occupies no heap beyond its index entry.
+//!
+//! Record format, one per line:
+//!
+//! ```text
+//! kind <TAB> key <TAB> body <LF>
+//! ```
+//!
+//! `kind` is `p` (parked session), `w` (workload payload) or `d` (session
+//! tombstone, body `-`). Bodies are compact `qfe-wire` JSON, which escapes
+//! every control character, so a body never contains a literal tab or
+//! newline and the framing is unambiguous. Replaced and deleted records stay
+//! in the file as garbage; the index only tracks the latest state.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::store::{SnapshotStore, StoreError, StoreResult};
+
+#[derive(Debug)]
+struct LogInner {
+    file: File,
+    /// Key → (body offset, body length) for live parked sessions.
+    sessions: HashMap<String, (u64, usize)>,
+    /// Hash → (body offset, body length) for stored workloads.
+    workloads: HashMap<String, (u64, usize)>,
+    /// End-of-file offset where the next record will land.
+    end: u64,
+}
+
+/// [`SnapshotStore`] backed by one append-only log file.
+#[derive(Debug)]
+pub struct LogStore {
+    path: PathBuf,
+    inner: Mutex<LogInner>,
+}
+
+impl LogStore {
+    /// Opens (or creates) the log at `path` and rebuilds the index by
+    /// scanning it. A torn trailing record — a crash mid-append — is
+    /// truncated away so subsequent appends start on a fresh line.
+    pub fn open(path: impl AsRef<Path>) -> StoreResult<LogStore> {
+        let path = path.as_ref().to_path_buf();
+        let ctx = || format!("open log {}", path.display());
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| StoreError::new(ctx(), e))?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::new(ctx(), e))?;
+        let mut text = String::new();
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| StoreError::new(ctx(), e))?;
+        file.read_to_string(&mut text)
+            .map_err(|e| StoreError::new(ctx(), e))?;
+
+        let mut sessions = HashMap::new();
+        let mut workloads = HashMap::new();
+        let mut offset = 0u64;
+        let mut torn_at = None;
+        for line in text.split_inclusive('\n') {
+            let line_start = offset;
+            offset += line.len() as u64;
+            if !line.ends_with('\n') {
+                // Torn trailing record — a crash mid-append. Truncating it
+                // below keeps the next append from concatenating onto the
+                // garbage, and keeps a later open from mistaking the
+                // newline-terminated garbage for a real record.
+                torn_at = Some(line_start);
+                break;
+            }
+            let record = &line[..line.len() - 1];
+            let mut parts = record.splitn(3, '\t');
+            let (kind, key, body) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(k), Some(key), Some(body)) => (k, key, body),
+                // Malformed line (hand-edited file): skip it rather than
+                // refuse to open — later records may still be fine.
+                _ => continue,
+            };
+            let body_offset = line_start + (kind.len() + 1 + key.len() + 1) as u64;
+            match kind {
+                "p" => {
+                    sessions.insert(key.to_string(), (body_offset, body.len()));
+                }
+                "w" => {
+                    workloads
+                        .entry(key.to_string())
+                        .or_insert((body_offset, body.len()));
+                }
+                "d" => {
+                    sessions.remove(key);
+                }
+                _ => {}
+            }
+        }
+        let mut end = text.len() as u64;
+        if let Some(torn_start) = torn_at {
+            file.set_len(torn_start)
+                .map_err(|e| StoreError::new(ctx(), e))?;
+            end = torn_start;
+        }
+        Ok(LogStore {
+            path,
+            inner: Mutex::new(LogInner {
+                file,
+                sessions,
+                workloads,
+                end,
+            }),
+        })
+    }
+
+    /// The path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn check_key(&self, context: &str, key: &str) -> StoreResult<()> {
+        if key.is_empty() || key.contains('\t') || key.contains('\n') {
+            return Err(StoreError::new(
+                format!("{context} {}", self.path.display()),
+                format!("invalid key {key:?}: must be non-empty without tab/newline"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn append(
+        &self,
+        inner: &mut LogInner,
+        context: &str,
+        kind: &str,
+        key: &str,
+        body: &str,
+    ) -> StoreResult<(u64, usize)> {
+        if body.contains('\n') || body.contains('\t') {
+            return Err(StoreError::new(
+                context.to_string(),
+                "record body may not contain raw tab/newline (wire JSON escapes them)",
+            ));
+        }
+        let record = format!("{kind}\t{key}\t{body}\n");
+        inner
+            .file
+            .write_all(record.as_bytes())
+            .map_err(|e| StoreError::new(context.to_string(), e))?;
+        let body_offset = inner.end + (kind.len() + 1 + key.len() + 1) as u64;
+        inner.end += record.len() as u64;
+        Ok((body_offset, body.len()))
+    }
+
+    fn read_at(
+        &self,
+        inner: &mut LogInner,
+        context: &str,
+        span: (u64, usize),
+    ) -> StoreResult<String> {
+        let (offset, len) = span;
+        inner
+            .file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| StoreError::new(context.to_string(), e))?;
+        let mut buf = vec![0u8; len];
+        inner
+            .file
+            .read_exact(&mut buf)
+            .map_err(|e| StoreError::new(context.to_string(), e))?;
+        String::from_utf8(buf)
+            .map_err(|e| StoreError::new(context.to_string(), format!("record not UTF-8: {e}")))
+    }
+}
+
+impl SnapshotStore for LogStore {
+    fn put_session(&self, key: &str, text: &str) -> StoreResult<()> {
+        let context = format!("put_session {key}");
+        self.check_key(&context, key)?;
+        let mut inner = self.inner.lock().expect("log store lock poisoned");
+        let span = self.append(&mut inner, &context, "p", key, text)?;
+        inner.sessions.insert(key.to_string(), span);
+        Ok(())
+    }
+
+    fn get_session(&self, key: &str) -> StoreResult<Option<String>> {
+        let context = format!("get_session {key}");
+        let mut inner = self.inner.lock().expect("log store lock poisoned");
+        match inner.sessions.get(key).copied() {
+            None => Ok(None),
+            Some(span) => Ok(Some(self.read_at(&mut inner, &context, span)?)),
+        }
+    }
+
+    fn remove_session(&self, key: &str) -> StoreResult<bool> {
+        let context = format!("remove_session {key}");
+        self.check_key(&context, key)?;
+        let mut inner = self.inner.lock().expect("log store lock poisoned");
+        if inner.sessions.remove(key).is_none() {
+            return Ok(false);
+        }
+        self.append(&mut inner, &context, "d", key, "-")?;
+        Ok(true)
+    }
+
+    fn session_keys(&self) -> StoreResult<Vec<String>> {
+        let inner = self.inner.lock().expect("log store lock poisoned");
+        let mut keys: Vec<String> = inner.sessions.keys().cloned().collect();
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn put_workload(&self, hash: &str, text: &str) -> StoreResult<()> {
+        let context = format!("put_workload {hash}");
+        self.check_key(&context, hash)?;
+        let mut inner = self.inner.lock().expect("log store lock poisoned");
+        if inner.workloads.contains_key(hash) {
+            return Ok(()); // content-addressed: identical by construction
+        }
+        let span = self.append(&mut inner, &context, "w", hash, text)?;
+        inner.workloads.insert(hash.to_string(), span);
+        Ok(())
+    }
+
+    fn get_workload(&self, hash: &str) -> StoreResult<Option<String>> {
+        let context = format!("get_workload {hash}");
+        let mut inner = self.inner.lock().expect("log store lock poisoned");
+        match inner.workloads.get(hash).copied() {
+            None => Ok(None),
+            Some(span) => Ok(Some(self.read_at(&mut inner, &context, span)?)),
+        }
+    }
+
+    fn has_workload(&self, hash: &str) -> StoreResult<bool> {
+        let inner = self.inner.lock().expect("log store lock poisoned");
+        Ok(inner.workloads.contains_key(hash))
+    }
+
+    fn workload_hashes(&self) -> StoreResult<Vec<String>> {
+        let inner = self.inner.lock().expect("log store lock poisoned");
+        let mut hashes: Vec<String> = inner.workloads.keys().cloned().collect();
+        hashes.sort();
+        Ok(hashes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qfe-snapstore-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("store.log")
+    }
+
+    #[test]
+    fn log_survives_reopen() {
+        let path = temp_log("reopen");
+        {
+            let store = LogStore::open(&path).unwrap();
+            store.put_session("s1", "{\"v\":1}").unwrap();
+            store.put_session("s2", "{\"v\":2}").unwrap();
+            store.put_session("s1", "{\"v\":3}").unwrap(); // replace
+            store.put_workload("abc", "{\"w\":true}").unwrap();
+            assert!(store.remove_session("s2").unwrap());
+        }
+        // A fresh handle on the same path — a "process restart" — sees the
+        // latest state: s1 replaced, s2 tombstoned, workload intact.
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get_session("s1").unwrap().unwrap(), "{\"v\":3}");
+        assert_eq!(store.get_session("s2").unwrap(), None);
+        assert_eq!(store.session_keys().unwrap(), vec!["s1"]);
+        assert_eq!(store.get_workload("abc").unwrap().unwrap(), "{\"w\":true}");
+        assert_eq!(store.workload_hashes().unwrap(), vec!["abc"]);
+        assert_eq!(store.path(), path.as_path());
+    }
+
+    #[test]
+    fn torn_trailing_record_is_neutralized() {
+        let path = temp_log("torn");
+        {
+            let store = LogStore::open(&path).unwrap();
+            store.put_session("s1", "{\"v\":1}").unwrap();
+        }
+        // Simulate a crash mid-append: a record without the trailing newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"p\ts2\t{\"v\":2").unwrap();
+        }
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get_session("s1").unwrap().unwrap(), "{\"v\":1}");
+        assert_eq!(
+            store.get_session("s2").unwrap(),
+            None,
+            "torn record ignored"
+        );
+        // New appends land on a fresh line, not glued to the torn record.
+        store.put_session("s3", "{\"v\":3}").unwrap();
+        let reopened = LogStore::open(&path).unwrap();
+        assert_eq!(reopened.get_session("s3").unwrap().unwrap(), "{\"v\":3}");
+        assert_eq!(reopened.session_keys().unwrap(), vec!["s1", "s3"]);
+    }
+
+    #[test]
+    fn keys_and_bodies_are_validated() {
+        let path = temp_log("validate");
+        let store = LogStore::open(&path).unwrap();
+        assert!(store.put_session("has\ttab", "{}").is_err());
+        assert!(store.put_session("", "{}").is_err());
+        let err = store.put_session("ok", "line\nbreak").unwrap_err();
+        assert!(err.to_string().contains("put_session ok"));
+        assert!(!store.remove_session("missing").unwrap());
+    }
+
+    #[test]
+    fn workload_put_is_idempotent_across_reopen() {
+        let path = temp_log("workload");
+        {
+            let store = LogStore::open(&path).unwrap();
+            store.put_workload("h1", "payload").unwrap();
+            store.put_workload("h1", "ignored").unwrap();
+        }
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get_workload("h1").unwrap().unwrap(), "payload");
+        store.put_workload("h1", "still-ignored").unwrap();
+        assert_eq!(store.get_workload("h1").unwrap().unwrap(), "payload");
+        assert!(store.has_workload("h1").unwrap());
+        assert!(!store.has_workload("h2").unwrap());
+    }
+}

@@ -1,0 +1,179 @@
+//! Parking and rehydrating snapshots through a store, with the workload
+//! payload stored once under its content hash.
+//!
+//! A parked session is a small state document:
+//!
+//! ```json
+//! {"version":1,"workload":"<content hash>","state":{ ...session state... }}
+//! ```
+//!
+//! The bulk example pair `(D, R)` lives separately under
+//! `workloads/<hash>`; every session on the same workload references the
+//! same hash, so the pair is stored once no matter how many sessions park.
+
+use qfe_core::{SessionSnapshot, WorkloadPayload};
+use qfe_wire::{content_hash, FromJson, Json};
+
+use crate::store::{SnapshotStore, StoreError, StoreResult};
+
+/// Version tag of the parked-session document format.
+const PARKED_VERSION: i64 = 1;
+
+/// What [`park_snapshot`] wrote — the numbers behind the content-addressing
+/// win reported by the service bench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParkReceipt {
+    /// Content hash of the workload payload this session references.
+    pub workload_hash: String,
+    /// Bytes of the per-session state document written for this park.
+    pub state_bytes: usize,
+    /// Bytes of the serialized workload payload (stored once per workload).
+    pub workload_bytes: usize,
+    /// True when the workload was already in the store — this park wrote
+    /// only the state document.
+    pub workload_was_shared: bool,
+}
+
+/// Parks a snapshot under `key`: writes the workload payload (if not already
+/// stored) under its content hash, and the session state referencing it.
+pub fn park_snapshot(
+    store: &dyn SnapshotStore,
+    key: &str,
+    snapshot: &SessionSnapshot,
+) -> StoreResult<ParkReceipt> {
+    let (workload, state) = snapshot.split();
+    let workload_text = workload.canonical_text();
+    let hash = content_hash(&workload_text);
+    let workload_was_shared = store.has_workload(&hash)?;
+    if !workload_was_shared {
+        store.put_workload(&hash, &workload_text)?;
+    }
+    let record = Json::object([
+        ("version", Json::Int(PARKED_VERSION)),
+        ("workload", Json::Str(hash.clone())),
+        ("state", state),
+    ])
+    .render();
+    store.put_session(key, &record)?;
+    Ok(ParkReceipt {
+        workload_hash: hash,
+        state_bytes: record.len(),
+        workload_bytes: workload_text.len(),
+        workload_was_shared,
+    })
+}
+
+/// Loads the session parked under `key`, resolving its workload reference.
+/// `Ok(None)` when no session is parked under the key; a corrupt state
+/// document or a dangling workload reference is a [`StoreError`] naming the
+/// key, so one damaged record fails one request — it never takes the host
+/// down.
+pub fn load_snapshot(store: &dyn SnapshotStore, key: &str) -> StoreResult<Option<SessionSnapshot>> {
+    let context = format!("load_snapshot {key}");
+    let Some(record) = store.get_session(key)? else {
+        return Ok(None);
+    };
+    let record = Json::parse(&record).map_err(|e| StoreError::new(context.clone(), e))?;
+    let version = record
+        .field("version")
+        .and_then(|v| v.as_i64())
+        .map_err(|e| StoreError::new(context.clone(), e))?;
+    if version != PARKED_VERSION {
+        return Err(StoreError::new(
+            context,
+            format!("unsupported parked-session version {version}"),
+        ));
+    }
+    let hash = record
+        .field("workload")
+        .and_then(|v| v.as_str())
+        .map_err(|e| StoreError::new(context.clone(), e))?;
+    let Some(workload_text) = store.get_workload(hash)? else {
+        return Err(StoreError::new(
+            context,
+            format!("workload {hash} referenced by the session is not in the store"),
+        ));
+    };
+    let workload = WorkloadPayload::from_json_str(&workload_text)
+        .map_err(|e| StoreError::new(format!("{context} (workload {hash})"), e))?;
+    let state = record
+        .field("state")
+        .map_err(|e| StoreError::new(context.clone(), e))?;
+    let snapshot =
+        SessionSnapshot::from_parts(workload, state).map_err(|e| StoreError::new(context, e))?;
+    Ok(Some(snapshot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use qfe_core::QfeSession;
+    use qfe_datasets::example_1_1;
+
+    fn snapshot_mid_round() -> SessionSnapshot {
+        let (db, result, candidates, _) = example_1_1();
+        let session = QfeSession::builder(db, result)
+            .with_candidates(candidates)
+            .build()
+            .unwrap();
+        let mut engine = session.start();
+        let _ = engine.step().unwrap();
+        engine.snapshot()
+    }
+
+    #[test]
+    fn park_and_load_roundtrip_with_sharing() {
+        let store = MemoryStore::new();
+        let snapshot = snapshot_mid_round();
+
+        let first = park_snapshot(&store, "s1", &snapshot).unwrap();
+        assert!(!first.workload_was_shared, "first park stores the workload");
+        assert!(first.workload_bytes > 0);
+
+        // A second session on the same workload shares the stored pair.
+        let second = park_snapshot(&store, "s2", &snapshot).unwrap();
+        assert!(second.workload_was_shared);
+        assert_eq!(second.workload_hash, first.workload_hash);
+        assert_eq!(store.workload_hashes().unwrap().len(), 1);
+
+        // The state document omits the workload bytes — that is the saving
+        // every additional session on the workload banks.
+        let full = snapshot.serialize().len();
+        assert!(
+            second.state_bytes < full && full - second.state_bytes > second.workload_bytes / 2,
+            "state {} bytes should be under the full snapshot {} bytes by \
+             most of the workload's {} bytes",
+            second.state_bytes,
+            full,
+            second.workload_bytes
+        );
+
+        let back = load_snapshot(&store, "s1").unwrap().unwrap();
+        assert_eq!(back, snapshot);
+        assert!(load_snapshot(&store, "missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_records_error_cleanly() {
+        let store = MemoryStore::new();
+        store.put_session("bad", "{not json").unwrap();
+        let err = load_snapshot(&store, "bad").unwrap_err();
+        assert!(err.to_string().contains("load_snapshot bad"));
+
+        store
+            .put_session("vers", "{\"version\":9,\"workload\":\"x\",\"state\":{}}")
+            .unwrap();
+        let err = load_snapshot(&store, "vers").unwrap_err();
+        assert!(err.to_string().contains("version 9"));
+
+        store
+            .put_session(
+                "dangling",
+                "{\"version\":1,\"workload\":\"feed\",\"state\":{}}",
+            )
+            .unwrap();
+        let err = load_snapshot(&store, "dangling").unwrap_err();
+        assert!(err.to_string().contains("workload feed"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Content addressing for wire payloads.
+//!
+//! The snapshot store keys immutable bulk payloads (the example pair
+//! `(D, R)` of a QFE workload) by the hash of their serialized form, so any
+//! number of parked sessions on the same workload reference one stored copy.
+//! The hash only needs to distinguish workloads within one deployment's
+//! store — it is not a cryptographic commitment — so a fast self-contained
+//! 128-bit FNV-1a variant suffices (the build environment has no access to
+//! crates.io, hence no SHA implementation to reach for).
+
+/// 64-bit FNV-1a over `bytes`, parameterized by the offset basis so two
+/// independent lanes can be combined into a 128-bit digest.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Hex digest of a 128-bit content hash of `text`.
+///
+/// Two FNV-1a lanes: the standard offset basis, and the standard basis
+/// re-seeded with the input length (so the lanes disagree on permuted
+/// inputs that collide in one lane). Deterministic across processes and
+/// platforms — the property the content-addressed store relies on.
+pub fn content_hash(text: &str) -> String {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    let bytes = text.as_bytes();
+    let lo = fnv1a64(bytes, OFFSET_BASIS);
+    let hi = fnv1a64(
+        bytes,
+        OFFSET_BASIS ^ (bytes.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable_and_hex() {
+        let h = content_hash("hello");
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(h, content_hash("hello"), "same input, same digest");
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_digests() {
+        let inputs = ["", "a", "b", "ab", "ba", "hello", "hello ", "{\"x\":1}"];
+        let digests: Vec<String> = inputs.iter().map(|s| content_hash(s)).collect();
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

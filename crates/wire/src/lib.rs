@@ -33,9 +33,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
 mod json;
 mod parse;
 mod traits;
 
+pub use hash::content_hash;
 pub use json::Json;
 pub use traits::{FromJson, ToJson, WireError, WireResult};

@@ -12,11 +12,130 @@
 //! surviving a simulated process restart.
 //!
 //! Run with: `cargo run --example interactive_session`
+//!
+//! With `--http` the same session runs as a client of the HTTP service
+//! instead: the example boots `qfe-server` in-process on an ephemeral port
+//! over a log-file store (or connects to `--http HOST:PORT` if given),
+//! drives the rounds over the wire, and parks/resumes the session durably
+//! mid-conversation — the operators-guide walkthrough, executable.
 
 use qfe::prelude::*;
 use qfe_query::evaluate;
+use qfe_wire::{FromJson, Json};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(flag) = args.next() {
+        if flag == "--http" {
+            return http_mode(args.next());
+        }
+        eprintln!("unknown argument {flag:?}; try --http [HOST:PORT]");
+        std::process::exit(2);
+    }
+    in_process_mode();
+}
+
+/// Drives the session over the HTTP service — against `addr` if given,
+/// otherwise against an in-process server on an ephemeral port backed by a
+/// log-file store in the system temp directory.
+fn http_mode(addr: Option<String>) {
+    use std::sync::Arc;
+
+    let (_db, _result, candidates, _target) = qfe::datasets::example_1_1();
+    let intended = candidates[2].clone();
+
+    // Boot our own server unless pointed at a running one.
+    let (_server, addr) = match addr {
+        Some(addr) => (None, addr),
+        None => {
+            let dir = std::env::temp_dir()
+                .join(format!("qfe-interactive-session-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store: Arc<dyn SnapshotStore> =
+                Arc::new(LogStore::open(dir.join("sessions.log")).expect("log store opens"));
+            let host = SessionHost::open(store, HostConfig::default()).expect("host opens");
+            let server = serve("127.0.0.1:0", host, ServerConfig::default()).expect("server binds");
+            let addr = server.local_addr().to_string();
+            println!("booted qfe-server on http://{addr} (log-file store)");
+            (Some(server), addr)
+        }
+    };
+
+    let mut client = HttpClient::new(addr);
+    let (status, health) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    println!("healthz: {}", health.render());
+
+    let (status, created) = client
+        .post(
+            "/sessions",
+            &Json::parse("{\"workload\":\"example_1_1\"}").unwrap(),
+        )
+        .expect("create session");
+    assert_eq!(status, 201, "{}", created.render());
+    let id = created.field("id").unwrap().as_i64().unwrap();
+    println!("created session {id}\n");
+
+    loop {
+        let (status, step) = client
+            .get(&format!("/sessions/{id}/step"))
+            .expect("step request");
+        assert_eq!(status, 200, "{}", step.render());
+        match step.field("status").unwrap().as_str().unwrap() {
+            "done" => {
+                println!("Identified query: {}", step.field("sql").unwrap().render());
+                assert_eq!(
+                    step.field("label").unwrap().as_str().ok(),
+                    intended.label.as_deref()
+                );
+                break;
+            }
+            "await_feedback" => {
+                let round = qfe::core::FeedbackRound::from_json(step.field("round").unwrap())
+                    .expect("round parses");
+                println!("--- round {} (over HTTP) ---", round.iteration);
+
+                // While the user "thinks", park the session durably and
+                // bring it back — the service equivalent of the snapshot
+                // dance in the in-process mode below.
+                let (status, parked) = client
+                    .post(&format!("/sessions/{id}/park"), &Json::Null)
+                    .expect("park");
+                assert_eq!(status, 200, "{}", parked.render());
+                println!(
+                    "(parked: {} state bytes, workload shared: {})",
+                    parked.field("state_bytes").unwrap().render(),
+                    parked.field("workload_shared").unwrap().render()
+                );
+                let (status, _) = client
+                    .post(&format!("/sessions/{id}/resume"), &Json::Null)
+                    .expect("resume");
+                assert_eq!(status, 200);
+
+                let wanted = evaluate(&intended, &round.database).expect("intended evaluates");
+                let pick = round
+                    .choices
+                    .iter()
+                    .position(|c| c.result.bag_equal(&wanted))
+                    .expect("the intended query is among the candidates");
+                println!("user picks option {}\n", pick + 1);
+                let (status, answered) = client
+                    .post(
+                        &format!("/sessions/{id}/answer"),
+                        &Json::object([("choice", Json::Int(pick as i64))]),
+                    )
+                    .expect("answer");
+                assert_eq!(status, 200, "{}", answered.render());
+            }
+            other => panic!("unexpected step status {other}"),
+        }
+    }
+    let (status, _) = client.delete(&format!("/sessions/{id}")).expect("delete");
+    assert_eq!(status, 200);
+    println!("session deleted; service session complete");
+}
+
+fn in_process_mode() {
     let (database, result, candidates, _target) = qfe::datasets::example_1_1();
     // This user's real intention is Q3: dept = 'IT'.
     let intended = candidates[2].clone();

@@ -27,6 +27,13 @@
 //!   model, Algorithms 1–4 and the interactive feedback driver.
 //! * [`datasets`] — seeded synthetic versions of the paper's evaluation
 //!   datasets and queries Q1–Q6.
+//! * [`snapstore`] — durable snapshot stores for parked sessions (in-memory,
+//!   append-only log file, directory-per-deployment), with the example pair
+//!   `(D, R)` stored once per workload under a content hash, and the
+//!   [`SessionHost`](snapstore::SessionHost) that parks idle engines under a
+//!   memory watermark and rehydrates them on demand.
+//! * [`server`] — a dependency-free HTTP/1.1 frontend exposing sessions as
+//!   JSON endpoints, plus the matching client.
 //!
 //! The columnar mirror of a join is built **once per join** — when a
 //! `GenerationContext` is constructed and when a QBO verification pass
@@ -98,12 +105,83 @@
 //! };
 //! assert_eq!(outcome.query, target);
 //! ```
+//!
+//! ## Operators guide: running QFE as a service
+//!
+//! The `qfe-server` binary serves the session API over plain HTTP/1.1 with
+//! no dependencies beyond the standard library:
+//!
+//! ```text
+//! cargo run -p qfe-server --release -- \
+//!     --addr 127.0.0.1:7878 --store log:/var/lib/qfe/sessions.log \
+//!     --workers 8 --max-resident 512
+//! ```
+//!
+//! `--store` selects durability: `mem` (nothing survives a restart),
+//! `log:PATH` (one append-only file, index rebuilt at boot, torn trailing
+//! records truncated away), or `dir:PATH` (one JSON file per parked session —
+//! `ls`/`cat`/`rm` are your admin tools). With `--max-resident N`, the
+//! longest-idle sessions park to the store automatically whenever more than
+//! `N` engines are resident; any request to a parked session transparently
+//! rehydrates it. Parked state is split: the per-session document references
+//! the example pair `(D, R)` by content hash, so a thousand sessions on one
+//! workload store the workload once.
+//!
+//! A complete session over `curl`:
+//!
+//! ```text
+//! # Liveness and occupancy.
+//! curl -s localhost:7878/healthz
+//! #   {"status":"ok","resident":0,"parked":0}
+//!
+//! # Start a session on the paper's running example; note the id.
+//! curl -s -X POST localhost:7878/sessions -d '{"workload":"example_1_1"}'
+//! #   {"id":1}
+//!
+//! # Ask for the next feedback round. The response carries the modified
+//! # database D' and the candidate results to choose between.
+//! curl -s localhost:7878/sessions/1/step
+//! #   {"status":"await_feedback","round":{...,"choices":[...]}}
+//!
+//! # Answer with the index of the result matching the intended query
+//! # (optionally reporting how long the human deliberated).
+//! curl -s -X POST localhost:7878/sessions/1/answer \
+//!      -d '{"choice":0,"user_millis":4200}'
+//!
+//! # Park the session durably (e.g. the user went to lunch)…
+//! curl -s -X POST localhost:7878/sessions/1/park
+//! #   {"status":"parked","workload_hash":"…","state_bytes":…,
+//! #    "workload_bytes":…,"workload_shared":false}
+//!
+//! # …and carry on later — an explicit resume, or just step again and the
+//! # host rehydrates on demand. This works across server restarts for the
+//! # log and dir stores.
+//! curl -s -X POST localhost:7878/sessions/1/resume
+//! curl -s localhost:7878/sessions/1/step
+//!
+//! # Repeat step/answer until the loop converges.
+//! #   {"status":"done","sql":"SELECT name FROM Employee WHERE …",…}
+//!
+//! # Forget the session (engine and stored state).
+//! curl -s -X DELETE localhost:7878/sessions/1
+//! ```
+//!
+//! When none of the presented results is right, `POST /sessions/{id}/reject`
+//! tells the engine the intended query is outside the candidate set.
+//! Protocol misuse (answering with no pending round, out-of-range choices)
+//! is `409`; unknown sessions are `404`; a corrupt stored record fails that
+//! session's request with `500` and leaves every other session serving.
+//! `examples/interactive_session.rs --http` drives the same endpoints with
+//! the bundled [`HttpClient`](server::HttpClient).
 
 pub use qfe_core as core;
 pub use qfe_datasets as datasets;
 pub use qfe_qbo as qbo;
 pub use qfe_query as query;
 pub use qfe_relation as relation;
+pub use qfe_server as server;
+pub use qfe_snapstore as snapstore;
+pub use qfe_wire as wire;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
@@ -115,5 +193,9 @@ pub mod prelude {
     pub use qfe_qbo::{QboConfig, QueryGenerator};
     pub use qfe_query::{ComparisonOp, DnfPredicate, QueryResult, SpjQuery};
     pub use qfe_relation::{DataType, Database, ForeignKey, Table, TableSchema, Tuple, Value};
-    pub use qfe_wire::{FromJson, ToJson};
+    pub use qfe_server::{serve, HttpClient, ServerConfig, ServiceState};
+    pub use qfe_snapstore::{
+        DirStore, HostConfig, LogStore, MemoryStore, SessionHost, SnapshotStore,
+    };
+    pub use qfe_wire::{FromJson, Json, ToJson};
 }
