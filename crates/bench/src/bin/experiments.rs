@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|service] [--paper-scale] [--fleet-sessions N]
+//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|rounds|service] [--paper-scale] [--fleet-sessions N]
 //! ```
 //!
 //! The default scale is `Small` (reduced cardinalities, runs in seconds);
@@ -12,9 +12,10 @@
 
 use qfe_bench::{
     ablation_estimator, extra_entropy, extra_initial_size, manager_report, qbo_batch_json,
-    qbo_batch_measurements, qbo_batch_report, run_service_fleet, service_fleet_json,
-    service_fleet_summary, skyline_parallel_json, skyline_parallel_report, skyline_parallel_rows,
-    table1, table2, table3, table4, table5, table6, table7, user_study, Scale, ServiceFleetConfig,
+    qbo_batch_measurements, qbo_batch_report, rounds_json, rounds_measurements, rounds_report,
+    run_service_fleet, service_fleet_json, service_fleet_summary, skyline_parallel_json,
+    skyline_parallel_report, skyline_parallel_rows, table1, table2, table3, table4, table5, table6,
+    table7, user_study, Scale, ServiceFleetConfig,
 };
 
 fn main() {
@@ -103,6 +104,16 @@ fn main() {
         println!("{}", skyline_parallel_report(&rows));
         let json = skyline_parallel_json(scale, &rows);
         let path = "BENCH_skyline.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if want("rounds") {
+        let rows = rounds_measurements(scale, &[10, 50, 200]);
+        println!("{}", rounds_report(&rows));
+        let json = rounds_json(scale, &rows);
+        let path = "BENCH_rounds.json";
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),

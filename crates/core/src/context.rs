@@ -21,17 +21,61 @@
 //!   domains — instead of recomputing everything from the database.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qfe_query::{BoundQuery, QueryResult, SpjQuery};
 use qfe_relation::{
-    foreign_key_join, ColumnarJoin, Database, JoinIndex, JoinedRelation, Tuple, Value,
+    foreign_key_join, CellDelta, ColumnarJoin, Database, JoinIndex, JoinedRelation, Tuple, Value,
 };
 
 use crate::cost::balance_score;
 use crate::error::{QfeError, Result};
-use crate::kernel::{MatchScratch, OutcomeKernel, PairStats};
+use crate::kernel::{KernelReuse, MatchScratch, OutcomeKernel, PairStats};
 use crate::tuple_class::{TupleClass, TupleClassSpace};
+
+/// Process-wide count of [`GenerationContext::advance`] calls that fell back
+/// to a full rebuild because a cell edit touched a key column.
+static FULL_REBUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of `advance` full-rebuild fallbacks (edits touching
+/// primary- or foreign-key columns). A steadily climbing counter in a
+/// workload that should stay on the delta path signals a regression; set the
+/// `QFE_LOG_REBUILD` environment variable to also log each occurrence.
+pub fn advance_full_rebuilds() -> u64 {
+    FULL_REBUILDS.load(Ordering::Relaxed)
+}
+
+/// Which maintenance tier [`GenerationContext::advance`] took for the
+/// relational state (database, join, columnar mirror).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvancePath {
+    /// No cell edits: the database, join, columnar mirror and join index are
+    /// all `Arc`-shared with the predecessor context.
+    SharedNoEdit,
+    /// Cell edits were patched in place at join-row granularity; only state
+    /// derived from the edited columns was recomputed.
+    DeltaPatched,
+    /// An edit touched a primary- or foreign-key column (the join structure
+    /// changed): the successor was rebuilt from the edited database.
+    FullRebuild,
+}
+
+/// What [`GenerationContext::advance_with_report`] did, for benchmarks,
+/// regression logging and delta-driven cache maintenance.
+#[derive(Debug, Clone)]
+pub struct AdvanceReport {
+    /// The relational maintenance tier taken.
+    pub path: AdvancePath,
+    /// How the successor's outcome kernel was obtained.
+    pub kernel: KernelReuse,
+    /// One delta per patched columnar cell (join-row granularity). Feed these
+    /// to [`qfe_query::TermBitmapCache::apply_delta`] to repair cached term
+    /// bitmaps instead of recomputing them.
+    pub cell_deltas: Vec<CellDelta>,
+    /// Join-column indices whose values changed (sorted, deduplicated).
+    pub edited_columns: Vec<usize>,
+}
 
 /// A candidate single-tuple modification at the tuple-class level: a
 /// (source-tuple-class, destination-tuple-class) pair.
@@ -147,7 +191,7 @@ impl GenerationContext {
             columnar.active_domain(col)
         })?;
         let space = TupleClassSpace::build_with_domains(&join, &queries, &column_domains)?;
-        Self::assemble(
+        Ok(Self::assemble(
             db,
             original_result,
             queries,
@@ -158,13 +202,19 @@ impl GenerationContext {
             column_domains,
             space,
             None,
-        )
+            None,
+        )?
+        .0)
     }
 
     /// Shared tail of [`Self::new_shared`] and [`Self::advance`]: everything
     /// derived from the join, the domains and the candidate set. When
     /// `source_classes` is `None` every join row is classified from scratch;
-    /// `advance` passes the incrementally remapped table instead.
+    /// `advance` passes the incrementally remapped table instead. When
+    /// `previous` carries the predecessor context (and whether the candidate
+    /// list is unchanged), the outcome kernel is derived differentially via
+    /// [`OutcomeKernel::advance_from`]; the returned [`KernelReuse`] says
+    /// which tier applied.
     #[allow(clippy::too_many_arguments)]
     fn assemble(
         db: Arc<Database>,
@@ -177,7 +227,8 @@ impl GenerationContext {
         column_domains: BTreeMap<usize, Vec<Value>>,
         space: TupleClassSpace,
         source_classes: Option<BTreeMap<TupleClass, Vec<usize>>>,
-    ) -> Result<Self> {
+        previous: Option<(&GenerationContext, bool)>,
+    ) -> Result<(Self, KernelReuse)> {
         let bound: Vec<BoundQuery> = queries
             .iter()
             .map(|q| BoundQuery::bind(q, &join))
@@ -192,10 +243,24 @@ impl GenerationContext {
             bound[0].projection_indices().iter().copied().collect();
 
         let modifiable = modifiable_attributes(&db, &space);
-        let kernel = OutcomeKernel::build(&space, &queries, &join, &projection_columns)?;
+        let (kernel, kernel_reuse) = match previous {
+            Some((prev, queries_unchanged)) => OutcomeKernel::advance_from(
+                &prev.kernel,
+                &prev.space,
+                &space,
+                queries_unchanged,
+                &queries,
+                &join,
+                &projection_columns,
+            )?,
+            None => (
+                OutcomeKernel::build(&space, &queries, &join, &projection_columns)?,
+                KernelReuse::Rebuilt,
+            ),
+        };
         let block_realizable = block_realizability(&db, &space);
 
-        Ok(GenerationContext {
+        let context = GenerationContext {
             db,
             original_result,
             queries,
@@ -211,7 +276,8 @@ impl GenerationContext {
             column_domains,
             kernel,
             block_realizable,
-        })
+        };
+        Ok((context, kernel_reuse))
     }
 
     /// Derives the context of the *next* feedback round from this one.
@@ -239,6 +305,19 @@ impl GenerationContext {
         surviving: &[usize],
         edits: &[crate::realize::CellEdit],
     ) -> Result<GenerationContext> {
+        Ok(self.advance_with_report(surviving, edits)?.0)
+    }
+
+    /// [`Self::advance`] plus an [`AdvanceReport`] describing exactly how the
+    /// successor was derived: which relational tier applied, how the outcome
+    /// kernel was obtained, and the per-cell deltas that callers holding a
+    /// [`qfe_query::TermBitmapCache`] can use to repair cached term bitmaps
+    /// instead of recomputing them.
+    pub fn advance_with_report(
+        &self,
+        surviving: &[usize],
+        edits: &[crate::realize::CellEdit],
+    ) -> Result<(GenerationContext, AdvanceReport)> {
         if surviving.is_empty() {
             return Err(QfeError::NoCandidates);
         }
@@ -251,19 +330,41 @@ impl GenerationContext {
             });
         }
         let queries: Vec<SpjQuery> = surviving.iter().map(|&i| self.queries[i].clone()).collect();
+        // Strictly ascending indices within range keep the whole candidate
+        // list exactly when the lengths match.
+        let queries_unchanged = surviving.len() == self.queries.len();
 
         // Edits to key columns change the join structure: rebuild fully.
+        // `apply_edits` clones the database but `Arc`-shares every table the
+        // edits do not touch, so even the fallback copies only edited tables.
         if edits
             .iter()
             .any(|e| is_key_column(&self.db, &e.table, &e.column))
         {
+            FULL_REBUILDS.fetch_add(1, Ordering::Relaxed);
+            if std::env::var_os("QFE_LOG_REBUILD").is_some() {
+                eprintln!(
+                    "qfe: advance fell back to a full rebuild (key-column edit; total {})",
+                    advance_full_rebuilds()
+                );
+            }
             let db = crate::realize::apply_edits(&self.db, edits)?;
-            return Self::new_shared(Arc::new(db), Arc::clone(&self.original_result), queries);
+            let context =
+                Self::new_shared(Arc::new(db), Arc::clone(&self.original_result), queries)?;
+            let report = AdvanceReport {
+                path: AdvancePath::FullRebuild,
+                kernel: KernelReuse::Rebuilt,
+                cell_deltas: Vec::new(),
+                edited_columns: Vec::new(),
+            };
+            return Ok((context, report));
         }
 
         // Database, join and columnar mirror: shared when unchanged, patched
-        // in place otherwise (the mirror's generation counter advances with
-        // every patch, invalidating term-bitmap caches keyed on it).
+        // in place otherwise. Each patched cell yields a `CellDelta` stamped
+        // with the column's old and new edit epochs; term-bitmap caches use
+        // them to flip single bits instead of recomputing whole bitmaps.
+        let mut cell_deltas: Vec<CellDelta> = Vec::new();
         let (db, join, columnar, affected_rows) = if edits.is_empty() {
             (
                 Arc::clone(&self.db),
@@ -285,7 +386,7 @@ impl GenerationContext {
                             && self.join.rows()[jrow].provenance.get(&edit.table) == Some(&edit.row)
                         {
                             join.patch_cell(jrow, col_idx, edit.new_value.clone());
-                            columnar.patch_cell(jrow, col_idx, &edit.new_value);
+                            cell_deltas.push(columnar.patch_cell(jrow, col_idx, &edit.new_value));
                         }
                     }
                 }
@@ -346,7 +447,7 @@ impl GenerationContext {
             "refinement remap disagrees with direct classification"
         );
 
-        Self::assemble(
+        let (context, kernel_reuse) = Self::assemble(
             db,
             Arc::clone(&self.original_result),
             queries,
@@ -357,7 +458,19 @@ impl GenerationContext {
             column_domains,
             space,
             source_classes,
-        )
+            Some((self, queries_unchanged)),
+        )?;
+        let report = AdvanceReport {
+            path: if edits.is_empty() {
+                AdvancePath::SharedNoEdit
+            } else {
+                AdvancePath::DeltaPatched
+            },
+            kernel: kernel_reuse,
+            cell_deltas,
+            edited_columns: edited_join_columns.iter().copied().collect(),
+        };
+        Ok((context, report))
     }
 
     /// Remaps this context's source classes into the successor class space
@@ -1038,6 +1151,58 @@ mod tests {
         {
             assert_eq!(a.blocks, f.blocks, "attribute {} diverged", a.reference);
         }
+    }
+
+    #[test]
+    fn advance_report_names_the_tier_taken() {
+        let ctx = employee_context();
+
+        // All candidates survive, no edits: everything shared, kernel reused.
+        let (_, report) = ctx.advance_with_report(&[0, 1, 2], &[]).unwrap();
+        assert_eq!(report.path, AdvancePath::SharedNoEdit);
+        assert_eq!(report.kernel, KernelReuse::Reused);
+        assert!(report.cell_deltas.is_empty());
+        assert!(report.edited_columns.is_empty());
+
+        // Pruned candidates: the class geometry changes, kernel rebuilt.
+        let (_, report) = ctx.advance_with_report(&[0, 2], &[]).unwrap();
+        assert_eq!(report.path, AdvancePath::SharedNoEdit);
+        assert_eq!(report.kernel, KernelReuse::Rebuilt);
+
+        // A non-key cell edit: delta path, one delta for the one joined row.
+        let edits = vec![crate::realize::CellEdit {
+            table: "Employee".to_string(),
+            row: 1,
+            column: "salary".to_string(),
+            new_value: Value::Int(3900),
+        }];
+        let (advanced, report) = ctx.advance_with_report(&[0, 1, 2], &edits).unwrap();
+        assert_eq!(report.path, AdvancePath::DeltaPatched);
+        assert_eq!(report.cell_deltas.len(), 1);
+        let salary_col = ctx.join().resolve_column("salary").unwrap();
+        assert_eq!(report.cell_deltas[0].column, salary_col);
+        assert_eq!(report.cell_deltas[0].row, 1);
+        assert_eq!(report.cell_deltas[0].old, Value::Int(4200));
+        assert_eq!(report.cell_deltas[0].new, Value::Int(3900));
+        assert_eq!(report.edited_columns, vec![salary_col]);
+        // The deltas carry the epochs the advanced mirror now exposes.
+        assert_eq!(
+            advanced.columnar().column_epoch(salary_col),
+            report.cell_deltas[0].epoch
+        );
+
+        // A key-column edit forces the audited full-rebuild fallback.
+        let before = advance_full_rebuilds();
+        let key_edit = vec![crate::realize::CellEdit {
+            table: "Employee".to_string(),
+            row: 1,
+            column: "Eid".to_string(),
+            new_value: Value::Int(99),
+        }];
+        let (_, report) = ctx.advance_with_report(&[0, 1, 2], &key_edit).unwrap();
+        assert_eq!(report.path, AdvancePath::FullRebuild);
+        assert_eq!(report.kernel, KernelReuse::Rebuilt);
+        assert_eq!(advance_full_rebuilds(), before + 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::delta::{DatabaseDelta, ResultDelta};
 use crate::driver::{QfeOutcome, QfeSession};
 use crate::error::{QfeError, Result};
 use crate::feedback::{FeedbackChoice, FeedbackRound};
+use crate::skyline::SkylineMemo;
 use crate::stats::{IterationStats, SessionReport};
 
 /// What the engine needs next.
@@ -71,6 +72,10 @@ struct RoundContextCache {
     /// Positions (into the cached context's query list) kept by the answer;
     /// `None` while the round is unanswered.
     surviving: Option<Vec<usize>>,
+    /// Cross-round skyline memo: per-`(cost level, source class)` enumeration
+    /// results reused whenever the candidate set and class geometry survive a
+    /// round (the memo self-invalidates on its fingerprint otherwise).
+    memo: SkylineMemo,
 }
 
 /// The resumable state machine behind a QFE session (Algorithm 1, sans-IO).
@@ -215,13 +220,24 @@ impl QfeEngine {
     /// example pair otherwise. The context used is cached for the next round.
     fn generate_round(&mut self) -> Result<GeneratedDatabase> {
         let generator = DatabaseGenerator::new(self.params.clone());
+        // The skyline memo travels with the cached context; it keys its
+        // validity on a fingerprint of the candidate set and class geometry,
+        // so carrying it across a fallback rebuild is safe.
+        let mut memo = SkylineMemo::new();
         if let Some(cache) = self.round_ctx.take() {
+            memo = cache.memo;
             if let Some(surviving) = cache.surviving {
-                match generator.generate_incremental(&cache.ctx, &surviving, &[]) {
+                match generator.generate_incremental_memoized(
+                    &cache.ctx,
+                    &surviving,
+                    &[],
+                    &mut memo,
+                ) {
                     Ok((ctx, generated)) => {
                         self.round_ctx = Some(RoundContextCache {
                             ctx,
                             surviving: None,
+                            memo,
                         });
                         return Ok(generated);
                     }
@@ -244,10 +260,11 @@ impl QfeEngine {
             Arc::clone(&self.result),
             queries,
         )?);
-        let generated = generator.generate_with_context(&ctx)?;
+        let generated = generator.generate_with_context_memoized(&ctx, &mut memo)?;
         self.round_ctx = Some(RoundContextCache {
             ctx,
             surviving: None,
+            memo,
         });
         Ok(generated)
     }

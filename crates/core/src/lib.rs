@@ -77,11 +77,32 @@
 //!   the join index and cached active domains, and remaps source classes
 //!   through the old→new block refinement instead of reclassifying every
 //!   row. Without edits the mirror is `Arc`-shared untouched; with edits it
-//!   is patched cell-by-cell ([`qfe_relation::ColumnarJoin::patch_cell`]),
-//!   bumping its generation counter so term-bitmap caches self-invalidate.
+//!   is patched cell-by-cell ([`qfe_relation::ColumnarJoin::patch_cell`]).
 //!   [`QfeEngine`] advances its cached round context automatically, and the
 //!   engine, its snapshots and every per-round context share one `Arc`'d
 //!   copy of `(D, R)`.
+//! * **Differential round maintenance.** The cost of
+//!   [`GenerationContext::advance`] is proportional to the *edit*, not to
+//!   `|D|`, end to end. Each patched cell yields a
+//!   [`qfe_relation::CellDelta`] stamped with per-column edit epochs
+//!   ([`qfe_relation::ColumnarJoin::column_epoch`]); a
+//!   `qfe_query::TermBitmapCache` consumes it via `apply_delta`, flipping
+//!   the one changed bit in each cached bitmap whose term touches the
+//!   patched column while every other column's entries stay live (structural
+//!   changes — dictionary remaps, type demotions — fall back to wholesale
+//!   invalidation). The outcome kernel is derived differentially too
+//!   ([`KernelReuse`]): cloned verbatim when queries and domain blocks
+//!   survive, repaired per changed `(attribute, block)` slot when only block
+//!   contents moved, rebuilt otherwise. The skyline keeps a cross-round
+//!   [`SkylineMemo`] of per-`(cost level, source class)` results
+//!   ([`skyline_stc_dtc_pairs_memoized`]) so only pairs whose cells changed
+//!   are re-enumerated. [`GenerationContext::advance_with_report`] returns
+//!   an [`AdvanceReport`] naming the tier taken ([`AdvancePath`]) plus the
+//!   deltas; key-column edits (which change the join structure) fall back to
+//!   a counted full rebuild ([`advance_full_rebuilds`], log it with
+//!   `QFE_LOG_REBUILD=1`) that still `Arc`-shares untouched tables. Every
+//!   fast path is byte-identical to a fresh rebuild — property-tested across
+//!   random multi-round edit sequences.
 //!
 //! ## Step-API quickstart
 //!
@@ -188,7 +209,9 @@ mod stats;
 mod tuple_class;
 
 pub use alt_cost::AltCostModel;
-pub use context::{ClassPair, GenerationContext, Outcome};
+pub use context::{
+    advance_full_rebuilds, AdvancePath, AdvanceReport, ClassPair, GenerationContext, Outcome,
+};
 pub use cost::{
     balance_score, estimate_iterations, objective, user_effort_cost, CostInputs, CostModelKind,
     CostParams, IterationEstimator,
@@ -207,6 +230,7 @@ pub use feedback::{
     WorstCaseUser,
 };
 pub use join_groups::{group_by_join_schema, run_grouped};
+pub use kernel::KernelReuse;
 pub use manager::{SessionId, SessionManager};
 pub use pick::{pick_stc_dtc_subset, PickOutcome};
 pub use realize::{
@@ -215,6 +239,9 @@ pub use realize::{
 };
 pub use serial::WorkloadPayload;
 pub use set_semantics::{all_set_semantics, mixed_semantics, with_set_semantics};
-pub use skyline::{skyline_stc_dtc_pairs, skyline_stc_dtc_pairs_with_threads, SkylineOutcome};
+pub use skyline::{
+    skyline_stc_dtc_pairs, skyline_stc_dtc_pairs_memoized, skyline_stc_dtc_pairs_with_threads,
+    SkylineMemo, SkylineOutcome,
+};
 pub use stats::{IterationStats, SessionReport};
 pub use tuple_class::{SelectionAttribute, TupleClass, TupleClassSpace};

@@ -196,6 +196,12 @@ pub fn realize_pairs(ctx: &GenerationContext, pairs: &[ClassPair]) -> Option<Rea
 
 /// Applies cell edits to a clone of the database and verifies its integrity
 /// constraints (primary and foreign keys), per Section 6.3.
+///
+/// The clone `Arc`-shares every table the edits do not touch, and the
+/// integrity re-check is scoped to what cell edits can break:
+/// `Table::update_cell` already enforces types, nullability and primary-key
+/// uniqueness per edit, so only foreign keys referencing an edited column are
+/// re-validated — the whole call is proportional to the edit, not to `|D|`.
 pub fn apply_edits(db: &Database, edits: &[CellEdit]) -> Result<Database> {
     let mut modified = db.clone();
     for e in edits {
@@ -203,7 +209,23 @@ pub fn apply_edits(db: &Database, edits: &[CellEdit]) -> Result<Database> {
             .table_mut(&e.table)?
             .update_cell(e.row, &e.column, e.new_value.clone())?;
     }
-    modified.check_integrity()?;
+    let touched = |table: &str, columns: &[String]| {
+        edits
+            .iter()
+            .any(|e| e.table == table && columns.contains(&e.column))
+    };
+    let affected_fks: Vec<_> = modified
+        .foreign_keys()
+        .iter()
+        .filter(|fk| {
+            touched(&fk.child_table, &fk.child_columns)
+                || touched(&fk.parent_table, &fk.parent_columns)
+        })
+        .cloned()
+        .collect();
+    for fk in &affected_fks {
+        modified.check_foreign_key_data(fk)?;
+    }
     Ok(modified)
 }
 

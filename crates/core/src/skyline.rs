@@ -45,11 +45,15 @@
 //! every [`NEAR_DEADLINE_CHECK_INTERVAL`] pairs once past ~80% of the budget,
 //! which keeps the δ overshoot bounded even when individual pairs are cheap.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use qfe_query::SpjQuery;
+
 use crate::context::{ClassPair, GenerationContext};
+use crate::domain::DomainBlock;
 use crate::tuple_class::TupleClass;
 
 /// The result of the skyline enumeration.
@@ -425,13 +429,34 @@ pub fn skyline_stc_dtc_pairs_with_threads(
         per_level
     };
 
-    // Deterministic merge in (level, source) order — reproduces the
-    // sequential running-minimum and first-best tie-breaking semantics.
+    let (pairs, min_balance, best_binary, enumerated) = merge_level_results(&mut results);
+    let timed_out = deadline.is_expired();
+
+    SkylineOutcome {
+        pairs,
+        min_balance,
+        best_binary_x: best_binary.map(|(_, x)| x),
+        enumerated,
+        elapsed: start.elapsed(),
+        timed_out,
+        threads,
+    }
+}
+
+/// Deterministic merge of per-(level, source) results in (level, source)
+/// order — reproduces the sequential running-minimum and first-best
+/// tie-breaking semantics, so any collection mode (sequential, parallel,
+/// memoized) that produces complete per-source results merges to the same
+/// outcome. Returns `(pairs, min_balance, best_binary, enumerated)`;
+/// destructive on `kept`.
+fn merge_level_results(
+    results: &mut [Vec<SourceLevelResult>],
+) -> (Vec<ClassPair>, f64, Option<(f64, usize)>, usize) {
     let mut pairs: Vec<ClassPair> = Vec::new();
     let mut min_balance = f64::INFINITY;
     let mut best_binary: Option<(f64, usize)> = None;
     let mut enumerated = 0usize;
-    for level_results in &mut results {
+    for level_results in results.iter_mut() {
         let mut level_min = min_balance;
         for r in level_results.iter() {
             enumerated += r.enumerated;
@@ -456,6 +481,169 @@ pub fn skyline_stc_dtc_pairs_with_threads(
         }
         min_balance = level_min;
     }
+    (pairs, min_balance, best_binary, enumerated)
+}
+
+/// Fingerprint of everything a memo cell's value depends on besides its own
+/// `(cost level, source class)` key: the candidate queries, the class-space
+/// geometry (attribute columns and domain-block contents), the modifiable
+/// mask and the projection columns. Any difference invalidates every cell.
+#[derive(Debug, Clone, PartialEq)]
+struct MemoFingerprint {
+    queries: Vec<SpjQuery>,
+    attributes: Vec<(usize, Vec<DomainBlock>)>,
+    modifiable: Vec<bool>,
+    projection_columns: BTreeSet<usize>,
+}
+
+impl MemoFingerprint {
+    fn of(ctx: &GenerationContext) -> MemoFingerprint {
+        MemoFingerprint {
+            queries: ctx.queries().to_vec(),
+            attributes: ctx
+                .class_space()
+                .attributes()
+                .iter()
+                .map(|a| (a.column, a.blocks.clone()))
+                .collect(),
+            modifiable: ctx.modifiable_attributes().to_vec(),
+            projection_columns: ctx.projection_columns().clone(),
+        }
+    }
+}
+
+/// The complete enumeration result of one `(cost level, source class)` cell.
+#[derive(Debug, Clone)]
+struct MemoCell {
+    kept: Vec<ClassPair>,
+    local_min: f64,
+    best_binary: Option<(f64, usize)>,
+    enumerated: usize,
+}
+
+/// Cross-round memo for [`skyline_stc_dtc_pairs_memoized`]: caches the
+/// per-`(cost level, source class)` enumeration results keyed on a
+/// fingerprint of the candidate set and the class-space geometry.
+///
+/// Between feedback rounds a single cell edit typically leaves the geometry
+/// (and hence the fingerprint) intact while only a few source classes gain or
+/// lose member rows — and a cell's value depends on the *class*, not on which
+/// rows inhabit it, so every cell seen before is served from the memo and
+/// only genuinely new source classes are enumerated.
+#[derive(Debug, Clone, Default)]
+pub struct SkylineMemo {
+    fingerprint: Option<MemoFingerprint>,
+    cells: BTreeMap<(usize, TupleClass), MemoCell>,
+    hits: u64,
+    recomputed: u64,
+}
+
+impl SkylineMemo {
+    /// An empty memo.
+    pub fn new() -> SkylineMemo {
+        SkylineMemo::default()
+    }
+
+    /// Cells served from the memo across all lookups.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cells enumerated (and cached) because they were absent.
+    pub fn recomputed_cells(&self) -> u64 {
+        self.recomputed
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the memo holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Drops every cached cell (the counters are kept).
+    pub fn clear(&mut self) {
+        self.cells.clear();
+        self.fingerprint = None;
+    }
+}
+
+/// [`skyline_stc_dtc_pairs`] with a cross-round [`SkylineMemo`]: source
+/// classes whose `(level, class)` cell is cached are served from the memo,
+/// only new cells are enumerated. Whenever the enumeration completes within
+/// `time_budget` the outcome is byte-identical to the sequential
+/// (single-thread) enumeration — cells are seeded with `+∞` exactly like the
+/// parallel workers, and the deterministic merge discards the same pairs.
+/// Cells are cached only when their enumeration ran to completion, so a
+/// timed-out run never poisons the memo.
+pub fn skyline_stc_dtc_pairs_memoized(
+    ctx: &GenerationContext,
+    time_budget: Duration,
+    memo: &mut SkylineMemo,
+) -> SkylineOutcome {
+    let start = Instant::now();
+    let deadline = Deadline::new(start, time_budget);
+    let fingerprint = MemoFingerprint::of(ctx);
+    if memo.fingerprint.as_ref() != Some(&fingerprint) {
+        memo.cells.clear();
+        memo.fingerprint = Some(fingerprint);
+    }
+
+    let sources: Vec<&TupleClass> = ctx.source_classes().keys().collect();
+    let levels = ctx.class_space().attribute_count().max(1);
+    let mut ticker = Ticker::new(&deadline);
+    let mut results: Vec<Vec<SourceLevelResult>> = Vec::with_capacity(levels);
+    'outer: for level in 1..=levels {
+        let mut level_results = Vec::with_capacity(sources.len());
+        for (idx, source) in sources.iter().enumerate() {
+            if deadline.is_expired() {
+                results.push(level_results);
+                break 'outer;
+            }
+            let key = (level, (*source).clone());
+            if let Some(cell) = memo.cells.get(&key) {
+                memo.hits += 1;
+                level_results.push(SourceLevelResult {
+                    source_idx: idx,
+                    kept: cell.kept.clone(),
+                    local_min: cell.local_min,
+                    best_binary: cell.best_binary,
+                    enumerated: cell.enumerated,
+                });
+                continue;
+            }
+            let r = enumerate_source_level(
+                ctx,
+                idx,
+                source,
+                level,
+                0..usize::MAX,
+                f64::INFINITY,
+                &mut ticker,
+            );
+            // Only complete cells are cacheable: a deadline hit mid-source
+            // truncates the enumeration.
+            if !deadline.is_expired() {
+                memo.recomputed += 1;
+                memo.cells.insert(
+                    key,
+                    MemoCell {
+                        kept: r.kept.clone(),
+                        local_min: r.local_min,
+                        best_binary: r.best_binary,
+                        enumerated: r.enumerated,
+                    },
+                );
+            }
+            level_results.push(r);
+        }
+        results.push(level_results);
+    }
+
+    let (pairs, min_balance, best_binary, enumerated) = merge_level_results(&mut results);
     let timed_out = deadline.is_expired();
 
     SkylineOutcome {
@@ -465,7 +653,7 @@ pub fn skyline_stc_dtc_pairs_with_threads(
         enumerated,
         elapsed: start.elapsed(),
         timed_out,
-        threads,
+        threads: 1,
     }
 }
 
@@ -598,6 +786,57 @@ mod tests {
             assert_eq!(parallel.best_binary_x, sequential.best_binary_x);
             assert_eq!(parallel.enumerated, sequential.enumerated);
         }
+    }
+
+    #[test]
+    fn memoized_enumeration_is_bit_identical_and_hits_on_reuse() {
+        let ctx = employee_context();
+        let sequential = skyline_stc_dtc_pairs_with_threads(&ctx, Duration::from_secs(30), 1);
+        let mut memo = SkylineMemo::new();
+
+        // Cold memo: everything recomputed, result identical to sequential.
+        let cold = skyline_stc_dtc_pairs_memoized(&ctx, Duration::from_secs(30), &mut memo);
+        assert_eq!(cold.pairs, sequential.pairs);
+        assert_eq!(cold.min_balance.to_bits(), sequential.min_balance.to_bits());
+        assert_eq!(cold.best_binary_x, sequential.best_binary_x);
+        assert_eq!(cold.enumerated, sequential.enumerated);
+        assert_eq!(memo.hits(), 0);
+        assert!(memo.recomputed_cells() > 0);
+        assert!(!memo.is_empty());
+
+        // Warm memo, same context: every cell served from the cache, result
+        // still identical.
+        let recomputed_before = memo.recomputed_cells();
+        let warm = skyline_stc_dtc_pairs_memoized(&ctx, Duration::from_secs(30), &mut memo);
+        assert_eq!(warm.pairs, sequential.pairs);
+        assert_eq!(warm.min_balance.to_bits(), sequential.min_balance.to_bits());
+        assert_eq!(warm.best_binary_x, sequential.best_binary_x);
+        assert_eq!(warm.enumerated, sequential.enumerated);
+        assert_eq!(memo.recomputed_cells(), recomputed_before);
+        assert_eq!(memo.hits() as usize, memo.len());
+
+        // A changed candidate set invalidates the fingerprint: the memo is
+        // rebuilt and the result matches the new context's sequential run.
+        let pruned = ctx.advance(&[0, 1], &[]).unwrap();
+        let pruned_seq = skyline_stc_dtc_pairs_with_threads(&pruned, Duration::from_secs(30), 1);
+        let after = skyline_stc_dtc_pairs_memoized(&pruned, Duration::from_secs(30), &mut memo);
+        assert_eq!(after.pairs, pruned_seq.pairs);
+        assert_eq!(
+            after.min_balance.to_bits(),
+            pruned_seq.min_balance.to_bits()
+        );
+        assert_eq!(after.enumerated, pruned_seq.enumerated);
+    }
+
+    #[test]
+    fn memo_clear_drops_cells() {
+        let ctx = employee_context();
+        let mut memo = SkylineMemo::new();
+        let _ = skyline_stc_dtc_pairs_memoized(&ctx, Duration::from_secs(30), &mut memo);
+        assert!(!memo.is_empty());
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.len(), 0);
     }
 
     #[test]

@@ -32,15 +32,44 @@ use crate::join::JoinedRelation;
 use crate::types::DataType;
 use crate::value::Value;
 
-/// Process-wide generation allocator: every freshly built *and* every patched
-/// mirror gets a generation no other mirror state has ever had, so a
-/// term-bitmap cache keyed on the generation can never be fooled by a
+/// Process-wide epoch allocator: every freshly built mirror *and* every
+/// patched column gets an epoch no other mirror state has ever had, so a
+/// term-bitmap cache keyed on column epochs can never be fooled by a
 /// different mirror that happens to share a counter value (e.g. two mirrors
 /// both starting at 0 across feedback rounds).
 static GENERATION: AtomicU64 = AtomicU64::new(1);
 
 fn next_generation() -> u64 {
     GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The record of one [`ColumnarJoin::patch_cell`]: which cell changed, what
+/// it held before and after, and the column's epoch transition. This is the
+/// unit of differential maintenance — `qfe-query`'s term-bitmap cache flips
+/// one bit per cached term on the patched column instead of recomputing, and
+/// `qfe-qbo`/`qfe-core` use `column` to narrow re-verification to candidates
+/// that actually read it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// Joined-row index of the patched cell.
+    pub row: usize,
+    /// Joined-column index of the patched cell.
+    pub column: usize,
+    /// The value the cell held before the patch.
+    pub old: Value,
+    /// The value the cell holds after the patch.
+    pub new: Value,
+    /// The patched column's epoch *before* this patch — a cache entry is
+    /// repairable iff it was computed at exactly this epoch.
+    pub prev_epoch: u64,
+    /// The patched column's epoch *after* this patch.
+    pub epoch: u64,
+    /// True when the patch restructured the column representation (sorted
+    /// dictionary insert remapping codes, or demotion to the `Mixed`
+    /// fallback) rather than overwriting one slot in place. Single-bit
+    /// repairs remain valid either way — the flag exists for callers that
+    /// want to account structural rewrites separately.
+    pub restructured: bool,
 }
 
 /// The typed backing store of one joined column.
@@ -96,23 +125,28 @@ impl ColumnarColumn {
 pub struct ColumnarJoin {
     columns: Vec<ColumnarColumn>,
     rows: usize,
-    generation: u64,
+    /// Per-column edit epochs: `epochs[c]` changes (to a process-unique
+    /// value) exactly when column `c` is patched, so caches keyed per column
+    /// survive edits to *other* columns.
+    epochs: Vec<u64>,
 }
 
 impl ColumnarJoin {
     /// Builds the columnar mirror of `join`.
     pub fn from_join(join: &JoinedRelation) -> ColumnarJoin {
         let rows = join.len();
-        let columns = join
+        let columns: Vec<ColumnarColumn> = join
             .columns()
             .iter()
             .enumerate()
             .map(|(col, meta)| build_column(join, col, meta.data_type, rows))
             .collect();
+        let epoch = next_generation();
+        let epochs = vec![epoch; columns.len()];
         ColumnarJoin {
             columns,
             rows,
-            generation: next_generation(),
+            epochs,
         }
     }
 
@@ -136,14 +170,21 @@ impl ColumnarJoin {
         &self.columns[idx]
     }
 
-    /// The mirror's generation: allocated from a process-wide counter at
-    /// build time and re-allocated by every [`Self::patch_cell`], so no two
-    /// distinct mirror states (even of different joins, even across rounds)
-    /// ever share one. Term-bitmap caches key their validity on it. A `clone`
-    /// shares its source's generation — their contents are identical until
-    /// one of them is patched.
+    /// The mirror's generation: the maximum of the per-column edit epochs.
+    /// Epochs are allocated from a process-wide counter at build time and
+    /// re-allocated per patched column by every [`Self::patch_cell`], so no
+    /// two distinct mirror states (even of different joins, even across
+    /// rounds) ever share one. A `clone` shares its source's epochs — their
+    /// contents are identical until one of them is patched.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.epochs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The edit epoch of one column. Changes (to a process-unique value)
+    /// exactly when that column is patched; caches keyed per `(column,
+    /// epoch)` survive patches to other columns. See [`Self::generation`].
+    pub fn column_epoch(&self, col: usize) -> u64 {
+        self.epochs[col]
     }
 
     /// The value of `(row, col)`, decoded back to a [`Value`].
@@ -152,21 +193,36 @@ impl ColumnarJoin {
     }
 
     /// Overwrites one cell, keeping the columnar mirror in sync with
-    /// [`JoinedRelation::patch_cell`] on the source join. Dictionary columns
-    /// absorb unseen strings by inserting into the sorted dictionary (codes
-    /// are remapped); a value that does not fit the column's typed store
-    /// demotes the column to the exact row-of-values fallback.
+    /// [`JoinedRelation::patch_cell`] on the source join, and returns the
+    /// [`CellDelta`] describing the edit (old/new value plus the column's
+    /// epoch transition) so downstream caches can repair themselves instead
+    /// of recomputing. Dictionary columns absorb unseen strings by inserting
+    /// into the sorted dictionary (codes are remapped); a value that does not
+    /// fit the column's typed store demotes the column to the exact
+    /// row-of-values fallback.
     ///
     /// # Panics
     /// Panics when `row` or `col` is out of range.
-    pub fn patch_cell(&mut self, row: usize, col: usize, value: &Value) {
+    pub fn patch_cell(&mut self, row: usize, col: usize, value: &Value) -> CellDelta {
         assert!(col < self.columns.len(), "patch_cell: column out of range");
         assert!(row < self.rows, "patch_cell: row out of range");
-        self.generation = next_generation();
+        let old = self.columns[col].value_at(row);
+        let prev_epoch = self.epochs[col];
+        let epoch = next_generation();
+        self.epochs[col] = epoch;
+        let mut restructured = false;
         let column = &mut self.columns[col];
         if value.is_null() {
             column.nulls.set(row);
-            return;
+            return CellDelta {
+                row,
+                column: col,
+                old,
+                new: Value::Null,
+                prev_epoch,
+                epoch,
+                restructured,
+            };
         }
         match (&mut column.data, value) {
             (ColumnData::Int(v), Value::Int(i)) => v[row] = *i,
@@ -185,6 +241,7 @@ impl ColumnarJoin {
                                 *c += 1;
                             }
                         }
+                        restructured = true;
                         pos as u32
                     }
                 };
@@ -196,9 +253,19 @@ impl ColumnarJoin {
                 let mut decoded: Vec<Value> = (0..self.rows).map(|r| column.value_at(r)).collect();
                 decoded[row] = value.clone();
                 column.data = ColumnData::Mixed(decoded);
+                restructured = true;
             }
         }
         self.columns[col].nulls.unset(row);
+        CellDelta {
+            row,
+            column: col,
+            old,
+            new: value.clone(),
+            prev_epoch,
+            epoch,
+            restructured,
+        }
     }
 
     /// Distinct values appearing in the column — exactly what
@@ -507,6 +574,44 @@ mod tests {
         }
         assert_eq!(cj.active_domain(name_col), join.active_domain(name_col));
         assert_eq!(cj.active_domain(score_col), join.active_domain(score_col));
+    }
+
+    #[test]
+    fn patch_cell_reports_delta_and_touches_only_its_column_epoch() {
+        let db = mixed_db();
+        let join = full_foreign_key_join(&db).unwrap();
+        let mut cj = ColumnarJoin::from_join(&join);
+        let name_col = join.resolve_column("name").unwrap();
+        let score_col = join.resolve_column("score").unwrap();
+        let name_epoch = cj.column_epoch(name_col);
+        let score_epoch = cj.column_epoch(score_col);
+
+        // In-dictionary patch: no restructuring, epoch moves for score only.
+        let d = cj.patch_cell(2, score_col, &Value::Float(9.5));
+        assert_eq!(d.row, 2);
+        assert_eq!(d.column, score_col);
+        assert_eq!(d.old, Value::Float(0.5));
+        assert_eq!(d.new, Value::Float(9.5));
+        assert_eq!(d.prev_epoch, score_epoch);
+        assert_eq!(d.epoch, cj.column_epoch(score_col));
+        assert!(!d.restructured);
+        assert!(cj.column_epoch(score_col) > score_epoch);
+        assert_eq!(cj.column_epoch(name_col), name_epoch);
+
+        // NULL patch reports old value and Null new value.
+        let d = cj.patch_cell(2, score_col, &Value::Null);
+        assert_eq!(d.old, Value::Float(9.5));
+        assert_eq!(d.new, Value::Null);
+
+        // Unseen string forces a dictionary insert: restructured.
+        let d = cj.patch_cell(0, name_col, &Value::Text("carol".into()));
+        assert!(d.restructured);
+        assert_eq!(d.old, Value::Text("bob".into()));
+
+        // A clone shares epochs until one of them is patched.
+        let copy = cj.clone();
+        assert_eq!(copy.column_epoch(name_col), cj.column_epoch(name_col));
+        assert_eq!(copy.generation(), cj.generation());
     }
 
     #[test]

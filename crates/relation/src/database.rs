@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{RelationError, Result};
 use crate::foreign_key::ForeignKey;
@@ -14,9 +15,14 @@ use crate::value::Value;
 /// Tables are stored in a deterministic (name-sorted) order so that every
 /// derived artifact — joins, candidate queries, generated modifications — is
 /// reproducible run to run.
+///
+/// Tables are held behind [`Arc`]s with copy-on-write mutation
+/// ([`Arc::make_mut`] in [`Database::table_mut`]): cloning a database — e.g.
+/// to apply a round's cell edits — shares every untouched table with the
+/// original, so a clone-and-edit costs only the edited tables.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
     foreign_keys: Vec<ForeignKey>,
 }
 
@@ -32,7 +38,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(RelationError::DuplicateTable { table: name });
         }
-        self.tables.insert(name, table);
+        self.tables.insert(name, Arc::new(table));
         Ok(())
     }
 
@@ -158,15 +164,20 @@ impl Database {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
             .ok_or_else(|| RelationError::UnknownTable {
                 table: name.to_string(),
             })
     }
 
     /// Mutable access to a table by name.
+    ///
+    /// Copy-on-write: if the table is shared with a clone of this database,
+    /// it is deep-copied here (once) before handing out the reference.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| RelationError::UnknownTable {
                 table: name.to_string(),
             })
@@ -184,7 +195,7 @@ impl Database {
 
     /// All tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// Number of tables.
@@ -207,7 +218,7 @@ impl Database {
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     /// Names of tables whose rows differ from `other` (same-named tables are
@@ -432,6 +443,27 @@ mod tests {
         // verify check passes.
         let db = two_table_db();
         assert!(db.check_primary_keys().is_ok());
+    }
+
+    #[test]
+    fn clones_share_untouched_tables() {
+        let db = two_table_db();
+        let mut db2 = db.clone();
+        // A clone is pure pointer sharing: no table data is copied.
+        assert!(Arc::ptr_eq(&db.tables["T1"], &db2.tables["T1"]));
+        assert!(Arc::ptr_eq(&db.tables["T2"], &db2.tables["T2"]));
+        // Mutating one table in the clone unshares only that table.
+        db2.table_mut("T1")
+            .unwrap()
+            .update_cell(0, "B", Value::Int(11))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&db.tables["T1"], &db2.tables["T1"]));
+        assert!(Arc::ptr_eq(&db.tables["T2"], &db2.tables["T2"]));
+        // The original is untouched.
+        assert_eq!(
+            db.table("T1").unwrap().row(0).unwrap().get(1),
+            Some(&Value::Int(10))
+        );
     }
 
     #[test]

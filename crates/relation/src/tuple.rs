@@ -1,23 +1,32 @@
 //! Tuples: ordered lists of [`Value`]s.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::value::Value;
 
 /// A relational tuple (row).
 ///
-/// Tuples are plain value vectors; the owning [`Table`](crate::Table)'s schema
+/// Tuples are value vectors; the owning [`Table`](crate::Table)'s schema
 /// gives the values their meaning. Equality and hashing are value-based, which
 /// is what bag/set comparison of query results requires.
+///
+/// The values live behind an [`Arc`] with copy-on-write mutation: cloning a
+/// tuple (and hence a table, a join row or a query result) is a reference
+/// bump, and only a tuple that is actually mutated while shared pays for a
+/// copy. This is what keeps a clone-and-edit of a whole database proportional
+/// to the edit.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: Arc<Vec<Value>>,
 }
 
 impl Tuple {
     /// Creates a tuple from its values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple {
+            values: Arc::new(values),
+        }
     }
 
     /// Number of fields.
@@ -30,9 +39,9 @@ impl Tuple {
         &self.values
     }
 
-    /// Mutable access to the values.
+    /// Mutable access to the values (copy-on-write when shared).
     pub fn values_mut(&mut self) -> &mut [Value] {
-        &mut self.values
+        Arc::make_mut(&mut self.values).as_mut_slice()
     }
 
     /// The value at position `idx`, if in range.
@@ -44,7 +53,8 @@ impl Tuple {
     /// `None` when `idx` is out of range (the tuple is left unchanged).
     pub fn set(&mut self, idx: usize, value: Value) -> Option<Value> {
         if idx < self.values.len() {
-            Some(std::mem::replace(&mut self.values[idx], value))
+            let values = Arc::make_mut(&mut self.values);
+            Some(std::mem::replace(&mut values[idx], value))
         } else {
             None
         }
@@ -86,9 +96,9 @@ impl Tuple {
             .count()
     }
 
-    /// Consumes the tuple and returns its values.
+    /// Consumes the tuple and returns its values (cloning only if shared).
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        Arc::try_unwrap(self.values).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
