@@ -4,18 +4,19 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|rounds|service] [--paper-scale] [--fleet-sessions N]
+//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|rounds|service|chaos] [--paper-scale] [--fleet-sessions N]
 //! ```
 //!
 //! The default scale is `Small` (reduced cardinalities, runs in seconds);
 //! `--paper-scale` uses the paper's dataset cardinalities and δ = 1 s.
 
 use qfe_bench::{
-    ablation_estimator, extra_entropy, extra_initial_size, manager_report, qbo_batch_json,
-    qbo_batch_measurements, qbo_batch_report, rounds_json, rounds_measurements, rounds_report,
-    run_service_fleet, service_fleet_json, service_fleet_summary, skyline_parallel_json,
-    skyline_parallel_report, skyline_parallel_rows, table1, table2, table3, table4, table5, table6,
-    table7, user_study, Scale, ServiceFleetConfig,
+    ablation_estimator, chaos_fleet_json, chaos_fleet_summary, extra_entropy, extra_initial_size,
+    manager_report, qbo_batch_json, qbo_batch_measurements, qbo_batch_report, rounds_json,
+    rounds_measurements, rounds_report, run_chaos_fleet, run_service_fleet, service_fleet_json,
+    service_fleet_summary, skyline_parallel_json, skyline_parallel_report, skyline_parallel_rows,
+    table1, table2, table3, table4, table5, table6, table7, user_study, ChaosFleetConfig, Scale,
+    ServiceFleetConfig,
 };
 
 fn main() {
@@ -131,6 +132,27 @@ fn main() {
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if want("chaos") {
+        let config = ChaosFleetConfig {
+            sessions: fleet_sessions.unwrap_or(ChaosFleetConfig::default().sessions),
+            ..ChaosFleetConfig::default()
+        };
+        let report = run_chaos_fleet(&config);
+        println!("{}", chaos_fleet_summary(&config, &report));
+        let json = chaos_fleet_json(&config, &report);
+        let path = "BENCH_chaos.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        if report.lost_sessions > 0 || report.duplicate_answer_effects > 0 {
+            eprintln!(
+                "chaos fleet FAILED its exactly-once guarantee: {} lost, {} duplicated",
+                report.lost_sessions, report.duplicate_answer_effects
+            );
+            std::process::exit(1);
         }
     }
 }

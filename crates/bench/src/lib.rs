@@ -10,8 +10,13 @@
 
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod service;
 
+pub use chaos::{
+    chaos_fault_plan, chaos_fleet_json, chaos_fleet_summary, run_chaos_fleet, ChaosFleetConfig,
+    ChaosFleetReport,
+};
 pub use service::{
     run_service_fleet, service_fleet_json, service_fleet_summary, ServiceFleetConfig,
     ServiceFleetReport,

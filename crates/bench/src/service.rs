@@ -210,6 +210,7 @@ pub fn run_service_fleet(config: &ServiceFleetConfig) -> ServiceFleetReport {
         host,
         ServerConfig {
             workers: config.workers,
+            ..ServerConfig::default()
         },
     )
     .expect("server binds an ephemeral port");

@@ -46,6 +46,42 @@ pub fn advance_full_rebuilds() -> u64 {
     FULL_REBUILDS.load(Ordering::Relaxed)
 }
 
+/// Advances sampled by the `QFE_PARANOIA` self-check mode.
+static PARANOIA_CHECKS: AtomicU64 = AtomicU64::new(0);
+/// Self-checks where the delta-maintained context diverged from a fresh
+/// rebuild (each one degraded gracefully to the rebuild).
+static PARANOIA_MISMATCHES: AtomicU64 = AtomicU64::new(0);
+/// Rolling advance counter for the every-Nth sampling mode.
+static PARANOIA_TICK: AtomicU64 = AtomicU64::new(0);
+
+/// How many `advance` calls the `QFE_PARANOIA` mode has spot-validated
+/// against a fresh rebuild this process.
+pub fn paranoia_checks() -> u64 {
+    PARANOIA_CHECKS.load(Ordering::Relaxed)
+}
+
+/// How many `QFE_PARANOIA` self-checks caught a divergence (and fell back
+/// to the fresh rebuild). Any nonzero value is a delta-maintenance bug that
+/// the paranoia mode has *contained* but that should be reported.
+pub fn paranoia_mismatches() -> u64 {
+    PARANOIA_MISMATCHES.load(Ordering::Relaxed)
+}
+
+/// Sampling interval of the `QFE_PARANOIA` self-check mode, parsed once:
+/// unset/`0`/`off` → disabled, `1`/`always`/`on` → every advance, a number
+/// `N` → every Nth advance.
+fn paranoia_interval() -> Option<u64> {
+    static MODE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        let value = std::env::var("QFE_PARANOIA").ok()?;
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "false" => None,
+            "1" | "always" | "on" | "true" => Some(1),
+            other => other.parse::<u64>().ok().filter(|&n| n > 0),
+        }
+    })
+}
+
 /// Which maintenance tier [`GenerationContext::advance`] took for the
 /// relational state (database, join, columnar mirror).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +111,13 @@ pub struct AdvanceReport {
     pub cell_deltas: Vec<CellDelta>,
     /// Join-column indices whose values changed (sorted, deduplicated).
     pub edited_columns: Vec<usize>,
+    /// True when the `QFE_PARANOIA` mode spot-validated this advance
+    /// against a fresh rebuild.
+    pub paranoia_checked: bool,
+    /// Why the self-check rejected the delta-maintained context, when it
+    /// did. The returned context is then the fresh rebuild (and
+    /// [`AdvanceReport::path`] reads [`AdvancePath::FullRebuild`]).
+    pub paranoia_mismatch: Option<String>,
 }
 
 /// A candidate single-tuple modification at the tuple-class level: a
@@ -356,6 +399,8 @@ impl GenerationContext {
                 kernel: KernelReuse::Rebuilt,
                 cell_deltas: Vec::new(),
                 edited_columns: Vec::new(),
+                paranoia_checked: false,
+                paranoia_mismatch: None,
             };
             return Ok((context, report));
         }
@@ -469,8 +514,111 @@ impl GenerationContext {
             kernel: kernel_reuse,
             cell_deltas,
             edited_columns: edited_join_columns.iter().copied().collect(),
+            paranoia_checked: false,
+            paranoia_mismatch: None,
         };
-        Ok((context, report))
+        self.paranoia_check(context, report)
+    }
+
+    /// The `QFE_PARANOIA` self-check: spot-validate a delta-maintained
+    /// successor against a fresh rebuild from the same database and
+    /// candidates. On divergence the advance **degrades gracefully** — the
+    /// fresh rebuild is returned (correctness preserved), the mismatch is
+    /// counted and logged, and the report says what happened. Disabled (the
+    /// common case) this is one relaxed atomic load.
+    fn paranoia_check(
+        &self,
+        context: GenerationContext,
+        mut report: AdvanceReport,
+    ) -> Result<(GenerationContext, AdvanceReport)> {
+        let Some(every) = paranoia_interval() else {
+            return Ok((context, report));
+        };
+        if !PARANOIA_TICK
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+        {
+            return Ok((context, report));
+        }
+        PARANOIA_CHECKS.fetch_add(1, Ordering::Relaxed);
+        report.paranoia_checked = true;
+        let fresh = Self::new_shared(
+            Arc::clone(&context.db),
+            Arc::clone(&context.original_result),
+            context.queries.clone(),
+        )?;
+        match context.divergence_from(&fresh) {
+            None => Ok((context, report)),
+            Some(reason) => {
+                PARANOIA_MISMATCHES.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "qfe: QFE_PARANOIA caught a delta-repair divergence ({reason}); \
+                     degrading to the fresh rebuild (total mismatches {})",
+                    paranoia_mismatches()
+                );
+                report.paranoia_mismatch = Some(reason);
+                // The delta-maintained context is discarded, so its deltas
+                // must not be used to repair downstream caches either.
+                report.path = AdvancePath::FullRebuild;
+                report.kernel = KernelReuse::Rebuilt;
+                report.cell_deltas.clear();
+                Ok((fresh, report))
+            }
+        }
+    }
+
+    /// Compares every artifact this context derives from the database —
+    /// join rows, domain partitions, source classes, projection columns —
+    /// against `other`, returning a description of the first divergence, or
+    /// `None` when the two are equivalent. This is the equivalence the
+    /// differential round-maintenance tests assert; the `QFE_PARANOIA` mode
+    /// runs it in production as a self-check.
+    pub fn divergence_from(&self, other: &GenerationContext) -> Option<String> {
+        if self.queries.len() != other.queries.len() {
+            return Some(format!(
+                "candidate count {} vs {}",
+                self.queries.len(),
+                other.queries.len()
+            ));
+        }
+        if self.join.len() != other.join.len() {
+            return Some(format!(
+                "join row count {} vs {}",
+                self.join.len(),
+                other.join.len()
+            ));
+        }
+        for (row, (a, b)) in self.join.rows().iter().zip(other.join.rows()).enumerate() {
+            if a.tuple != b.tuple {
+                return Some(format!("join row {row} tuples differ"));
+            }
+        }
+        let (ours, theirs) = (self.space.attributes(), other.space.attributes());
+        if ours.len() != theirs.len() {
+            return Some(format!(
+                "class-space attribute count {} vs {}",
+                ours.len(),
+                theirs.len()
+            ));
+        }
+        for (a, b) in ours.iter().zip(theirs) {
+            if a.column != b.column {
+                return Some(format!(
+                    "class-space attribute column {} vs {}",
+                    a.column, b.column
+                ));
+            }
+            if a.blocks != b.blocks {
+                return Some(format!("domain partition differs on {}", a.reference));
+            }
+        }
+        if self.source_classes != other.source_classes {
+            return Some("source classes differ".to_string());
+        }
+        if self.projection_columns != other.projection_columns {
+            return Some("projection columns differ".to_string());
+        }
+        None
     }
 
     /// Remaps this context's source classes into the successor class space

@@ -210,7 +210,8 @@ mod tuple_class;
 
 pub use alt_cost::AltCostModel;
 pub use context::{
-    advance_full_rebuilds, AdvancePath, AdvanceReport, ClassPair, GenerationContext, Outcome,
+    advance_full_rebuilds, paranoia_checks, paranoia_mismatches, AdvancePath, AdvanceReport,
+    ClassPair, GenerationContext, Outcome,
 };
 pub use cost::{
     balance_score, estimate_iterations, objective, user_effort_cost, CostInputs, CostModelKind,

@@ -1,0 +1,59 @@
+//! The `QFE_PARANOIA` self-check mode: delta-maintained advances are
+//! spot-validated against a fresh rebuild, and a divergence degrades
+//! gracefully to the rebuilt context instead of serving drifted state.
+//!
+//! This lives in its own integration-test binary because the sampling
+//! interval is parsed from the environment once per process — the variable
+//! must be set before the first `advance` anywhere in the process.
+
+use qfe_core::{paranoia_checks, paranoia_mismatches, AdvancePath, CellEdit, GenerationContext};
+use qfe_relation::Value;
+
+#[test]
+fn paranoia_mode_spot_validates_delta_advances() {
+    std::env::set_var("QFE_PARANOIA", "1");
+
+    let (db, result, candidates, _) = qfe_datasets::example_1_1();
+    let ctx = GenerationContext::new(&db, &result, &candidates).unwrap();
+
+    // An edited advance takes the delta path and gets spot-checked.
+    let edits = vec![CellEdit {
+        table: "Employee".to_string(),
+        row: 0,
+        column: "salary".to_string(),
+        new_value: Value::Int(4100),
+    }];
+    let (advanced, report) = ctx.advance_with_report(&[0, 1, 2], &edits).unwrap();
+    assert_eq!(report.path, AdvancePath::DeltaPatched);
+    assert!(
+        report.paranoia_checked,
+        "QFE_PARANOIA=1 checks every advance"
+    );
+    assert!(
+        report.paranoia_mismatch.is_none(),
+        "a correct delta repair must pass its own audit: {:?}",
+        report.paranoia_mismatch
+    );
+
+    // The no-edit (Arc-shared) advance is audited too.
+    let (_, report) = advanced.advance_with_report(&[0, 1, 2], &[]).unwrap();
+    assert_eq!(report.path, AdvancePath::SharedNoEdit);
+    assert!(report.paranoia_checked);
+    assert!(report.paranoia_mismatch.is_none());
+
+    assert!(paranoia_checks() >= 2, "both advances were sampled");
+    assert_eq!(paranoia_mismatches(), 0, "no divergence on healthy paths");
+}
+
+#[test]
+fn divergence_audit_reports_real_differences() {
+    // The comparator behind the paranoia check: reflexively clean, and a
+    // context with a different surviving-candidate set is named as divergent.
+    let (db, result, candidates, _) = qfe_datasets::example_1_1();
+    let ctx = GenerationContext::new(&db, &result, &candidates).unwrap();
+    assert!(ctx.divergence_from(&ctx).is_none());
+
+    let fewer = GenerationContext::new(&db, &result, &candidates[..2]).unwrap();
+    let reason = ctx.divergence_from(&fewer);
+    assert!(reason.is_some(), "candidate-count drift must be detected");
+}

@@ -1,0 +1,269 @@
+//! Deterministic request-level chaos: a [`Handler`] wrapper that delays,
+//! duplicates, and drops responses on a seeded schedule.
+//!
+//! [`FlakyHandler`] sits between the HTTP server and the real application
+//! handler, misbehaving in the ways a lossy network or a struggling proxy
+//! would:
+//!
+//! * **delay** — sleep before handling, exercising client read patience;
+//! * **duplicate** — invoke the inner handler *twice* for one request (as a
+//!   replaying proxy would), returning the second response — the server's
+//!   idempotency cache must make the second invocation a no-op replay;
+//! * **drop** — invoke the inner handler (the effect *is* applied), then
+//!   discard the response and return `503`, as if the reply was lost in
+//!   flight — the client's retry must be deduplicated server-side, which is
+//!   exactly the case idempotency keys exist for.
+//!
+//! All misbehavior is drawn from a seeded splitmix64 sequence: the same
+//! seed and request order produce the same schedule, so chaos runs are
+//! replayable in CI. Faults only apply to paths containing one of the
+//! configured needles, so the session-creation plumbing stays reliable
+//! while the verbs under test suffer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::http::{Handler, Request, Response};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Misbehavior probabilities and targeting for a [`FlakyHandler`].
+#[derive(Debug, Clone)]
+pub struct FlakyConfig {
+    /// Seed of the fault schedule; same seed → same schedule.
+    pub seed: u64,
+    /// Probability of executing the request but returning `503` instead of
+    /// its response (a lost reply).
+    pub drop_response: f64,
+    /// Probability of handling the request twice (a replaying proxy).
+    pub duplicate: f64,
+    /// Probability of sleeping [`FlakyConfig::delay_millis`] first.
+    pub delay: f64,
+    /// How long a delay fault sleeps.
+    pub delay_millis: u64,
+    /// Only requests whose path contains one of these substrings are
+    /// eligible for faults; everything else passes through untouched.
+    pub target_paths: Vec<String>,
+}
+
+impl Default for FlakyConfig {
+    fn default() -> FlakyConfig {
+        FlakyConfig {
+            seed: 0xC4A05,
+            drop_response: 0.15,
+            duplicate: 0.1,
+            delay: 0.1,
+            delay_millis: 20,
+            target_paths: vec![
+                "/answer".to_string(),
+                "/reject".to_string(),
+                "/park".to_string(),
+            ],
+        }
+    }
+}
+
+/// A [`Handler`] that wraps another and misbehaves per [`FlakyConfig`].
+pub struct FlakyHandler {
+    inner: Arc<dyn Handler>,
+    config: FlakyConfig,
+    rng: Mutex<u64>,
+    dropped: AtomicUsize,
+    duplicated: AtomicUsize,
+    delayed: AtomicUsize,
+}
+
+impl std::fmt::Debug for FlakyHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlakyHandler")
+            .field("config", &self.config)
+            .field("dropped", &self.dropped())
+            .field("duplicated", &self.duplicated())
+            .field("delayed", &self.delayed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlakyHandler {
+    /// Wraps `inner` with the fault schedule seeded by `config`.
+    pub fn new(inner: Arc<dyn Handler>, config: FlakyConfig) -> FlakyHandler {
+        let seed = config.seed;
+        FlakyHandler {
+            inner,
+            config,
+            rng: Mutex::new(seed),
+            dropped: AtomicUsize::new(0),
+            duplicated: AtomicUsize::new(0),
+            delayed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Responses dropped (executed, then replaced by `503`).
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Requests handled twice.
+    pub fn duplicated(&self) -> usize {
+        self.duplicated.load(Ordering::SeqCst)
+    }
+
+    /// Requests delayed before handling.
+    pub fn delayed(&self) -> usize {
+        self.delayed.load(Ordering::SeqCst)
+    }
+
+    fn targeted(&self, request: &Request) -> bool {
+        self.config
+            .target_paths
+            .iter()
+            .any(|needle| request.path.contains(needle))
+    }
+}
+
+impl Handler for FlakyHandler {
+    fn handle(&self, request: &Request) -> Response {
+        if !self.targeted(request) {
+            return self.inner.handle(request);
+        }
+        // One lock scope for all of this request's draws keeps the
+        // schedule deterministic under concurrency-free drivers.
+        let (delay, duplicate, drop) = {
+            let mut rng = self.rng.lock().expect("flaky rng lock poisoned");
+            (
+                unit(&mut rng) < self.config.delay,
+                unit(&mut rng) < self.config.duplicate,
+                unit(&mut rng) < self.config.drop_response,
+            )
+        };
+        if delay {
+            self.delayed.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(self.config.delay_millis));
+        }
+        let mut response = self.inner.handle(request);
+        if duplicate {
+            self.duplicated.fetch_add(1, Ordering::SeqCst);
+            response = self.inner.handle(request);
+        }
+        if drop {
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+            return Response::unavailable("chaos: response dropped", 1);
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts invocations; echoes the count so duplicates are visible.
+    #[derive(Debug, Default)]
+    struct Counter(AtomicUsize);
+
+    impl Handler for Counter {
+        fn handle(&self, _request: &Request) -> Response {
+            let n = self.0.fetch_add(1, Ordering::SeqCst) + 1;
+            Response::json(200, format!("{{\"calls\":{n}}}"))
+        }
+    }
+
+    fn req(path: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: String::new(),
+        }
+    }
+
+    #[test]
+    fn untargeted_paths_pass_through() {
+        let flaky = FlakyHandler::new(
+            Arc::new(Counter::default()),
+            FlakyConfig {
+                drop_response: 1.0,
+                duplicate: 1.0,
+                delay: 0.0,
+                ..FlakyConfig::default()
+            },
+        );
+        let response = flaky.handle(&req("/healthz"));
+        assert_eq!(response.status, 200);
+        assert_eq!(flaky.dropped(), 0);
+        assert_eq!(flaky.duplicated(), 0);
+    }
+
+    #[test]
+    fn drop_executes_then_loses_the_response() {
+        let inner = Arc::new(Counter::default());
+        let flaky = FlakyHandler::new(
+            Arc::clone(&inner) as Arc<dyn Handler>,
+            FlakyConfig {
+                drop_response: 1.0,
+                duplicate: 0.0,
+                delay: 0.0,
+                ..FlakyConfig::default()
+            },
+        );
+        let response = flaky.handle(&req("/sessions/1/answer"));
+        // The effect happened (inner ran) but the caller sees a 503.
+        assert_eq!(response.status, 503);
+        assert_eq!(inner.0.load(Ordering::SeqCst), 1);
+        assert_eq!(flaky.dropped(), 1);
+    }
+
+    #[test]
+    fn duplicate_invokes_inner_twice() {
+        let inner = Arc::new(Counter::default());
+        let flaky = FlakyHandler::new(
+            Arc::clone(&inner) as Arc<dyn Handler>,
+            FlakyConfig {
+                drop_response: 0.0,
+                duplicate: 1.0,
+                delay: 0.0,
+                ..FlakyConfig::default()
+            },
+        );
+        let response = flaky.handle(&req("/sessions/1/answer"));
+        assert_eq!(response.status, 200);
+        assert!(response.body.contains("\"calls\":2"));
+        assert_eq!(inner.0.load(Ordering::SeqCst), 2);
+        assert_eq!(flaky.duplicated(), 1);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let flaky = FlakyHandler::new(
+                Arc::new(Counter::default()),
+                FlakyConfig {
+                    seed,
+                    ..FlakyConfig::default()
+                },
+            );
+            let mut statuses = Vec::new();
+            for i in 0..50 {
+                statuses.push(flaky.handle(&req(&format!("/sessions/{i}/answer"))).status);
+            }
+            (
+                statuses,
+                flaky.dropped(),
+                flaky.duplicated(),
+                flaky.delayed(),
+            )
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7).0, run(8).0, "different seed, different schedule");
+    }
+}

@@ -3,6 +3,23 @@
 //! Keeps one keep-alive connection to the server and reconnects once,
 //! transparently, when the pooled connection has gone stale. All failures
 //! surface as [`QfeError::Http`] naming the request that failed.
+//!
+//! ## Retries
+//!
+//! Without a [`RetryPolicy`], the client performs one transparent resend
+//! only when the server *provably never saw* the request (connect/write
+//! failure, or zero status bytes on a stale pooled connection) — a failure
+//! mid-response is not retried, because the server may already have applied
+//! a non-idempotent action.
+//!
+//! With a policy ([`HttpClient::with_retry`]), the client retries failed
+//! and `503`-refused requests under exponential backoff with seeded jitter,
+//! bounded by a total sleep budget. Ambiguous failures (the request may
+//! have been applied) are retried only for requests sent through
+//! [`HttpClient::post_idempotent`], which stamps an idempotency key into
+//! the body so the server replays the original response instead of
+//! re-executing — making *every* retry safe, not just provably-unprocessed
+//! ones.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -15,11 +32,53 @@ use qfe_wire::Json;
 /// hanging the fleet thread forever.
 const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// One step of the splitmix64 sequence — the client's whole PRNG, used for
+/// backoff jitter and idempotency-key uniqueness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How hard to retry: exponential backoff with jitter under a sleep budget.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Most resends of one logical request (beyond the first attempt).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling per delay (also caps an advertised `Retry-After`).
+    pub max_delay: Duration,
+    /// Total sleep allowed across all retries of one logical request.
+    pub budget: Duration,
+    /// Seed for the jitter sequence — pin it for reproducible schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            budget: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
 /// A keep-alive JSON-over-HTTP client bound to one server address.
 #[derive(Debug)]
 pub struct HttpClient {
     addr: String,
     stream: Option<TcpStream>,
+    retry: Option<RetryPolicy>,
+    rng: u64,
+    idem_seq: u64,
+    retries: usize,
+    last_retry_after: Option<u64>,
 }
 
 fn http_err(context: &str, message: impl std::fmt::Display) -> QfeError {
@@ -36,22 +95,56 @@ impl HttpClient {
         HttpClient {
             addr: addr.into(),
             stream: None,
+            retry: None,
+            rng: 0x5EED,
+            idem_seq: 0,
+            retries: 0,
+            last_retry_after: None,
         }
+    }
+
+    /// A client that retries under `policy` (see the module docs).
+    pub fn with_retry(addr: impl Into<String>, policy: RetryPolicy) -> HttpClient {
+        let mut client = HttpClient::new(addr);
+        client.rng = policy.seed;
+        client.retry = Some(policy);
+        client
+    }
+
+    /// How many resends this client has performed (across all requests).
+    pub fn retries(&self) -> usize {
+        self.retries
     }
 
     /// GETs `path`, returning the status and parsed JSON body.
     pub fn get(&mut self, path: &str) -> Result<(u16, Json)> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, false)
     }
 
     /// POSTs `body` to `path`, returning the status and parsed JSON body.
     pub fn post(&mut self, path: &str, body: &Json) -> Result<(u16, Json)> {
-        self.request("POST", path, Some(body.render()))
+        self.request("POST", path, Some(body.render()), false)
+    }
+
+    /// POSTs `body` with a fresh idempotency key stamped into it (`"idem"`
+    /// field), making the request safe to resend even after an ambiguous
+    /// failure: the server dedups replays and returns the original
+    /// response. Use for the mutating session verbs (`answer`, `reject`,
+    /// `park`). Requires an object body.
+    pub fn post_idempotent(&mut self, path: &str, body: &Json) -> Result<(u16, Json)> {
+        let Json::Object(mut fields) = body.clone() else {
+            return self.post(path, body);
+        };
+        self.idem_seq += 1;
+        // Unique per logical request, stable across its retries.
+        let key = format!("i{:016x}-{}", splitmix64(&mut self.rng), self.idem_seq);
+        fields.push(("idem".to_string(), Json::Str(key)));
+        self.request("POST", path, Some(Json::Object(fields).render()), true)
     }
 
     /// Sends a DELETE to `path`.
     pub fn delete(&mut self, path: &str) -> Result<(u16, Json)> {
-        self.request("DELETE", path, None)
+        self.request("DELETE", path, None, false)
     }
 
     fn connect(&mut self, context: &str) -> Result<&mut TcpStream> {
@@ -67,24 +160,63 @@ impl HttpClient {
         Ok(self.stream.as_mut().expect("stream just ensured"))
     }
 
-    fn request(&mut self, method: &str, path: &str, body: Option<String>) -> Result<(u16, Json)> {
+    /// Draws a jitter factor in `[0.5, 1.0)` from the seeded sequence.
+    fn jitter(&mut self) -> f64 {
+        0.5 + 0.5 * ((splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+        idempotent: bool,
+    ) -> Result<(u16, Json)> {
         let context = format!("{method} {path}");
-        // One transparent retry, but only when the server provably never saw
-        // the request (connect/write failure, or the pooled keep-alive
-        // connection was closed before a single status byte came back). A
-        // failure mid-response is NOT retried: the server may already have
-        // applied a non-idempotent action such as `answer`, and re-sending it
-        // would surface a spurious conflict.
-        match self.try_request(&context, method, path, body.as_deref()) {
-            Ok(reply) => Ok(reply),
-            Err((true, _first)) => {
-                self.stream = None;
-                self.try_request(&context, method, path, body.as_deref())
-                    .map_err(|(_, err)| err)
+        let policy = self.retry.clone();
+        let max_retries = policy.as_ref().map(|p| p.max_retries).unwrap_or(1);
+        let mut attempt: u32 = 0;
+        let mut slept = Duration::ZERO;
+        loop {
+            self.last_retry_after = None;
+            match self.try_request(&context, method, path, body.as_deref()) {
+                // A 503 is a refusal issued *before* execution (load shed or
+                // drain), so it is safe to retry regardless of idempotency —
+                // but only a policy-carrying client bothers.
+                Ok((503, _)) if policy.is_some() && attempt < max_retries => {}
+                Ok(reply) => return Ok(reply),
+                Err((unprocessed, err)) => {
+                    // Ambiguous failures (the request may have been applied)
+                    // are only retried when an idempotency key protects the
+                    // resend.
+                    let retryable = unprocessed || (idempotent && policy.is_some());
+                    if !retryable || attempt >= max_retries {
+                        self.stream = None;
+                        return Err(err);
+                    }
+                }
             }
-            Err((false, err)) => {
-                self.stream = None;
-                Err(err)
+            self.stream = None;
+            self.retries += 1;
+            attempt += 1;
+            if let Some(policy) = &policy {
+                // Exponential backoff with jitter, honoring an advertised
+                // Retry-After up to `max_delay`, under the total budget.
+                let shift = (attempt - 1).min(16);
+                let mut delay = policy
+                    .base_delay
+                    .saturating_mul(1u32 << shift)
+                    .min(policy.max_delay);
+                if let Some(secs) = self.last_retry_after {
+                    delay = delay.max(Duration::from_secs(secs).min(policy.max_delay));
+                }
+                let delay = delay
+                    .mul_f64(self.jitter())
+                    .min(policy.budget.saturating_sub(slept));
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                    slept += delay;
+                }
             }
         }
     }
@@ -159,6 +291,7 @@ impl HttpClient {
                         .map_err(|e| http_err(context, format!("bad content-length: {e}")))?;
                 }
                 "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                "retry-after" => self.last_retry_after = value.parse().ok(),
                 _ => {}
             }
         }

@@ -6,22 +6,38 @@
 //! hard limits on header and body sizes so a misbehaving client cannot
 //! balloon the process. That subset is exactly what the JSON session API
 //! and its clients need — and it keeps the frontend free of dependencies.
+//!
+//! Overload and failure behavior is explicit:
+//!
+//! * The accept queue is **bounded** ([`ServerConfig::queue_depth`]). When
+//!   every worker is busy and the queue is full, new connections get an
+//!   immediate `503` with a `Retry-After` header instead of piling up.
+//! * Sockets carry read *and* write timeouts, and each request has a
+//!   **deadline** from its first byte to its last — a slow-loris client
+//!   trickling headers gets `408`, not a parked worker.
+//! * Header count and total header bytes are bounded separately from the
+//!   16 KiB head limit; exceeding either is a `431`, not a hangup.
+//! * [`Server::shutdown_graceful`] stops accepting, lets in-flight requests
+//!   finish (forcing `Connection: close` on their responses so keep-alive
+//!   connections wind down), and reports whether the drain completed.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request head (request line + headers) in bytes.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Most header lines accepted in one request.
+const MAX_HEADER_COUNT: usize = 64;
+/// Largest total header bytes (excluding the request line).
+const MAX_HEADER_BYTES: usize = 8 * 1024;
 /// Largest accepted request body in bytes — snapshots of big workloads are
 /// megabytes, so this is generous without being unbounded.
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-/// Per-connection socket read timeout; a stalled client frees its worker.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A parsed HTTP request: everything the router needs, nothing more.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +57,8 @@ pub struct Response {
     pub status: u16,
     /// Response body, always JSON text in this service.
     pub body: String,
+    /// Emit a `Retry-After: <secs>` header (used with `503`).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -49,6 +67,16 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A `503 Service Unavailable` telling the client when to retry.
+    pub fn unavailable(reason: &str, retry_after_secs: u64) -> Response {
+        Response {
+            status: 503,
+            body: format!("{{\"error\":{reason:?},\"kind\":\"unavailable\"}}"),
+            retry_after: Some(retry_after_secs),
         }
     }
 }
@@ -67,9 +95,12 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Status",
     }
 }
@@ -85,14 +116,18 @@ enum Parsed {
 }
 
 /// Reads one HTTP/1.1 request from the stream. Writes the interim
-/// `100 Continue` itself when the client asked for it.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
+/// `100 Continue` itself when the client asked for it. `deadline` bounds
+/// the whole parse, from request line to final body byte.
+fn read_request(reader: &mut BufReader<TcpStream>, deadline: Duration) -> Parsed {
     let mut line = String::new();
     match reader.read_line(&mut line) {
         Ok(0) => return Parsed::Eof,
         Ok(_) => {}
         Err(_) => return Parsed::Eof, // timeout or reset between requests
     }
+    // The deadline clock starts once the first byte of a request exists —
+    // idle keep-alive connections are governed by the read timeout instead.
+    let started = Instant::now();
     let mut parts = line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
@@ -102,6 +137,8 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
     let path = target.split('?').next().unwrap_or("").to_string();
 
     let mut head_bytes = line.len();
+    let mut header_bytes = 0usize;
+    let mut header_count = 0usize;
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
     let mut expects_continue = false;
@@ -110,7 +147,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
         match reader.read_line(&mut header) {
             Ok(0) => return Parsed::Eof,
             Ok(_) => {}
-            Err(_) => return Parsed::Bad(400, "header read failed"),
+            Err(_) => return Parsed::Bad(408, "request deadline exceeded"),
+        }
+        if started.elapsed() > deadline {
+            return Parsed::Bad(408, "request deadline exceeded");
         }
         head_bytes += header.len();
         if head_bytes > MAX_HEAD_BYTES {
@@ -119,6 +159,11 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
         let header = header.trim_end();
         if header.is_empty() {
             break;
+        }
+        header_bytes += header.len();
+        header_count += 1;
+        if header_count > MAX_HEADER_COUNT || header_bytes > MAX_HEADER_BYTES {
+            return Parsed::Bad(431, "too many request headers");
         }
         let Some((name, value)) = header.split_once(':') else {
             return Parsed::Bad(400, "malformed header");
@@ -152,6 +197,9 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
     if content_length > 0 && reader.read_exact(&mut body).is_err() {
         return Parsed::Bad(400, "request body shorter than content-length");
     }
+    if started.elapsed() > deadline {
+        return Parsed::Bad(408, "request deadline exceeded");
+    }
     let Ok(body) = String::from_utf8(body) else {
         return Parsed::Bad(400, "request body is not UTF-8");
     };
@@ -161,25 +209,50 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Parsed {
 fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> bool {
     // One write per response: head and body in the same segment, so Nagle's
     // algorithm never holds the body back waiting for an ACK of the head.
+    let retry_after = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let mut message = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.body.len(),
+        retry_after,
         if keep_alive { "keep-alive" } else { "close" },
     );
     message.push_str(&response.body);
     stream.write_all(message.as_bytes()).is_ok() && stream.flush().is_ok()
 }
 
+/// State shared between the accept thread, workers, and the [`Server`]
+/// handle — what graceful shutdown watches.
+#[derive(Debug, Default)]
+struct Shared {
+    /// Set during graceful shutdown: finish in-flight work, close
+    /// connections after their current response.
+    draining: AtomicBool,
+    /// Requests currently inside the handler (or having their response
+    /// written).
+    in_flight: AtomicUsize,
+    /// Accepted connections waiting for a free worker.
+    queued: AtomicUsize,
+}
+
 /// Serves one connection until it closes, errors, or asks to close.
-fn serve_connection(stream: TcpStream, handler: &dyn Handler) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    shared: &Shared,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     // Interactive request/response traffic: latency beats batching.
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request(&mut reader) {
+        match read_request(&mut reader, config.request_deadline) {
             Parsed::Eof => return,
             Parsed::Bad(status, message) => {
                 let body = format!("{{\"error\":{:?},\"kind\":\"bad_request\"}}", message);
@@ -187,8 +260,14 @@ fn serve_connection(stream: TcpStream, handler: &dyn Handler) {
                 return;
             }
             Parsed::Ok(request, keep_alive) => {
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
                 let response = handler.handle(&request);
-                if !write_response(reader.get_mut(), &response, keep_alive) || !keep_alive {
+                // While draining, close after this response so the
+                // connection cannot start another request.
+                let keep_alive = keep_alive && !shared.draining.load(Ordering::SeqCst);
+                let written = write_response(reader.get_mut(), &response, keep_alive);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if !written || !keep_alive {
                     return;
                 }
             }
@@ -201,23 +280,44 @@ fn serve_connection(stream: TcpStream, handler: &dyn Handler) {
 pub struct ServerConfig {
     /// Worker threads serving connections.
     pub workers: usize,
+    /// Accepted connections that may wait for a worker before new arrivals
+    /// are refused with `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Per-socket read timeout; a stalled client frees its worker.
+    pub read_timeout: Duration,
+    /// Per-socket write timeout; a non-reading client frees its worker.
+    pub write_timeout: Duration,
+    /// Deadline for parsing one request, first byte to last body byte.
+    pub request_deadline: Duration,
+    /// `Retry-After` seconds advertised on backpressure `503`s.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { workers: 8 }
+        ServerConfig {
+            workers: 8,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(10),
+            retry_after_secs: 1,
+        }
     }
 }
 
-/// A running HTTP server: an accept thread feeding a fixed worker pool.
+/// A running HTTP server: an accept thread feeding a fixed worker pool
+/// through a bounded queue.
 ///
 /// Dropping the server shuts it down: the accept loop is poked awake, new
 /// connections are refused, and the accept thread is joined. In-flight
-/// connections finish on their (detached) workers.
+/// connections finish on their (detached) workers. For an orderly exit use
+/// [`Server::shutdown_graceful`] first.
 #[derive(Debug)]
 pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -232,12 +332,16 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared::default());
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         for worker in 0..config.workers.max(1) {
             let rx = Arc::clone(&rx);
             let handler = Arc::clone(&handler);
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("qfe-http-{worker}"))
                 .spawn(move || loop {
@@ -246,13 +350,18 @@ impl Server {
                         Err(_) => return,
                     };
                     match stream {
-                        Ok(stream) => serve_connection(stream, handler.as_ref()),
+                        Ok(stream) => {
+                            shared.queued.fetch_sub(1, Ordering::SeqCst);
+                            serve_connection(stream, handler.as_ref(), &shared, &config);
+                        }
                         Err(_) => return, // server dropped the sender: shut down
                     }
                 })?;
         }
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_shared = Arc::clone(&shared);
+        let retry_after = config.retry_after_secs;
         let accept_thread = std::thread::Builder::new()
             .name("qfe-http-accept".to_string())
             .spawn(move || {
@@ -261,8 +370,22 @@ impl Server {
                         return; // tx drops here; idle workers exit
                     }
                     let Ok(stream) = stream else { continue };
-                    if tx.send(stream).is_err() {
-                        return;
+                    accept_shared.queued.fetch_add(1, Ordering::SeqCst);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            // Pool saturated and queue full: shed load now
+                            // with an honest 503 instead of queueing
+                            // unboundedly.
+                            accept_shared.queued.fetch_sub(1, Ordering::SeqCst);
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                            let _ = write_response(
+                                &mut stream,
+                                &Response::unavailable("server at capacity", retry_after),
+                                false,
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
                     }
                 }
             })?;
@@ -270,6 +393,7 @@ impl Server {
         Ok(Server {
             local_addr,
             shutdown,
+            shared,
             accept_thread: Some(accept_thread),
         })
     }
@@ -277,6 +401,11 @@ impl Server {
     /// The address the server actually bound (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Requests currently being handled (for the readiness probe).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -289,6 +418,26 @@ impl Server {
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+    }
+
+    /// Orderly shutdown: stop accepting, let queued and in-flight requests
+    /// finish (their responses carry `Connection: close`), and wait up to
+    /// `timeout` for the drain. Returns `true` when everything drained.
+    pub fn shutdown_graceful(&mut self, timeout: Duration) -> bool {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shutdown();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let queued = self.shared.queued.load(Ordering::SeqCst);
+            let in_flight = self.shared.in_flight.load(Ordering::SeqCst);
+            if queued == 0 && in_flight == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }
@@ -320,29 +469,60 @@ mod tests {
         }
     }
 
+    /// Echo, after a pause — occupies a worker long enough to observe
+    /// saturation and drains.
+    #[derive(Debug)]
+    struct SlowEcho(Duration);
+
+    impl Handler for SlowEcho {
+        fn handle(&self, request: &Request) -> Response {
+            std::thread::sleep(self.0);
+            Echo.handle(request)
+        }
+    }
+
     fn start() -> Server {
-        Server::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig { workers: 2 }).unwrap()
+        Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Echo),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
     }
 
     fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
         stream.write_all(request.as_bytes()).unwrap();
+        read_reply(stream)
+    }
+
+    fn read_reply(stream: &mut TcpStream) -> String {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut status = String::new();
         reader.read_line(&mut status).unwrap();
         let mut content_length = 0usize;
+        let mut headers = String::new();
         loop {
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             if line.trim_end().is_empty() {
                 break;
             }
+            headers.push_str(&line);
             if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
                 content_length = v.trim().parse().unwrap();
             }
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body).unwrap();
-        format!("{} {}", status.trim_end(), String::from_utf8(body).unwrap())
+        format!(
+            "{} | {} | {}",
+            status.trim_end(),
+            headers.trim_end().replace("\r\n", "; "),
+            String::from_utf8(body).unwrap()
+        )
     }
 
     #[test]
@@ -405,6 +585,115 @@ mod tests {
             "POST /big HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999999\r\n\r\n",
         );
         assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    }
+
+    #[test]
+    fn excessive_header_count_gets_431() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut request = String::from("GET /h HTTP/1.1\r\nHost: x\r\n");
+        for i in 0..100 {
+            request.push_str(&format!("X-Pad-{i}: v\r\n"));
+        }
+        request.push_str("\r\n");
+        let reply = roundtrip(&mut stream, &request);
+        assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+    }
+
+    #[test]
+    fn excessive_header_bytes_get_431() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A handful of huge headers: few in count, many in bytes.
+        let big = "y".repeat(3000);
+        let request =
+            format!("GET /h HTTP/1.1\r\nHost: x\r\nX-A: {big}\r\nX-B: {big}\r\nX-C: {big}\r\n\r\n");
+        let reply = roundtrip(&mut stream, &request);
+        assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+    }
+
+    #[test]
+    fn slow_header_trickle_gets_408() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(Echo),
+            ServerConfig {
+                workers: 1,
+                request_deadline: Duration::from_millis(150),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /slow HTTP/1.1\r\nHost: x\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        stream.write_all(b"X-Late: 1\r\n\r\n").unwrap();
+        let reply = read_reply(&mut stream);
+        assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+    }
+
+    #[test]
+    fn saturation_sheds_load_with_503_and_retry_after() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(SlowEcho(Duration::from_millis(600))),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                retry_after_secs: 7,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // First connection occupies the only worker…
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(b"GET /1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // …second fills the queue…
+        let mut queued = TcpStream::connect(addr).unwrap();
+        queued
+            .write_all(b"GET /2 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // …third is shed immediately with 503 + Retry-After.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        let reply = read_reply(&mut shed);
+        assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+        assert!(reply.contains("Retry-After: 7"), "{reply}");
+        // The occupied and queued connections still complete normally.
+        assert!(read_reply(&mut busy).contains("\"path\":\"/1\""));
+        assert!(read_reply(&mut queued).contains("\"path\":\"/2\""));
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(SlowEcho(Duration::from_millis(300))),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /drain HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(server.in_flight(), 1);
+        // Drain: the in-flight request completes, its response closes the
+        // connection, and the drain reports success.
+        assert!(server.shutdown_graceful(Duration::from_secs(5)));
+        let reply = read_reply(&mut stream);
+        assert!(reply.contains("\"path\":\"/drain\""), "{reply}");
+        assert!(reply.contains("Connection: close"), "{reply}");
+        assert_eq!(server.in_flight(), 0);
     }
 
     #[test]

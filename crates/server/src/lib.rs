@@ -9,10 +9,18 @@
 //!   [`qfe_snapstore::SessionHost`]: create, step, answer, reject, park,
 //!   resume, delete, plus `/healthz` and a session listing.
 //! * [`client`] — a matching keep-alive client used by the simulated-user
-//!   fleet bench, the examples, and the CI smoke test.
+//!   fleet bench, the examples, and the CI smoke test. With a
+//!   [`RetryPolicy`] it retries under exponential backoff with jitter, and
+//!   [`HttpClient::post_idempotent`] stamps idempotency keys so replayed
+//!   mutations are deduplicated server-side.
 //!
-//! [`serve`] wires the three together; the `qfe-server` binary is a thin
-//! argument parser around it.
+//! [`chaos`] provides [`FlakyHandler`], a seeded misbehaving middleware
+//! (drops, delays, duplicates responses) used by the chaos bench and the
+//! exactly-once tests.
+//!
+//! [`serve`] wires the layers together; the `qfe-server` binary is a thin
+//! argument parser around it plus a `POST /admin/shutdown` graceful-exit
+//! route (drain in-flight requests, park every resident session, exit).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -30,13 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod routes;
 
 use std::sync::Arc;
 
-pub use client::HttpClient;
+pub use chaos::{FlakyConfig, FlakyHandler};
+pub use client::{HttpClient, RetryPolicy};
 pub use http::{Handler, Request, Response, Server, ServerConfig};
 pub use routes::ServiceState;
 

@@ -8,10 +8,17 @@
 //! Defaults: `--addr 127.0.0.1:7878`, in-memory store, 8 workers, no
 //! resident watermark. See the operators guide in the umbrella crate docs
 //! for a curl walkthrough.
+//!
+//! `POST /admin/shutdown` begins a graceful exit: the readiness probe flips
+//! to `503 draining`, new work is refused, in-flight requests finish, and
+//! every resident session is parked to the store before the process exits —
+//! nothing is lost, everything resumes on the next boot.
 
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use qfe_server::{serve, ServerConfig};
+use qfe_server::{Handler, Request, Response, Server, ServerConfig, ServiceState};
 use qfe_snapstore::{DirStore, HostConfig, LogStore, MemoryStore, SessionHost, SnapshotStore};
 
 struct Args {
@@ -74,6 +81,27 @@ fn open_store(spec: &str) -> Result<Arc<dyn SnapshotStore>, String> {
     ))
 }
 
+/// Routes `POST /admin/shutdown` to a signal channel; everything else goes
+/// to the service.
+struct AdminGate {
+    service: Arc<ServiceState>,
+    shutdown_tx: Mutex<mpsc::Sender<()>>,
+}
+
+impl Handler for AdminGate {
+    fn handle(&self, request: &Request) -> Response {
+        if request.method == "POST" && request.path == "/admin/shutdown" {
+            let _ = self
+                .shutdown_tx
+                .lock()
+                .expect("shutdown channel lock poisoned")
+                .send(());
+            return Response::json(200, "{\"status\":\"draining\"}");
+        }
+        self.service.handle(request)
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -101,11 +129,18 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match serve(
+    let service = Arc::new(ServiceState::new(host));
+    let (shutdown_tx, shutdown_rx) = mpsc::channel();
+    let gate = Arc::new(AdminGate {
+        service: Arc::clone(&service),
+        shutdown_tx: Mutex::new(shutdown_tx),
+    });
+    let mut server = match Server::bind(
         &args.addr,
-        host,
+        gate,
         ServerConfig {
             workers: args.workers,
+            ..ServerConfig::default()
         },
     ) {
         Ok(server) => server,
@@ -117,7 +152,20 @@ fn main() {
     // Line-buffered announcement so scripts (and the CI smoke job) can
     // scrape the bound address even with an ephemeral port.
     println!("qfe-server listening on http://{}", server.local_addr());
-    loop {
-        std::thread::park();
+
+    // Block until an operator POSTs /admin/shutdown, then exit gracefully:
+    // refuse new work, drain what is in flight, park every resident session.
+    let _ = shutdown_rx.recv();
+    eprintln!("qfe-server: shutdown requested, draining");
+    service.begin_drain();
+    let drained = server.shutdown_graceful(Duration::from_secs(30));
+    match service.host().drain() {
+        Ok(parked) => {
+            eprintln!("qfe-server: drained={drained}, parked {parked} resident session(s); exiting")
+        }
+        Err(e) => {
+            eprintln!("qfe-server: failed to park resident sessions: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -15,8 +15,21 @@
 //! Every response body is JSON. Errors are `{"error":…,"kind":…}` with the
 //! status carrying the class: 400 bad input, 404 unknown session or route,
 //! 405 wrong method, 409 protocol misuse (no pending round, bad choice),
-//! 500 store/internal failure.
+//! 500 store/internal failure, 503 draining.
+//!
+//! ## Idempotency
+//!
+//! The mutating session verbs (`answer`, `reject`, `park`) accept an
+//! optional `"idem"` string in the request body. The first request with a
+//! given `(session, idem)` pair executes and its response is remembered; a
+//! replay with the same pair returns the remembered response byte-for-byte
+//! without re-executing. That makes client retries safe even when the
+//! original response was lost in flight — the retry of an already-applied
+//! `answer` cannot advance the session twice.
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use qfe_core::{QfeError, QfeSession, SessionId, SessionSnapshot, Step};
@@ -26,10 +39,29 @@ use qfe_wire::{FromJson, Json, ToJson};
 
 use crate::http::{Handler, Request, Response};
 
+/// Most remembered idempotency responses; older entries are evicted FIFO.
+const IDEM_CACHE_CAP: usize = 4096;
+
+/// Remembered responses for deduplicating replayed mutations, keyed by
+/// `(session id, idempotency key)`.
+#[derive(Debug, Default)]
+struct IdemCache {
+    map: HashMap<(u64, String), Response>,
+    order: VecDeque<(u64, String)>,
+}
+
 /// The service: a [`SessionHost`] plus the route table.
 #[derive(Debug)]
 pub struct ServiceState {
     host: SessionHost,
+    /// Set when the service is shutting down: mutations get `503`, the
+    /// readiness probe reports `draining`.
+    draining: AtomicBool,
+    /// Requests currently inside [`Handler::handle`].
+    in_flight: AtomicUsize,
+    /// Replays served from memory instead of re-executing.
+    idem_replays: AtomicUsize,
+    idem: Mutex<IdemCache>,
 }
 
 fn ok(body: Json) -> Response {
@@ -116,7 +148,13 @@ fn named_workload_session(name: &str) -> Option<QfeSession> {
 impl ServiceState {
     /// Wraps a session host as an HTTP handler.
     pub fn new(host: SessionHost) -> ServiceState {
-        ServiceState { host }
+        ServiceState {
+            host,
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            idem_replays: AtomicUsize::new(0),
+            idem: Mutex::new(IdemCache::default()),
+        }
     }
 
     /// The wrapped host (for in-process callers and tests).
@@ -124,16 +162,95 @@ impl ServiceState {
         &self.host
     }
 
+    /// Flips the service into drain mode: the readiness probe turns `503
+    /// draining`, and every session verb is refused with `503` +
+    /// `Retry-After` so clients fail over while in-flight work completes.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`ServiceState::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// How many mutation replays were answered from the idempotency cache
+    /// instead of re-executing.
+    pub fn idem_replays(&self) -> usize {
+        self.idem_replays.load(Ordering::SeqCst)
+    }
+
+    /// The readiness probe body: store backend, occupancy, traffic, drain
+    /// state. Status `200` when ready, `503` while draining.
     fn healthz(&self) -> Response {
         let parked = match self.host.parked_count() {
             Ok(n) => n,
             Err(e) => return qfe_error_response(&e),
         };
-        ok(Json::object([
-            ("status", Json::Str("ok".to_string())),
+        let draining = self.is_draining();
+        // The probe itself is in flight; report everyone else.
+        let in_flight = self.in_flight.load(Ordering::SeqCst).saturating_sub(1);
+        let body = Json::object([
+            (
+                "status",
+                Json::Str(if draining { "draining" } else { "ok" }.to_string()),
+            ),
+            (
+                "store",
+                Json::Str(self.host.store().backend_name().to_string()),
+            ),
             ("resident", Json::Int(self.host.resident_count() as i64)),
             ("parked", Json::Int(parked as i64)),
-        ]))
+            ("in_flight", Json::Int(in_flight as i64)),
+            ("idem_replays", Json::Int(self.idem_replays() as i64)),
+        ]);
+        Response {
+            status: if draining { 503 } else { 200 },
+            body: body.render(),
+            retry_after: if draining { Some(1) } else { None },
+        }
+    }
+
+    /// Runs a mutating verb under its idempotency key, if the body carries
+    /// one. The first execution's response is remembered (unless it is a
+    /// 5xx — those must stay retryable); replays return it verbatim.
+    fn idempotent(&self, id: SessionId, body: &str, run: impl FnOnce() -> Response) -> Response {
+        let key = Json::parse(body)
+            .ok()
+            .and_then(|doc| doc.get("idem").map(|k| k.as_str().map(str::to_string)))
+            .and_then(|k| k.ok());
+        let Some(key) = key else { return run() };
+        let cache_key = (id.as_u64(), key);
+        if let Some(hit) = self
+            .idem
+            .lock()
+            .expect("idempotency cache lock poisoned")
+            .map
+            .get(&cache_key)
+        {
+            self.idem_replays.fetch_add(1, Ordering::SeqCst);
+            return hit.clone();
+        }
+        let response = run();
+        if response.status < 500 {
+            let mut cache = self.idem.lock().expect("idempotency cache lock poisoned");
+            if cache.map.len() >= IDEM_CACHE_CAP {
+                if let Some(oldest) = cache.order.pop_front() {
+                    cache.map.remove(&oldest);
+                }
+            }
+            cache.order.push_back(cache_key.clone());
+            cache.map.insert(cache_key, response.clone());
+        }
+        response
+    }
+
+    /// Forgets every remembered response for a session (on delete, its
+    /// keys can never be replayed meaningfully again).
+    fn purge_idem(&self, id: SessionId) {
+        let mut cache = self.idem.lock().expect("idempotency cache lock poisoned");
+        cache.order.retain(|k| k.0 != id.as_u64());
+        cache.map.retain(|k, _| k.0 != id.as_u64());
     }
 
     fn list_sessions(&self) -> Response {
@@ -254,6 +371,7 @@ impl ServiceState {
     }
 
     fn delete(&self, id: SessionId) -> Response {
+        self.purge_idem(id);
         match self.host.evict(id) {
             Ok(true) => ok(Json::object([("status", Json::Str("deleted".to_string()))])),
             Ok(false) => error_response(404, "unknown_session", format!("no session {id}")),
@@ -268,8 +386,22 @@ fn parse_id(segment: &str) -> Option<SessionId> {
 
 impl Handler for ServiceState {
     fn handle(&self, request: &Request) -> Response {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let response = self.route(request);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        response
+    }
+}
+
+impl ServiceState {
+    fn route(&self, request: &Request) -> Response {
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         let method = request.method.as_str();
+        // The readiness probe keeps answering during a drain (that is its
+        // job); everything else is refused so clients retry elsewhere.
+        if self.is_draining() && segments.as_slice() != ["healthz"] {
+            return Response::unavailable("service draining", 1);
+        }
         match (method, segments.as_slice()) {
             ("GET", ["healthz"]) => self.healthz(),
             ("GET", ["sessions"]) => self.list_sessions(),
@@ -281,9 +413,11 @@ impl Handler for ServiceState {
                 None => error_response(404, "unknown_session", format!("bad session id {id:?}")),
                 Some(id) => match (method, *action) {
                     ("GET", "step") => self.step(id),
-                    ("POST", "answer") => self.answer(id, &request.body),
-                    ("POST", "reject") => self.reject(id),
-                    ("POST", "park") => self.park(id),
+                    ("POST", "answer") => {
+                        self.idempotent(id, &request.body, || self.answer(id, &request.body))
+                    }
+                    ("POST", "reject") => self.idempotent(id, &request.body, || self.reject(id)),
+                    ("POST", "park") => self.idempotent(id, &request.body, || self.park(id)),
                     ("POST", "resume") => self.resume(id),
                     _ => error_response(
                         404,
@@ -479,5 +613,92 @@ mod tests {
             "{\"choice\":999}",
         ));
         assert_eq!(wild.status, 409, "{}", wild.body);
+    }
+
+    #[test]
+    fn healthz_is_a_readiness_probe() {
+        let service = service();
+        let health = service.handle(&req("GET", "/healthz", ""));
+        assert_eq!(health.status, 200);
+        let doc = json(&health);
+        assert_eq!(doc.field("status").unwrap().as_str().unwrap(), "ok");
+        assert_eq!(doc.field("store").unwrap().as_str().unwrap(), "mem");
+        assert_eq!(doc.field("resident").unwrap().as_i64().unwrap(), 0);
+        assert_eq!(doc.field("parked").unwrap().as_i64().unwrap(), 0);
+        // Only this probe is running; it reports everyone else.
+        assert_eq!(doc.field("in_flight").unwrap().as_i64().unwrap(), 0);
+
+        service.begin_drain();
+        let draining = service.handle(&req("GET", "/healthz", ""));
+        assert_eq!(draining.status, 503);
+        assert_eq!(draining.retry_after, Some(1));
+        assert_eq!(
+            json(&draining).field("status").unwrap().as_str().unwrap(),
+            "draining"
+        );
+        // Every other verb is refused during the drain.
+        let refused = service.handle(&req("GET", "/sessions", ""));
+        assert_eq!(refused.status, 503);
+        assert_eq!(refused.retry_after, Some(1));
+    }
+
+    #[test]
+    fn idempotency_keys_dedup_replayed_mutations() {
+        let service = service();
+        let create = service.handle(&req("POST", "/sessions", "{\"workload\":\"example_1_1\"}"));
+        let id = json(&create).field("id").unwrap().as_i64().unwrap();
+        let _ = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+
+        // First answer executes; the retry with the same key is served from
+        // memory — byte-identical, and the session does NOT advance twice.
+        let body = "{\"choice\":1,\"idem\":\"r0-a\"}";
+        let first = service.handle(&req("POST", &format!("/sessions/{id}/answer"), body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let replay = service.handle(&req("POST", &format!("/sessions/{id}/answer"), body));
+        assert_eq!(replay, first, "replay is byte-identical");
+        assert_eq!(service.idem_replays(), 1);
+        // Without the cache the second answer would be a 409 (no pending
+        // round): prove that by answering again with a NEW key.
+        let fresh = service.handle(&req(
+            "POST",
+            &format!("/sessions/{id}/answer"),
+            "{\"choice\":1,\"idem\":\"r0-b\"}",
+        ));
+        assert_eq!(fresh.status, 409, "{}", fresh.body);
+
+        // Park replays are deduped the same way.
+        let park_body = "{\"idem\":\"park-1\"}";
+        let parked = service.handle(&req("POST", &format!("/sessions/{id}/park"), park_body));
+        assert_eq!(parked.status, 200, "{}", parked.body);
+        let park_replay = service.handle(&req("POST", &format!("/sessions/{id}/park"), park_body));
+        assert_eq!(park_replay, parked);
+        assert_eq!(service.idem_replays(), 2);
+
+        // Deleting the session purges its remembered responses.
+        let _ = service.handle(&req("DELETE", &format!("/sessions/{id}"), ""));
+        let after = service.handle(&req("POST", &format!("/sessions/{id}/answer"), body));
+        assert_eq!(after.status, 404, "purged key re-executes: {}", after.body);
+    }
+
+    #[test]
+    fn requests_without_idem_keys_are_untouched() {
+        let service = service();
+        let create = service.handle(&req("POST", "/sessions", "{\"workload\":\"example_1_1\"}"));
+        let id = json(&create).field("id").unwrap().as_i64().unwrap();
+        let _ = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+        let first = service.handle(&req(
+            "POST",
+            &format!("/sessions/{id}/answer"),
+            "{\"choice\":1}",
+        ));
+        assert_eq!(first.status, 200);
+        // No key → no dedup: the naked replay hits the protocol conflict.
+        let replay = service.handle(&req(
+            "POST",
+            &format!("/sessions/{id}/answer"),
+            "{\"choice\":1}",
+        ));
+        assert_eq!(replay.status, 409);
+        assert_eq!(service.idem_replays(), 0);
     }
 }

@@ -1,0 +1,206 @@
+//! Exactly-once session effects under a misbehaving server.
+//!
+//! Boots the real service behind a [`FlakyHandler`] that drops, delays, and
+//! duplicates responses on a seeded schedule, drives full oracle-answered
+//! sessions through an [`HttpClient`] with retries and idempotency keys,
+//! and asserts that every session still converges to the right query with
+//! no duplicate `answer` effects — the whole point of idempotent retries.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qfe_core::{FeedbackRound, FeedbackUser, OracleUser};
+use qfe_datasets::example_1_1;
+use qfe_server::{
+    FlakyConfig, FlakyHandler, HttpClient, RetryPolicy, Server, ServerConfig, ServiceState,
+};
+use qfe_snapstore::{HostConfig, MemoryStore, SessionHost};
+use qfe_wire::{FromJson, Json};
+
+/// Drives one session to completion over HTTP, parking/resuming midway,
+/// and returns the final label. Panics on any protocol surprise.
+fn drive_session(client: &mut HttpClient) -> String {
+    let (_, _, candidates, _) = example_1_1();
+    let target = candidates[1].clone();
+    let oracle = OracleUser::new(target.clone());
+
+    let (status, created) = client
+        .post(
+            "/sessions",
+            &Json::object([("workload", Json::Str("example_1_1".to_string()))]),
+        )
+        .expect("create session");
+    assert_eq!(status, 201, "{}", created.render());
+    let id = created.field("id").unwrap().as_i64().unwrap();
+
+    let mut rounds = 0usize;
+    loop {
+        let (status, step) = client
+            .get(&format!("/sessions/{id}/step"))
+            .expect("step session");
+        assert_eq!(status, 200, "{}", step.render());
+        match step.field("status").unwrap().as_str().unwrap() {
+            "done" => {
+                let label = step.field("label").unwrap().as_str().unwrap().to_string();
+                let (status, _) = client
+                    .delete(&format!("/sessions/{id}"))
+                    .expect("delete session");
+                assert_eq!(status, 200);
+                return label;
+            }
+            "await_feedback" => {
+                rounds += 1;
+                // Park/resume churn mid-session: parked state must survive
+                // the chaos too (park is idempotent-keyed).
+                if rounds == 2 {
+                    let (status, _) = client
+                        .post_idempotent(
+                            &format!("/sessions/{id}/park"),
+                            &Json::object::<String, [(String, Json); 0]>([]),
+                        )
+                        .expect("park session");
+                    assert_eq!(status, 200);
+                    let (status, _) = client
+                        .post(
+                            &format!("/sessions/{id}/resume"),
+                            &Json::object::<String, [(String, Json); 0]>([]),
+                        )
+                        .expect("resume session");
+                    assert_eq!(status, 200);
+                }
+                let round = FeedbackRound::from_json(step.field("round").unwrap()).unwrap();
+                let choice = oracle.choose(&round).unwrap();
+                let (status, answered) = client
+                    .post_idempotent(
+                        &format!("/sessions/{id}/answer"),
+                        &Json::object([("choice", Json::Int(choice as i64))]),
+                    )
+                    .expect("answer round");
+                // Exactly-once: a duplicated or replayed answer must never
+                // surface as a 409 conflict — the idempotency cache absorbs
+                // it. Any other status would mean a double effect.
+                assert_eq!(status, 200, "{}", answered.render());
+            }
+            other => panic!("unexpected step status {other}"),
+        }
+        assert!(rounds < 100, "session failed to converge");
+    }
+}
+
+#[test]
+fn sessions_survive_drops_delays_and_duplicates_exactly_once() {
+    let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+    let state = Arc::new(ServiceState::new(host));
+    let flaky = Arc::new(FlakyHandler::new(
+        Arc::clone(&state) as Arc<dyn qfe_server::Handler>,
+        FlakyConfig {
+            seed: 0xC4A05,
+            drop_response: 0.35,
+            duplicate: 0.25,
+            delay: 0.2,
+            delay_millis: 5,
+            ..FlakyConfig::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&flaky) as Arc<dyn qfe_server::Handler>,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = HttpClient::with_retry(
+        server.local_addr().to_string(),
+        RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(20),
+            budget: Duration::from_secs(2),
+            seed: 0xFEED,
+        },
+    );
+
+    let (_, _, candidates, _) = example_1_1();
+    let expected = candidates[1].label.clone().unwrap();
+    for _ in 0..3 {
+        let label = drive_session(&mut client);
+        assert_eq!(label, expected, "chaos must not change the outcome");
+    }
+
+    // The chaos actually happened and the machinery actually engaged:
+    // responses were dropped (forcing retries of applied mutations) and the
+    // server answered those retries from the idempotency cache.
+    assert!(flaky.dropped() > 0, "schedule produced no drops");
+    assert!(client.retries() > 0, "client never had to retry");
+    assert!(
+        state.idem_replays() > 0,
+        "no replay was deduplicated — retries were not exercising idempotency"
+    );
+}
+
+#[test]
+fn without_idempotency_dropped_answers_surface_conflicts() {
+    // The control experiment: same chaos, but answers sent WITHOUT
+    // idempotency keys. A dropped response means the answer was applied but
+    // the retry re-executes it — surfacing a 409 conflict. This is the
+    // failure mode idempotency keys eliminate.
+    let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+    let state = Arc::new(ServiceState::new(host));
+    let flaky = Arc::new(FlakyHandler::new(
+        Arc::clone(&state) as Arc<dyn qfe_server::Handler>,
+        FlakyConfig {
+            seed: 1,
+            drop_response: 1.0, // every answer's response is lost
+            duplicate: 0.0,
+            delay: 0.0,
+            ..FlakyConfig::default()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        flaky as Arc<dyn qfe_server::Handler>,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = HttpClient::with_retry(
+        server.local_addr().to_string(),
+        RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(5),
+            budget: Duration::from_millis(200),
+            seed: 2,
+        },
+    );
+    let (status, created) = client
+        .post(
+            "/sessions",
+            &Json::object([("workload", Json::Str("example_1_1".to_string()))]),
+        )
+        .unwrap();
+    assert_eq!(status, 201);
+    let id = created.field("id").unwrap().as_i64().unwrap();
+    let (_, step) = client.get(&format!("/sessions/{id}/step")).unwrap();
+    let round = FeedbackRound::from_json(step.field("round").unwrap()).unwrap();
+    let oracle = OracleUser::new(example_1_1().2[1].clone());
+    let choice = oracle.choose(&round).unwrap();
+
+    // Plain post: the answer is applied, its response dropped (503), and
+    // the naked retry of the applied mutation re-executes.
+    let (status, body) = client
+        .post(
+            &format!("/sessions/{id}/answer"),
+            &Json::object([("choice", Json::Int(choice as i64))]),
+        )
+        .unwrap();
+    // All retries burned: the last attempt still collides with the
+    // already-applied answer (409) or is still being dropped (503) —
+    // either way, no clean 200 without idempotency.
+    assert_ne!(status, 200, "{}", body.render());
+}

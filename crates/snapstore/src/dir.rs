@@ -10,11 +10,32 @@
 //! Writes go to a temp file and are renamed into place, so readers never
 //! observe a half-written document. Keys are percent-encoded into file
 //! names, so any key the host produces is representable.
+//!
+//! Every file written by this store starts with a one-line checksum header:
+//!
+//! ```text
+//! #qfe-sum:<content-hash-of-body> <LF> body…
+//! ```
+//!
+//! Reads verify the body against the header and fail just that record on a
+//! mismatch — a rotted file is a [`StoreError`] naming the key, never a
+//! wrong answer. Headerless files (written before the checksum era, or by
+//! an operator's editor) still serve, just unverified. [`DirStore::fsck`]
+//! sweeps both namespaces, renames damaged files to `<name>.quarantined`
+//! so subsequent reads are clean misses, and removes orphaned `.json.tmp`
+//! files left by a crash between create and rename.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use qfe_wire::content_hash;
+
+use crate::fsck::{FsckReport, QuarantinedRecord};
 use crate::store::{SnapshotStore, StoreError, StoreResult};
+
+/// Checksum header prefix; the rest of the first line is the content hash
+/// of everything after the newline.
+const SUM_PREFIX: &str = "#qfe-sum:";
 
 /// [`SnapshotStore`] backed by a directory tree, one file per record.
 #[derive(Debug)]
@@ -56,6 +77,22 @@ fn decode_key(stem: &str) -> Option<String> {
     String::from_utf8(bytes).ok()
 }
 
+/// Splits file text into `(body, verified)` — verifying the checksum header
+/// when one is present. `Err(())` means the header exists but the body does
+/// not match it.
+fn verify_file_text(text: &str) -> Result<(String, bool), ()> {
+    let Some(rest) = text.strip_prefix(SUM_PREFIX) else {
+        return Ok((text.to_string(), false)); // pre-checksum file
+    };
+    let Some((sum, body)) = rest.split_once('\n') else {
+        return Err(()); // header line never terminated: torn write
+    };
+    if content_hash(body) != sum {
+        return Err(());
+    }
+    Ok((body.to_string(), true))
+}
+
 impl DirStore {
     /// Opens (or creates) the store rooted at `root`.
     pub fn open(root: impl AsRef<Path>) -> StoreResult<DirStore> {
@@ -83,6 +120,8 @@ impl DirStore {
         {
             let mut f =
                 std::fs::File::create(&tmp).map_err(|e| StoreError::new(context.to_string(), e))?;
+            f.write_all(format!("{SUM_PREFIX}{}\n", content_hash(text)).as_bytes())
+                .map_err(|e| StoreError::new(context.to_string(), e))?;
             f.write_all(text.as_bytes())
                 .map_err(|e| StoreError::new(context.to_string(), e))?;
         }
@@ -91,7 +130,13 @@ impl DirStore {
 
     fn read(&self, context: &str, path: &Path) -> StoreResult<Option<String>> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Ok(Some(text)),
+            Ok(text) => match verify_file_text(&text) {
+                Ok((body, _)) => Ok(Some(body)),
+                Err(()) => Err(StoreError::new(
+                    context.to_string(),
+                    format!("record checksum mismatch in {}", path.display()),
+                )),
+            },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(StoreError::new(context.to_string(), e)),
         }
@@ -115,6 +160,65 @@ impl DirStore {
         }
         keys.sort();
         Ok(keys)
+    }
+
+    /// Sweeps both namespaces: verifies every record checksum, renames
+    /// damaged files to `<name>.quarantined` (so later reads are clean
+    /// misses and the bytes stay available for manual inspection), and
+    /// removes orphaned `.json.tmp` files left by a crash between create
+    /// and rename. Returns the recovery report.
+    pub fn fsck(&self) -> StoreResult<FsckReport> {
+        let mut report = FsckReport {
+            backend: "dir",
+            ..FsckReport::default()
+        };
+        for namespace in ["sessions", "workloads"] {
+            let dir = self.root.join(namespace);
+            let context = format!("fsck {}", dir.display());
+            let entries =
+                std::fs::read_dir(&dir).map_err(|e| StoreError::new(context.clone(), e))?;
+            let mut live = 0usize;
+            for entry in entries {
+                let entry = entry.map_err(|e| StoreError::new(context.clone(), e))?;
+                let path = entry.path();
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.ends_with(".json.tmp") {
+                    // Orphaned temp file: the rename never happened, so the
+                    // record it was replacing is still authoritative.
+                    std::fs::remove_file(&path).map_err(|e| StoreError::new(context.clone(), e))?;
+                    report.reclaimed_tmp_files += 1;
+                    continue;
+                }
+                let Some(stem) = name.strip_suffix(".json") else {
+                    continue;
+                };
+                report.records_scanned += 1;
+                let key = decode_key(stem).unwrap_or_else(|| stem.to_string());
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| StoreError::new(context.clone(), e))?;
+                match verify_file_text(&text) {
+                    Ok(_) => live += 1,
+                    Err(()) => {
+                        let quarantine = path.with_extension("json.quarantined");
+                        std::fs::rename(&path, &quarantine)
+                            .map_err(|e| StoreError::new(context.clone(), e))?;
+                        report.quarantined.push(QuarantinedRecord {
+                            namespace: namespace.to_string(),
+                            key,
+                            location: quarantine.display().to_string(),
+                            reason: "checksum mismatch".to_string(),
+                        });
+                    }
+                }
+            }
+            if namespace == "sessions" {
+                report.live_sessions = live;
+            } else {
+                report.live_workloads = live;
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -162,6 +266,10 @@ impl SnapshotStore for DirStore {
     fn workload_hashes(&self) -> StoreResult<Vec<String>> {
         self.list("workloads")
     }
+
+    fn backend_name(&self) -> &'static str {
+        "dir"
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +300,7 @@ mod tests {
         assert!(!store.remove_session("s1").unwrap());
         assert!(store.session_keys().unwrap().is_empty());
         assert!(store.root().ends_with(root.file_name().unwrap()));
+        assert_eq!(store.backend_name(), "dir");
     }
 
     #[test]
@@ -221,5 +330,69 @@ mod tests {
         assert!(store.has_workload("h").unwrap());
         assert!(!store.has_workload("other").unwrap());
         assert_eq!(store.get_workload("other").unwrap(), None);
+    }
+
+    #[test]
+    fn read_verifies_checksum_and_fails_only_that_record() {
+        let root = temp_root("verify");
+        let store = DirStore::open(&root).unwrap();
+        store.put_session("good", "{\"v\":\"fine\"}").unwrap();
+        store.put_session("bad", "{\"v\":\"rotten\"}").unwrap();
+        // Rot the body of one file in place (keeping the stale header).
+        let path = root.join("sessions").join("bad.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("rotten", "ROTTEN")).unwrap();
+        let err = store.get_session("bad").unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Only the damaged record fails; its sibling still serves.
+        assert_eq!(
+            store.get_session("good").unwrap().unwrap(),
+            "{\"v\":\"fine\"}"
+        );
+    }
+
+    #[test]
+    fn headerless_legacy_files_still_serve() {
+        let root = temp_root("legacy");
+        let store = DirStore::open(&root).unwrap();
+        std::fs::write(root.join("sessions").join("old.json"), "{\"v\":\"raw\"}").unwrap();
+        assert_eq!(
+            store.get_session("old").unwrap().unwrap(),
+            "{\"v\":\"raw\"}"
+        );
+        assert_eq!(store.session_keys().unwrap(), vec!["old"]);
+    }
+
+    #[test]
+    fn fsck_quarantines_and_reclaims() {
+        let root = temp_root("fsck");
+        let store = DirStore::open(&root).unwrap();
+        store.put_session("s1", "{\"v\":1}").unwrap();
+        store.put_session("s2", "{\"v\":\"target\"}").unwrap();
+        store.put_workload("w1", "{\"w\":1}").unwrap();
+        let clean = store.fsck().unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.backend, "dir");
+        assert_eq!(clean.live_sessions, 2);
+        assert_eq!(clean.live_workloads, 1);
+
+        // Rot one file and strand a temp file, as a crash would.
+        let path = root.join("sessions").join("s2.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("target", "TARGET")).unwrap();
+        std::fs::write(root.join("workloads").join("w9.json.tmp"), "partial").unwrap();
+
+        let report = store.fsck().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].key, "s2");
+        assert_eq!(report.live_sessions, 1);
+        assert_eq!(report.reclaimed_tmp_files, 1);
+        // The damaged record is out of service but preserved for forensics;
+        // reads are clean misses now.
+        assert_eq!(store.get_session("s2").unwrap(), None);
+        assert!(root.join("sessions").join("s2.json.quarantined").exists());
+        assert!(!root.join("workloads").join("w9.json.tmp").exists());
+        // A second pass finds nothing new.
+        assert!(store.fsck().unwrap().is_clean());
     }
 }

@@ -27,6 +27,22 @@
 //! operation and key — a corrupt or missing snapshot produces a clean error
 //! for one request, never a poisoned lock or a crashed host.
 //!
+//! ## Integrity and fault tolerance
+//!
+//! Both durable backends write a per-record checksum
+//! ([`qfe_wire::content_hash`] over the record identity and body) and verify
+//! it on **every** read, not just at open. A record whose bytes rot on disk
+//! is *quarantined*: dropped from service so later reads are clean misses,
+//! while the damage is reported through [`LogStore::fsck`] /
+//! [`DirStore::fsck`] as an [`FsckReport`] listing each
+//! [`QuarantinedRecord`], garbage bytes, and reclaimed temp files.
+//!
+//! For provoking failures deterministically, [`FaultyStore`] wraps any
+//! [`SnapshotStore`] and injects faults — IO errors, torn writes, stale
+//! reads, latency — scripted by a serializable, seeded [`FaultPlan`]. The
+//! same plan and seed always produce the same fault schedule, which is what
+//! lets CI replay a chaos run byte-for-byte.
+//!
 //! [`QfeEngine`]: qfe_core::QfeEngine
 //! [`SessionManager`]: qfe_core::SessionManager
 //! [`QfeError::Store`]: qfe_core::QfeError
@@ -35,12 +51,16 @@
 #![warn(missing_docs)]
 
 mod dir;
+mod fault;
+mod fsck;
 mod host;
 mod log;
 mod park;
 mod store;
 
 pub use dir::DirStore;
+pub use fault::{FaultAction, FaultPlan, FaultRule, FaultTrigger, FaultyStore, InjectedFault};
+pub use fsck::{FsckReport, QuarantinedRecord};
 pub use host::{HostConfig, SessionHost};
 pub use log::LogStore;
 pub use park::{load_snapshot, park_snapshot, ParkReceipt};

@@ -74,6 +74,12 @@ pub trait SnapshotStore: Send + Sync + fmt::Debug {
     }
     /// Every stored workload hash, in sorted order.
     fn workload_hashes(&self) -> StoreResult<Vec<String>>;
+
+    /// Short name of the backend (`"mem"`, `"log"`, `"dir"`, …) for the
+    /// readiness probe and operator-facing reports.
+    fn backend_name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// The trivial [`SnapshotStore`]: everything in process memory.
@@ -162,6 +168,10 @@ impl SnapshotStore for MemoryStore {
             .collect();
         hashes.sort();
         Ok(hashes)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "mem"
     }
 }
 

@@ -192,6 +192,67 @@
 //! session's request with `500` and leaves every other session serving.
 //! `examples/interactive_session.rs --http` drives the same endpoints with
 //! the bundled [`HttpClient`](server::HttpClient).
+//!
+//! ## Failure modes & recovery
+//!
+//! Every failure the stack claims to survive is provoked on purpose in the
+//! test suite and the chaos bench; this section is the operator's map of
+//! what breaks, what the system does about it, and what is left to do.
+//!
+//! **A process dies mid-write.** Both durable stores are crash-safe at
+//! every byte offset (`tests/crashpoints.rs` kills them at each one). The
+//! log store frames one checksummed record per line — a torn trailing
+//! record is truncated away at the next open, rolling back to the previous
+//! accepted state. The dir store stages each document in a `.json.tmp`
+//! file and renames it into place; a kill before the rename leaves the old
+//! record serving and `fsck` reclaims the orphan.
+//!
+//! **Bytes rot on disk.** Every record carries a content checksum
+//! (`c=<hash>` log fields, `#qfe-sum:` file headers) verified at open *and*
+//! on every read. A failing record is **quarantined** — dropped from the
+//! index (log) or renamed to `.quarantined` (dir) — failing only that
+//! record's session while the previous good version of the key, if any,
+//! keeps serving. [`LogStore::fsck`](snapstore::LogStore::fsck) /
+//! [`DirStore::fsck`](snapstore::DirStore::fsck) rescan everything and
+//! return an [`FsckReport`](snapstore::FsckReport): live counts, quarantined
+//! records with reasons, torn-tail and garbage bytes. Records from before
+//! the checksum era still serve, just unverified.
+//!
+//! **The server is overloaded or shutting down.** The accept queue is
+//! bounded: past `queue_depth` waiting connections the server sheds load
+//! with `503` + `Retry-After` *before* touching the session — always safe
+//! to retry. Slow or hostile clients hit per-request deadlines (`408`) and
+//! header-count/byte limits (`431`). `POST /admin/shutdown` (or dropping
+//! the server handle gracefully) stops accepting, drains in-flight
+//! requests, then parks every resident session to the store; `GET /healthz`
+//! doubles as the readiness probe, reporting `"draining"` with `503` so a
+//! load balancer stops routing while the drain completes.
+//!
+//! **A response is lost in flight.** The mutating verbs accept an `idem`
+//! key; the server caches each `(session, key)` outcome and replays it
+//! byte-identically on retry, so a client that never saw the answer can
+//! resend without double-applying it.
+//! [`HttpClient::with_retry`](server::HttpClient::with_retry) does this
+//! automatically: exponential backoff with seeded jitter under a total
+//! retry budget, honoring `Retry-After`, retrying `503`s and ambiguous
+//! transport failures only when the request is idempotent.
+//!
+//! **The delta machinery itself is suspect.** Setting `QFE_PARANOIA=1`
+//! (or `=N` for every `N`-th advance) makes
+//! [`GenerationContext::advance_with_report`](core::GenerationContext::advance_with_report)
+//! audit each delta-maintained round against a fresh rebuild; on a
+//! mismatch it logs the divergence, counts it
+//! ([`paranoia_mismatches`](core::paranoia_mismatches)), and degrades
+//! gracefully by serving the rebuilt context.
+//!
+//! **Rehearsing all of it.** [`FaultyStore`](snapstore::FaultyStore) wraps
+//! any store and injects I/O errors, torn writes, stale reads and latency
+//! from a serializable, seeded [`FaultPlan`](snapstore::FaultPlan);
+//! [`FlakyHandler`](server::FlakyHandler) drops, duplicates and delays
+//! responses in front of the service. `experiments -- chaos` runs the full
+//! fleet under both at a pinned seed and writes `BENCH_chaos.json`, which
+//! CI checks for the two zeros that matter: `lost_sessions` and
+//! `duplicate_answer_effects`.
 
 pub use qfe_core as core;
 pub use qfe_datasets as datasets;
