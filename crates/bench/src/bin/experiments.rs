@@ -4,19 +4,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|rounds|service|chaos] [--paper-scale] [--fleet-sessions N]
+//! cargo run -p qfe-bench --bin experiments --release -- [all|table1|…|table7|initial-size|entropy|user-study|ablation|manager|qbo-batch|skyline-parallel|rounds|service|chaos|cluster] [--paper-scale] [--fleet-sessions N]
 //! ```
 //!
 //! The default scale is `Small` (reduced cardinalities, runs in seconds);
 //! `--paper-scale` uses the paper's dataset cardinalities and δ = 1 s.
 
 use qfe_bench::{
-    ablation_estimator, chaos_fleet_json, chaos_fleet_summary, extra_entropy, extra_initial_size,
-    manager_report, qbo_batch_json, qbo_batch_measurements, qbo_batch_report, rounds_json,
-    rounds_measurements, rounds_report, run_chaos_fleet, run_service_fleet, service_fleet_json,
+    ablation_estimator, chaos_fleet_json, chaos_fleet_summary, cluster_chaos_json,
+    cluster_chaos_summary, extra_entropy, extra_initial_size, manager_report, qbo_batch_json,
+    qbo_batch_measurements, qbo_batch_report, rounds_json, rounds_measurements, rounds_report,
+    run_chaos_fleet, run_cluster_chaos, run_service_fleet, service_fleet_json,
     service_fleet_summary, skyline_parallel_json, skyline_parallel_report, skyline_parallel_rows,
-    table1, table2, table3, table4, table5, table6, table7, user_study, ChaosFleetConfig, Scale,
-    ServiceFleetConfig,
+    table1, table2, table3, table4, table5, table6, table7, user_study, ChaosFleetConfig,
+    ClusterChaosConfig, Scale, ServiceFleetConfig,
 };
 
 fn main() {
@@ -151,6 +152,27 @@ fn main() {
             eprintln!(
                 "chaos fleet FAILED its exactly-once guarantee: {} lost, {} duplicated",
                 report.lost_sessions, report.duplicate_answer_effects
+            );
+            std::process::exit(1);
+        }
+    }
+    if want("cluster") {
+        let config = ClusterChaosConfig {
+            sessions: fleet_sessions.unwrap_or(ClusterChaosConfig::default().sessions),
+            ..ClusterChaosConfig::default()
+        };
+        let report = run_cluster_chaos(&config);
+        println!("{}", cluster_chaos_summary(&config, &report));
+        let json = cluster_chaos_json(&config, &report);
+        let path = "BENCH_cluster.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        if report.lost_sessions > 0 || report.duplicate_effects > 0 {
+            eprintln!(
+                "cluster chaos FAILED its exactly-once guarantee: {} lost, {} duplicated",
+                report.lost_sessions, report.duplicate_effects
             );
             std::process::exit(1);
         }

@@ -123,21 +123,26 @@ pub fn chaos_fault_plan(seed: u64) -> FaultPlan {
         })
 }
 
-/// Per-thread tallies merged into the final report.
+/// Per-thread tallies merged into the final report. Shared with the
+/// `cluster` scenario, which drives the identical session workload through
+/// a sharded fleet.
 #[derive(Debug, Default)]
-struct ChaosTally {
-    completed: usize,
-    lost: usize,
-    conflicts: usize,
-    rounds: usize,
-    parks: usize,
-    app_retries: usize,
+pub(crate) struct ChaosTally {
+    pub(crate) completed: usize,
+    pub(crate) lost: usize,
+    pub(crate) conflicts: usize,
+    pub(crate) rounds: usize,
+    pub(crate) parks: usize,
+    pub(crate) app_retries: usize,
 }
 
 /// Repeats `send` while it returns a `5xx` (refused or failed before any
 /// durable effect the caller could observe — the store refuses writes
 /// atomically and parks are naturally idempotent). Returns the final reply.
-fn with_app_retries(tally: &mut ChaosTally, mut send: impl FnMut() -> (u16, Json)) -> (u16, Json) {
+pub(crate) fn with_app_retries(
+    tally: &mut ChaosTally,
+    mut send: impl FnMut() -> (u16, Json),
+) -> (u16, Json) {
     let mut reply = send();
     for _ in 0..12 {
         // Status 0 is a transport error the policy could not absorb; treat
@@ -156,7 +161,11 @@ fn with_app_retries(tally: &mut ChaosTally, mut send: impl FnMut() -> (u16, Json
 /// A session is *lost* when any verb exhausts retries or it converges on
 /// the wrong query; a `409` on an idempotent mutation is a duplicate
 /// effect. Neither panics — the bench reports them.
-fn drive_chaos_session(client: &mut HttpClient, session_index: usize, tally: &mut ChaosTally) {
+pub(crate) fn drive_chaos_session(
+    client: &mut HttpClient,
+    session_index: usize,
+    tally: &mut ChaosTally,
+) {
     let (_, _, candidates, _) = qfe_datasets::example_1_1();
     let target = candidates[session_index % candidates.len()].clone();
     let oracle = OracleUser::new(target.clone());

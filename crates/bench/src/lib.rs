@@ -11,11 +11,16 @@
 #![forbid(unsafe_code)]
 
 mod chaos;
+mod cluster;
 mod service;
 
 pub use chaos::{
     chaos_fault_plan, chaos_fleet_json, chaos_fleet_summary, run_chaos_fleet, ChaosFleetConfig,
     ChaosFleetReport,
+};
+pub use cluster::{
+    cluster_chaos_json, cluster_chaos_summary, cluster_fault_plan, run_cluster_chaos,
+    ClusterChaosConfig, ClusterChaosReport,
 };
 pub use service::{
     run_service_fleet, service_fleet_json, service_fleet_summary, ServiceFleetConfig,

@@ -1,0 +1,56 @@
+//! # qfe-cluster — the sharded session fleet
+//!
+//! One [`SessionHost`](qfe_snapstore::SessionHost) scales until one process
+//! runs out of memory or crashes; a deployment that must survive either runs
+//! a **fleet**: N shard hosts behind one [`Cluster`] router, all parking
+//! into one shared content-addressed
+//! [`SnapshotStore`](qfe_snapstore::SnapshotStore). The shared store is the
+//! single source of durable truth — shards hold only resident engines,
+//! which are always reconstructible from their last checkpoint.
+//!
+//! ## Routing
+//!
+//! Session ids are allocated by the cluster (never by a shard) and hashed to
+//! a home shard by the [`ShardRouter`]. Every request takes the session's
+//! lock, resolves its route, and runs on that shard's host; a route pointing
+//! at a dead shard is re-claimed onto a survivor on the spot. After every
+//! state-changing verb the cluster **checkpoints** the session back to the
+//! shared store, so a later crash rolls the session back at most one verb —
+//! and because the engine is deterministic, the re-presented round converges
+//! to the same outcome.
+//!
+//! ## The three robustness protocols
+//!
+//! * **Live migration** ([`Cluster::migrate`], [`Cluster::drain_shard`]) —
+//!   park on the source (freshest state lands in the shared store), flip the
+//!   routing entry atomically under the session lock, rehydrate on the
+//!   target. The session's outcome is byte-identical to never having moved.
+//! * **Failover** ([`Cluster::kill_shard`] + [`Cluster::fail_over`], or
+//!   lazily on the next request) — a killed shard drops its engines without
+//!   parking, exactly like a crash; its sessions are recovered from their
+//!   last checkpoint onto surviving shards. A verb in flight during the kill
+//!   never reports success: its durable effect is gated on the shard still
+//!   serving, so the client retries and replays on the new home.
+//! * **Graceful drain** ([`Cluster::drain_shard`] with a deadline,
+//!   [`Cluster::park_all`] for the whole fleet) — the same
+//!   [`park_all`](qfe_snapstore::SessionHost::park_all) sweep the
+//!   single-node server uses at shutdown, plus route reassignment.
+//!
+//! ## Health supervision
+//!
+//! [`Cluster::heartbeat_tick`] probes each serving shard with one store read
+//! on a key naming the shard (`hb-<index>`), which is exactly the hook a
+//! [`FaultPlan`](qfe_snapstore::FaultPlan) rule's `key_contains` uses to
+//! sicken one shard and not its neighbours. A shard failing
+//! [`ClusterConfig::probe_failure_threshold`] consecutive probes is declared
+//! dead: killed and failed over, deterministically, with no wall-clock in
+//! the decision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod shard;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterStatus, DrainOutcome, ShardHealth, ShardRouter};
+pub use shard::{Shard, ShardState, ShardStatus};

@@ -1,0 +1,153 @@
+//! One member of the fleet: a [`SessionHost`] plus its serving state.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+use qfe_snapstore::SessionHost;
+
+/// Serving state of one shard, transitioned by the cluster's protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving requests and accepting new session placements.
+    Up,
+    /// Serving its existing sessions but excluded from new placements —
+    /// the transitional state while a drain moves its sessions away.
+    Draining,
+    /// Not serving: killed by fault injection, an operator, or the health
+    /// supervisor. Its sessions fail over to the survivors.
+    Down,
+}
+
+impl ShardState {
+    /// The state as its wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardState::Up => "up",
+            ShardState::Draining => "draining",
+            ShardState::Down => "down",
+        }
+    }
+
+    fn from_u8(value: u8) -> ShardState {
+        match value {
+            0 => ShardState::Up,
+            1 => ShardState::Draining,
+            _ => ShardState::Down,
+        }
+    }
+}
+
+/// One shard: a [`SessionHost`] over the fleet's shared store, plus the
+/// serving state and counters the cluster's protocols read and write. All
+/// state is atomic — a kill flips `state` while requests are in flight, and
+/// the request path observes it at its durability gate.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    host: SessionHost,
+    state: AtomicU8,
+    probe_failures: AtomicU32,
+    served: AtomicU64,
+    times_killed: AtomicU64,
+}
+
+impl Shard {
+    pub(crate) fn new(index: usize, host: SessionHost) -> Shard {
+        Shard {
+            index,
+            host,
+            state: AtomicU8::new(0),
+            probe_failures: AtomicU32::new(0),
+            served: AtomicU64::new(0),
+            times_killed: AtomicU64::new(0),
+        }
+    }
+
+    /// This shard's position in the fleet.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's session host.
+    pub fn host(&self) -> &SessionHost {
+        &self.host
+    }
+
+    /// Current serving state.
+    pub fn state(&self) -> ShardState {
+        ShardState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_state(&self, state: ShardState) {
+        self.state.store(state as u8, Ordering::SeqCst);
+    }
+
+    /// True when the shard accepts **new** session placements.
+    pub fn is_up(&self) -> bool {
+        self.state() == ShardState::Up
+    }
+
+    /// True when the shard serves its existing sessions (up or draining).
+    pub fn is_serving(&self) -> bool {
+        self.state() != ShardState::Down
+    }
+
+    /// Consecutive failed health probes since the last success.
+    pub fn probe_failures(&self) -> u32 {
+        self.probe_failures.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn record_probe_failure(&self) -> u32 {
+        self.probe_failures.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    pub(crate) fn reset_probe_failures(&self) {
+        self.probe_failures.store(0, Ordering::SeqCst);
+    }
+
+    /// Requests this shard has served since the cluster opened.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn record_served(&self) {
+        self.served.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many times this shard has been killed.
+    pub fn times_killed(&self) -> u64 {
+        self.times_killed.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn record_kill(&self) {
+        self.times_killed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A point-in-time status snapshot for operators.
+    pub fn status(&self) -> ShardStatus {
+        ShardStatus {
+            index: self.index,
+            state: self.state(),
+            resident: self.host.resident_count(),
+            served: self.served(),
+            probe_failures: self.probe_failures(),
+            times_killed: self.times_killed(),
+        }
+    }
+}
+
+/// Point-in-time operator view of one shard (one row of `/admin/shards`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The shard's position in the fleet.
+    pub index: usize,
+    /// Serving state at snapshot time.
+    pub state: ShardState,
+    /// Engines resident on this shard's heap.
+    pub resident: usize,
+    /// Requests served since the cluster opened.
+    pub served: u64,
+    /// Consecutive failed health probes.
+    pub probe_failures: u32,
+    /// How many times the shard has been killed.
+    pub times_killed: u64,
+}

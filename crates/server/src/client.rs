@@ -23,7 +23,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use qfe_core::{QfeError, Result};
 use qfe_wire::Json;
@@ -31,6 +31,91 @@ use qfe_wire::Json;
 /// Socket timeout for reads: a hung server fails the request instead of
 /// hanging the fleet thread forever.
 const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date (negative
+/// before the epoch). Howard Hinnant's `days_from_civil` algorithm.
+fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    let year = if month <= 2 { year - 1 } else { year };
+    let era = if year >= 0 { year } else { year - 399 } / 400;
+    let year_of_era = year - era * 400;
+    let month_points = (i64::from(month) + 9) % 12;
+    let day_of_year = (153 * month_points + 2) / 5 + i64::from(day) - 1;
+    let day_of_era = year_of_era * 365 + year_of_era / 4 - year_of_era / 100 + day_of_year;
+    era * 146_097 + day_of_era - 719_468
+}
+
+/// Parses an RFC 1123 HTTP-date (`Sun, 06 Nov 1994 08:49:37 GMT`) to Unix
+/// seconds. The weekday prefix is optional and untrusted; only `GMT`/`UTC`
+/// zones are accepted. `None` for anything malformed or pre-epoch.
+fn parse_http_date(value: &str) -> Option<u64> {
+    let rest = value
+        .split_once(',')
+        .map(|(_, rest)| rest)
+        .unwrap_or(value)
+        .trim();
+    let mut parts = rest.split_whitespace();
+    let day: u32 = parts.next()?.parse().ok()?;
+    let month = match parts.next()? {
+        "Jan" => 1,
+        "Feb" => 2,
+        "Mar" => 3,
+        "Apr" => 4,
+        "May" => 5,
+        "Jun" => 6,
+        "Jul" => 7,
+        "Aug" => 8,
+        "Sep" => 9,
+        "Oct" => 10,
+        "Nov" => 11,
+        "Dec" => 12,
+        _ => return None,
+    };
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut clock = parts.next()?.split(':');
+    let hours: u64 = clock.next()?.parse().ok()?;
+    let minutes: u64 = clock.next()?.parse().ok()?;
+    let seconds: u64 = clock.next()?.parse().ok()?;
+    let zone = parts.next()?;
+    if clock.next().is_some() || parts.next().is_some() {
+        return None;
+    }
+    if !(zone == "GMT" || zone == "UTC")
+        || !(1..=31).contains(&day)
+        || hours > 23
+        || minutes > 59
+        || seconds > 60
+    {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    if days < 0 {
+        return None;
+    }
+    Some(days as u64 * 86_400 + hours * 3_600 + minutes * 60 + seconds)
+}
+
+/// Cap on a parsed delta: a year. Anything a server advertises beyond this
+/// is nonsense, and the cap keeps `Duration::from_secs_f64` panic-free.
+const RETRY_AFTER_CAP_SECS: f64 = 31_536_000.0;
+
+/// Parses a `Retry-After` header value: delta-seconds (integral *or*
+/// fractional, e.g. `"0.5"`) or an RFC 1123 HTTP-date, anchored at `now`.
+/// A date already in the past is `Some(ZERO)` (retry immediately); anything
+/// malformed is `None`, so the caller falls back to its own backoff instead
+/// of failing the request over a bad header.
+fn parse_retry_after(value: &str, now: SystemTime) -> Option<Duration> {
+    let value = value.trim();
+    if value.is_empty() {
+        return None;
+    }
+    if let Ok(secs) = value.parse::<f64>() {
+        return (secs.is_finite() && secs >= 0.0)
+            .then(|| Duration::from_secs_f64(secs.min(RETRY_AFTER_CAP_SECS)));
+    }
+    let target = Duration::from_secs(parse_http_date(value)?);
+    let now = now.duration_since(SystemTime::UNIX_EPOCH).ok()?;
+    Some(target.saturating_sub(now))
+}
 
 /// One step of the splitmix64 sequence — the client's whole PRNG, used for
 /// backoff jitter and idempotency-key uniqueness.
@@ -78,7 +163,7 @@ pub struct HttpClient {
     rng: u64,
     idem_seq: u64,
     retries: usize,
-    last_retry_after: Option<u64>,
+    last_retry_after: Option<Duration>,
 }
 
 fn http_err(context: &str, message: impl std::fmt::Display) -> QfeError {
@@ -207,8 +292,8 @@ impl HttpClient {
                     .base_delay
                     .saturating_mul(1u32 << shift)
                     .min(policy.max_delay);
-                if let Some(secs) = self.last_retry_after {
-                    delay = delay.max(Duration::from_secs(secs).min(policy.max_delay));
+                if let Some(advertised) = self.last_retry_after {
+                    delay = delay.max(advertised.min(policy.max_delay));
                 }
                 let delay = delay
                     .mul_f64(self.jitter())
@@ -291,7 +376,9 @@ impl HttpClient {
                         .map_err(|e| http_err(context, format!("bad content-length: {e}")))?;
                 }
                 "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
-                "retry-after" => self.last_retry_after = value.parse().ok(),
+                "retry-after" => {
+                    self.last_retry_after = parse_retry_after(value, SystemTime::now())
+                }
                 _ => {}
             }
         }
@@ -307,5 +394,77 @@ impl HttpClient {
         let json = Json::parse(&text)
             .map_err(|e| http_err(context, format!("response not JSON ({e}): {text}")))?;
         Ok((status, json))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unix(secs: u64) -> SystemTime {
+        SystemTime::UNIX_EPOCH + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn retry_after_accepts_delta_seconds() {
+        let now = unix(1_000_000);
+        assert_eq!(
+            parse_retry_after("120", now),
+            Some(Duration::from_secs(120))
+        );
+        assert_eq!(
+            parse_retry_after(" 0.5 ", now),
+            Some(Duration::from_secs_f64(0.5))
+        );
+        assert_eq!(parse_retry_after("0", now), Some(Duration::ZERO));
+        // Absurd deltas are capped, not panicked on.
+        assert_eq!(
+            parse_retry_after("1e300", now),
+            Some(Duration::from_secs_f64(RETRY_AFTER_CAP_SECS))
+        );
+    }
+
+    #[test]
+    fn retry_after_accepts_http_dates() {
+        // "Sun, 06 Nov 1994 08:49:37 GMT" == 784111777 (RFC 7231's own
+        // example date).
+        let target = 784_111_777;
+        let now = unix(target - 90);
+        for form in [
+            "Sun, 06 Nov 1994 08:49:37 GMT",
+            "06 Nov 1994 08:49:37 GMT",
+            "Sun, 06 Nov 1994 08:49:37 UTC",
+        ] {
+            assert_eq!(
+                parse_retry_after(form, now),
+                Some(Duration::from_secs(90)),
+                "{form}"
+            );
+        }
+        // A date in the past means "retry now", not an error.
+        assert_eq!(
+            parse_retry_after("Sun, 06 Nov 1994 08:49:37 GMT", unix(target + 5)),
+            Some(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn malformed_retry_after_falls_back_to_none() {
+        let now = unix(1_000_000);
+        for bad in [
+            "",
+            "soon",
+            "-5",
+            "nan",
+            "inf",
+            "Sun, 06 Nov 1994 08:49:37 PST",
+            "Sun, 06 Nov 1994 08:49 GMT",
+            "Sun, 32 Nov 1994 08:49:37 GMT",
+            "Sun, 06 Nov 1994 25:49:37 GMT",
+            "Sun, 06 Foo 1994 08:49:37 GMT",
+            "Sun, 06 Nov 1994 08:49:37 GMT extra",
+        ] {
+            assert_eq!(parse_retry_after(bad, now), None, "{bad:?}");
+        }
     }
 }

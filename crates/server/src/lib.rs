@@ -5,9 +5,12 @@
 //!
 //! * [`http`] — a hand-rolled HTTP/1.1 server (thread pool, keep-alive,
 //!   `Content-Length` framing, `Expect: 100-continue`) and nothing more.
-//! * [`routes`] — the JSON session API mapping requests onto a
-//!   [`qfe_snapstore::SessionHost`]: create, step, answer, reject, park,
-//!   resume, delete, plus `/healthz` and a session listing.
+//! * [`routes`] — the JSON session API mapping requests onto any
+//!   [`qfe_snapstore::SessionBackend`] (a single
+//!   [`qfe_snapstore::SessionHost`] or a sharded [`qfe_cluster::Cluster`]):
+//!   create, step, answer, reject, park, resume, delete, plus `/healthz`, a
+//!   session listing, `GET /admin/fsck`, and — when clustered — the
+//!   `/admin/shards` fleet-administration routes.
 //! * [`client`] — a matching keep-alive client used by the simulated-user
 //!   fleet bench, the examples, and the CI smoke test. With a
 //!   [`RetryPolicy`] it retries under exponential backoff with jitter, and
@@ -50,10 +53,21 @@ pub use client::{HttpClient, RetryPolicy};
 pub use http::{Handler, Request, Response, Server, ServerConfig};
 pub use routes::ServiceState;
 
-use qfe_snapstore::SessionHost;
+use qfe_snapstore::{SessionBackend, SessionHost};
 
 /// Boots the session service: binds `addr` (port 0 for an ephemeral port)
 /// and serves `host` until the returned [`Server`] is shut down or dropped.
 pub fn serve(addr: &str, host: SessionHost, config: ServerConfig) -> std::io::Result<Server> {
     Server::bind(addr, Arc::new(ServiceState::new(host)), config)
+}
+
+/// [`serve`] over any [`SessionBackend`] — e.g. a sharded
+/// [`qfe_cluster::Cluster`]. For the `/admin/shards` routes, build the
+/// state with [`ServiceState::clustered`] and bind it yourself.
+pub fn serve_backend(
+    addr: &str,
+    backend: Arc<dyn SessionBackend>,
+    config: ServerConfig,
+) -> std::io::Result<Server> {
+    Server::bind(addr, Arc::new(ServiceState::from_backend(backend)), config)
 }

@@ -1,4 +1,6 @@
-//! The JSON session API: maps HTTP requests onto a [`SessionHost`].
+//! The JSON session API: maps HTTP requests onto a [`SessionBackend`] —
+//! one [`SessionHost`](qfe_snapstore::SessionHost) or a sharded
+//! [`Cluster`], the routes cannot tell the difference.
 //!
 //! | Method | Path                      | Meaning                          |
 //! |--------|---------------------------|----------------------------------|
@@ -11,6 +13,11 @@
 //! | POST   | `/sessions/{id}/park`     | snapshot to the store, evict     |
 //! | POST   | `/sessions/{id}/resume`   | rehydrate from the store         |
 //! | DELETE | `/sessions/{id}`          | forget the session entirely      |
+//! | GET    | `/admin/fsck`             | audit the backing store          |
+//! | GET    | `/admin/shards`           | fleet status (clustered only)    |
+//! | POST   | `/admin/shards/{i}/drain` | gracefully drain one shard       |
+//! | POST   | `/admin/shards/{i}/kill`  | crash one shard + fail over      |
+//! | POST   | `/admin/shards/{i}/restart` | bring a dead shard back        |
 //!
 //! Every response body is JSON. Errors are `{"error":…,"kind":…}` with the
 //! status carrying the class: 400 bad input, 404 unknown session or route,
@@ -29,18 +36,22 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use qfe_cluster::Cluster;
 use qfe_core::{QfeError, QfeSession, SessionId, SessionSnapshot, Step};
 use qfe_datasets::example_1_1;
-use qfe_snapstore::SessionHost;
+use qfe_snapstore::{SessionBackend, SessionHost};
 use qfe_wire::{FromJson, Json, ToJson};
 
 use crate::http::{Handler, Request, Response};
 
 /// Most remembered idempotency responses; older entries are evicted FIFO.
 const IDEM_CACHE_CAP: usize = 4096;
+
+/// Deadline for a `POST /admin/shards/{i}/drain` park sweep.
+const SHARD_DRAIN_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Remembered responses for deduplicating replayed mutations, keyed by
 /// `(session id, idempotency key)`.
@@ -50,10 +61,13 @@ struct IdemCache {
     order: VecDeque<(u64, String)>,
 }
 
-/// The service: a [`SessionHost`] plus the route table.
+/// The service: a [`SessionBackend`] plus the route table.
 #[derive(Debug)]
 pub struct ServiceState {
-    host: SessionHost,
+    backend: Arc<dyn SessionBackend>,
+    /// Set when the backend is a sharded fleet: unlocks the
+    /// `/admin/shards` routes.
+    cluster: Option<Arc<Cluster>>,
     /// Set when the service is shutting down: mutations get `503`, the
     /// readiness probe reports `draining`.
     draining: AtomicBool,
@@ -146,10 +160,16 @@ fn named_workload_session(name: &str) -> Option<QfeSession> {
 }
 
 impl ServiceState {
-    /// Wraps a session host as an HTTP handler.
+    /// Wraps a single session host as an HTTP handler.
     pub fn new(host: SessionHost) -> ServiceState {
+        ServiceState::from_backend(Arc::new(host))
+    }
+
+    /// Wraps any session backend as an HTTP handler.
+    pub fn from_backend(backend: Arc<dyn SessionBackend>) -> ServiceState {
         ServiceState {
-            host,
+            backend,
+            cluster: None,
             draining: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             idem_replays: AtomicUsize::new(0),
@@ -157,9 +177,22 @@ impl ServiceState {
         }
     }
 
-    /// The wrapped host (for in-process callers and tests).
-    pub fn host(&self) -> &SessionHost {
-        &self.host
+    /// Wraps a sharded fleet as an HTTP handler, with the `/admin/shards`
+    /// routes live.
+    pub fn clustered(cluster: Arc<Cluster>) -> ServiceState {
+        let mut state = ServiceState::from_backend(Arc::clone(&cluster) as Arc<dyn SessionBackend>);
+        state.cluster = Some(cluster);
+        state
+    }
+
+    /// The wrapped backend (for in-process callers and tests).
+    pub fn backend(&self) -> &Arc<dyn SessionBackend> {
+        &self.backend
+    }
+
+    /// The wrapped fleet, when this service is sharded.
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.cluster.as_ref()
     }
 
     /// Flips the service into drain mode: the readiness probe turns `503
@@ -183,13 +216,14 @@ impl ServiceState {
     /// The readiness probe body: store backend, occupancy, traffic, drain
     /// state. Status `200` when ready, `503` while draining.
     fn healthz(&self) -> Response {
-        let parked = match self.host.parked_count() {
+        let parked = match self.backend.parked_count() {
             Ok(n) => n,
             Err(e) => return qfe_error_response(&e),
         };
         let draining = self.is_draining();
         // The probe itself is in flight; report everyone else.
         let in_flight = self.in_flight.load(Ordering::SeqCst).saturating_sub(1);
+        let shards = self.cluster.as_ref().map_or(1, |c| c.shard_count());
         let body = Json::object([
             (
                 "status",
@@ -197,9 +231,10 @@ impl ServiceState {
             ),
             (
                 "store",
-                Json::Str(self.host.store().backend_name().to_string()),
+                Json::Str(self.backend.store_backend_name().to_string()),
             ),
-            ("resident", Json::Int(self.host.resident_count() as i64)),
+            ("shards", Json::Int(shards as i64)),
+            ("resident", Json::Int(self.backend.resident_count() as i64)),
             ("parked", Json::Int(parked as i64)),
             ("in_flight", Json::Int(in_flight as i64)),
             ("idem_replays", Json::Int(self.idem_replays() as i64)),
@@ -254,7 +289,7 @@ impl ServiceState {
     }
 
     fn list_sessions(&self) -> Response {
-        match self.host.session_ids() {
+        match self.backend.session_ids() {
             Ok(ids) => ok(Json::object([(
                 "sessions",
                 Json::Array(ids.iter().map(|id| Json::Int(id.as_u64() as i64)).collect()),
@@ -270,7 +305,7 @@ impl ServiceState {
         };
         let id = if let Some(snapshot) = doc.get("snapshot") {
             match SessionSnapshot::from_json(snapshot) {
-                Ok(snapshot) => self.host.restore(snapshot),
+                Ok(snapshot) => self.backend.restore(snapshot),
                 Err(e) => return error_response(400, "snapshot", e),
             }
         } else if let Some(name) = doc.get("workload") {
@@ -279,7 +314,7 @@ impl ServiceState {
                 Err(e) => return error_response(400, "bad_request", e),
             };
             match named_workload_session(name) {
-                Some(session) => self.host.create(&session),
+                Some(session) => self.backend.create(&session),
                 None => {
                     return error_response(
                         400,
@@ -302,7 +337,7 @@ impl ServiceState {
     }
 
     fn step(&self, id: SessionId) -> Response {
-        match self.host.step(id) {
+        match self.backend.step(id) {
             Ok(step) => ok(step_body(&step)),
             Err(e) => qfe_error_response(&e),
         }
@@ -320,13 +355,13 @@ impl ServiceState {
         let answered = match doc.get("user_millis") {
             Some(millis) => match millis.as_f64() {
                 Ok(ms) if ms >= 0.0 => {
-                    self.host
+                    self.backend
                         .answer_timed(id, choice, Duration::from_secs_f64(ms / 1000.0))
                 }
                 Ok(_) => return error_response(400, "bad_request", "user_millis must be >= 0"),
                 Err(e) => return error_response(400, "bad_request", e),
             },
-            None => self.host.answer(id, choice),
+            None => self.backend.answer(id, choice),
         };
         match answered {
             Ok(()) => ok(Json::object([(
@@ -338,7 +373,7 @@ impl ServiceState {
     }
 
     fn reject(&self, id: SessionId) -> Response {
-        match self.host.reject(id) {
+        match self.backend.reject(id) {
             Ok(()) => ok(Json::object([(
                 "status",
                 Json::Str("rejected".to_string()),
@@ -348,7 +383,7 @@ impl ServiceState {
     }
 
     fn park(&self, id: SessionId) -> Response {
-        match self.host.park(id) {
+        match self.backend.park(id) {
             Ok(receipt) => ok(Json::object([
                 ("status", Json::Str("parked".to_string())),
                 ("workload_hash", Json::Str(receipt.workload_hash)),
@@ -361,7 +396,7 @@ impl ServiceState {
     }
 
     fn resume(&self, id: SessionId) -> Response {
-        match self.host.resume(id) {
+        match self.backend.resume(id) {
             Ok(was_parked) => ok(Json::object([
                 ("status", Json::Str("resumed".to_string())),
                 ("was_parked", Json::Bool(was_parked)),
@@ -372,10 +407,82 @@ impl ServiceState {
 
     fn delete(&self, id: SessionId) -> Response {
         self.purge_idem(id);
-        match self.host.evict(id) {
+        match self.backend.evict(id) {
             Ok(true) => ok(Json::object([("status", Json::Str("deleted".to_string()))])),
             Ok(false) => error_response(404, "unknown_session", format!("no session {id}")),
             Err(e) => qfe_error_response(&e),
+        }
+    }
+
+    /// `GET /admin/fsck`: audit the backing store and report what was
+    /// found (and quarantined) as JSON.
+    fn fsck(&self) -> Response {
+        match self.backend.fsck() {
+            Ok(report) => ok(report.to_json()),
+            Err(e) => error_response(500, "store", e),
+        }
+    }
+
+    /// `GET /admin/shards`: the fleet status, clustered deployments only.
+    fn shards_status(&self) -> Response {
+        match &self.cluster {
+            Some(cluster) => ok(cluster.status().to_json()),
+            None => error_response(404, "not_sharded", "this deployment runs a single host"),
+        }
+    }
+
+    /// `POST /admin/shards/{i}/{drain|kill|restart}`.
+    fn shard_admin(&self, index: &str, action: &str) -> Response {
+        let Some(cluster) = &self.cluster else {
+            return error_response(404, "not_sharded", "this deployment runs a single host");
+        };
+        let Ok(index) = index.parse::<usize>() else {
+            return error_response(404, "not_found", format!("bad shard index {index:?}"));
+        };
+        if index >= cluster.shard_count() {
+            return error_response(404, "not_found", format!("no shard {index}"));
+        }
+        match action {
+            "drain" => match cluster.drain_shard(index, Some(SHARD_DRAIN_DEADLINE)) {
+                Ok(outcome) => ok(Json::object([
+                    (
+                        "status",
+                        Json::Str(
+                            if outcome.completed {
+                                "drained"
+                            } else {
+                                "rolled_back"
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("parked", Json::Int(outcome.sweep.parked as i64)),
+                    ("reassigned", Json::Int(outcome.reassigned as i64)),
+                ])),
+                Err(e) => qfe_error_response(&e),
+            },
+            "kill" => {
+                let dropped = match cluster.kill_shard(index) {
+                    Ok(dropped) => dropped,
+                    Err(e) => return qfe_error_response(&e),
+                };
+                match cluster.fail_over(index) {
+                    Ok(failed_over) => ok(Json::object([
+                        ("status", Json::Str("killed".to_string())),
+                        ("dropped", Json::Int(dropped as i64)),
+                        ("failed_over", Json::Int(failed_over as i64)),
+                    ])),
+                    Err(e) => qfe_error_response(&e),
+                }
+            }
+            "restart" => match cluster.restart_shard(index) {
+                Ok(was_down) => ok(Json::object([
+                    ("status", Json::Str("restarted".to_string())),
+                    ("was_down", Json::Bool(was_down)),
+                ])),
+                Err(e) => qfe_error_response(&e),
+            },
+            other => error_response(404, "not_found", format!("no shard action {other:?}")),
         }
     }
 }
@@ -404,6 +511,9 @@ impl ServiceState {
         }
         match (method, segments.as_slice()) {
             ("GET", ["healthz"]) => self.healthz(),
+            ("GET", ["admin", "fsck"]) => self.fsck(),
+            ("GET", ["admin", "shards"]) => self.shards_status(),
+            ("POST", ["admin", "shards", index, action]) => self.shard_admin(index, action),
             ("GET", ["sessions"]) => self.list_sessions(),
             ("POST", ["sessions"]) => self.create_session(&request.body),
             (_, ["healthz"]) | (_, ["sessions"]) => {
@@ -536,13 +646,13 @@ mod tests {
         let again = service.handle(&req("POST", &format!("/sessions/{id}/resume"), ""));
         assert!(!json(&again).field("was_parked").unwrap().as_bool().unwrap());
 
-        // Snapshot adoption: park one session, POST its stored snapshot as
-        // a new session.
-        let snapshot = service
-            .host()
-            .manager()
-            .snapshot(SessionId::from_u64(id as u64))
+        // Snapshot adoption: POST an engine snapshot as a new session.
+        let (db, result, candidates, _) = example_1_1();
+        let session = QfeSession::builder(db, result)
+            .with_candidates(candidates)
+            .build()
             .unwrap();
+        let snapshot = session.start().snapshot();
         let body = format!("{{\"snapshot\":{}}}", snapshot.serialize());
         let adopted = service.handle(&req("POST", "/sessions", &body));
         assert_eq!(adopted.status, 201, "{}", adopted.body);
@@ -678,6 +788,90 @@ mod tests {
         let _ = service.handle(&req("DELETE", &format!("/sessions/{id}"), ""));
         let after = service.handle(&req("POST", &format!("/sessions/{id}/answer"), body));
         assert_eq!(after.status, 404, "purged key re-executes: {}", after.body);
+    }
+
+    #[test]
+    fn admin_fsck_reports_the_backing_store() {
+        let service = service();
+        let fsck = service.handle(&req("GET", "/admin/fsck", ""));
+        assert_eq!(fsck.status, 200, "{}", fsck.body);
+        let doc = json(&fsck);
+        assert_eq!(doc.field("backend").unwrap().as_str().unwrap(), "mem");
+        assert!(doc.field("clean").unwrap().as_bool().unwrap());
+        // A single-host deployment has no shards to administer.
+        assert_eq!(service.handle(&req("GET", "/admin/shards", "")).status, 404);
+        assert_eq!(
+            service
+                .handle(&req("POST", "/admin/shards/0/kill", ""))
+                .status,
+            404
+        );
+    }
+
+    #[test]
+    fn admin_shards_routes_drive_the_fleet() {
+        let cluster = Arc::new(
+            qfe_cluster::Cluster::open(
+                Arc::new(MemoryStore::new()),
+                qfe_cluster::ClusterConfig::with_shards(2),
+            )
+            .unwrap(),
+        );
+        let service = ServiceState::clustered(Arc::clone(&cluster));
+        let create = service.handle(&req("POST", "/sessions", "{\"workload\":\"example_1_1\"}"));
+        assert_eq!(create.status, 201, "{}", create.body);
+        let id = json(&create).field("id").unwrap().as_i64().unwrap();
+        let _ = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+
+        let status = service.handle(&req("GET", "/admin/shards", ""));
+        assert_eq!(status.status, 200, "{}", status.body);
+        let doc = json(&status);
+        assert_eq!(doc.field("routed_sessions").unwrap().as_i64().unwrap(), 1);
+        let home = cluster
+            .router()
+            .shard_of(SessionId::from_u64(id as u64))
+            .unwrap();
+
+        // Kill the session's shard: it fails over and keeps serving.
+        let kill = service.handle(&req("POST", &format!("/admin/shards/{home}/kill"), ""));
+        assert_eq!(kill.status, 200, "{}", kill.body);
+        assert_eq!(
+            json(&kill).field("failed_over").unwrap().as_i64().unwrap(),
+            1
+        );
+        let step = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+        assert_eq!(step.status, 200, "{}", step.body);
+
+        // Restart it, then drain the survivor onto it.
+        let restart = service.handle(&req("POST", &format!("/admin/shards/{home}/restart"), ""));
+        assert_eq!(restart.status, 200);
+        assert!(json(&restart).field("was_down").unwrap().as_bool().unwrap());
+        let other = 1 - home;
+        let drain = service.handle(&req("POST", &format!("/admin/shards/{other}/drain"), ""));
+        assert_eq!(drain.status, 200, "{}", drain.body);
+        assert_eq!(
+            json(&drain).field("status").unwrap().as_str().unwrap(),
+            "drained"
+        );
+        let step = service.handle(&req("GET", &format!("/sessions/{id}/step"), ""));
+        assert_eq!(step.status, 200, "{}", step.body);
+
+        // Unknown shard index and action 404 cleanly.
+        assert_eq!(
+            service
+                .handle(&req("POST", "/admin/shards/9/kill", ""))
+                .status,
+            404
+        );
+        assert_eq!(
+            service
+                .handle(&req("POST", "/admin/shards/0/explode", ""))
+                .status,
+            404
+        );
+        // The healthz probe reports the fleet width.
+        let health = service.handle(&req("GET", "/healthz", ""));
+        assert_eq!(json(&health).field("shards").unwrap().as_i64().unwrap(), 2);
     }
 
     #[test]

@@ -270,6 +270,10 @@ impl SnapshotStore for DirStore {
     fn backend_name(&self) -> &'static str {
         "dir"
     }
+
+    fn fsck(&self) -> StoreResult<FsckReport> {
+        DirStore::fsck(self)
+    }
 }
 
 #[cfg(test)]

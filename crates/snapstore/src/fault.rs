@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use qfe_wire::{Json, WireError, WireResult};
 
+use crate::fsck::FsckReport;
 use crate::store::{SnapshotStore, StoreError, StoreResult};
 
 /// What an injected fault does to the intercepted operation.
@@ -532,6 +533,12 @@ impl SnapshotStore for FaultyStore {
 
     fn backend_name(&self) -> &'static str {
         self.inner.backend_name()
+    }
+
+    // Audits pass straight through: fsck is the recovery tool, and injecting
+    // faults into the tool that diagnoses faults helps nobody.
+    fn fsck(&self) -> StoreResult<FsckReport> {
+        self.inner.fsck()
     }
 }
 

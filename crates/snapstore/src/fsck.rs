@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use qfe_wire::Json;
+
 /// One record `fsck` removed from service because its stored bytes no
 /// longer match its checksum (or could not be parsed at all).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +53,40 @@ impl FsckReport {
     /// True when nothing was quarantined: every stored record verifies.
     pub fn is_clean(&self) -> bool {
         self.quarantined.is_empty()
+    }
+
+    /// The report as JSON — the body of `GET /admin/fsck` and the
+    /// `qfe-server --fsck` output, so operator tooling can parse it.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("backend", Json::Str(self.backend.to_string())),
+            ("clean", Json::Bool(self.is_clean())),
+            ("records_scanned", Json::Int(self.records_scanned as i64)),
+            ("live_sessions", Json::Int(self.live_sessions as i64)),
+            ("live_workloads", Json::Int(self.live_workloads as i64)),
+            ("torn_tail_bytes", Json::Int(self.torn_tail_bytes as i64)),
+            ("garbage_bytes", Json::Int(self.garbage_bytes as i64)),
+            (
+                "reclaimed_tmp_files",
+                Json::Int(self.reclaimed_tmp_files as i64),
+            ),
+            (
+                "quarantined",
+                Json::Array(
+                    self.quarantined
+                        .iter()
+                        .map(|q| {
+                            Json::object([
+                                ("namespace", Json::Str(q.namespace.clone())),
+                                ("key", Json::Str(q.key.clone())),
+                                ("location", Json::Str(q.location.clone())),
+                                ("reason", Json::Str(q.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -14,7 +14,7 @@
 //! The copy is replaced on the next park.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qfe_core::{
     QfeEngine, QfeError, QfeSession, Result, SessionId, SessionManager, SessionSnapshot, Step,
@@ -50,6 +50,30 @@ impl HostConfig {
     }
 }
 
+/// What a [`SessionHost::park_all`] sweep achieved before it finished or
+/// hit its deadline — the shared shutdown/drain primitive: single-node
+/// shutdown and cluster shard drain both run exactly this loop.
+#[derive(Debug, Default)]
+pub struct ParkAllReport {
+    /// Sessions parked durably by this sweep.
+    pub parked: usize,
+    /// Sessions whose park failed (store error); they stay resident.
+    pub failed: usize,
+    /// Sessions left resident because the deadline expired first.
+    pub remaining: usize,
+    /// True when the sweep stopped on its deadline rather than completing.
+    pub timed_out: bool,
+    /// The first park failure, for the caller's error report.
+    pub first_error: Option<QfeError>,
+}
+
+impl ParkAllReport {
+    /// True when every resident session was parked durably.
+    pub fn is_complete(&self) -> bool {
+        self.failed == 0 && self.remaining == 0
+    }
+}
+
 /// A [`SessionManager`] with a durable snapshot store behind it.
 #[derive(Debug)]
 pub struct SessionHost {
@@ -58,12 +82,25 @@ pub struct SessionHost {
     config: HostConfig,
 }
 
-fn store_key(id: SessionId) -> String {
+/// The store key a session parks under — shared vocabulary between the
+/// host and the cluster router, which addresses the store directly when a
+/// session's shard is dead.
+pub fn session_store_key(id: SessionId) -> String {
     format!("s{}", id.as_u64())
 }
 
+/// Inverse of [`session_store_key`]; `None` for non-session keys (e.g. the
+/// cluster supervisor's heartbeat probes).
+pub fn parse_session_store_key(key: &str) -> Option<SessionId> {
+    key.strip_prefix('s')?.parse().ok().map(SessionId::from_u64)
+}
+
+fn store_key(id: SessionId) -> String {
+    session_store_key(id)
+}
+
 fn parse_store_key(key: &str) -> Option<u64> {
-    key.strip_prefix('s')?.parse().ok()
+    parse_session_store_key(key).map(|id| id.as_u64())
 }
 
 impl SessionHost {
@@ -107,6 +144,15 @@ impl SessionHost {
         let id = self.manager.adopt(engine);
         self.enforce_watermark()?;
         Ok(id)
+    }
+
+    /// Starts hosting an engine under a caller-chosen id — the cluster
+    /// placement path, where ids are allocated by the router rather than by
+    /// any one shard's manager. Fails when the id is already resident.
+    pub fn adopt_as(&self, id: SessionId, engine: QfeEngine) -> Result<()> {
+        self.manager.adopt_as(id, engine)?;
+        self.enforce_watermark()?;
+        Ok(())
     }
 
     /// Restores a session from a snapshot under a fresh id.
@@ -172,6 +218,15 @@ impl SessionHost {
         }
     }
 
+    /// Writes the session's current state to the store **without** evicting
+    /// the engine — the cluster's write-through path. After a checkpoint, a
+    /// crash that loses the resident engine rolls the session back only to
+    /// this verb boundary instead of to its last explicit park.
+    pub fn checkpoint(&self, id: SessionId) -> Result<ParkReceipt> {
+        let snapshot = self.manager.snapshot(id)?;
+        park_snapshot(self.store.as_ref(), &store_key(id), &snapshot).map_err(store_qfe)
+    }
+
     /// Ensures a session is resident, rehydrating it if parked. Returns
     /// `true` when this call brought it back from the store.
     pub fn resume(&self, id: SessionId) -> Result<bool> {
@@ -183,13 +238,46 @@ impl SessionHost {
         Ok(true)
     }
 
-    /// Parks every resident session — the drain-on-shutdown path.
-    pub fn drain(&self) -> Result<usize> {
+    /// Parks every resident session, stopping early when `deadline` expires
+    /// — the one drain loop shared by single-node shutdown (`qfe-server`'s
+    /// exit path) and cluster shard drain. Sessions that vanish mid-sweep
+    /// (a concurrent park or delete) are not failures; store errors are
+    /// tallied and the sweep keeps going so one bad record cannot strand
+    /// every other session in memory.
+    pub fn park_all(&self, deadline: Option<Duration>) -> ParkAllReport {
+        let start = Instant::now();
+        let mut report = ParkAllReport::default();
         let ids = self.manager.session_ids();
-        for &id in &ids {
-            self.park(id)?;
+        for (index, &id) in ids.iter().enumerate() {
+            if let Some(deadline) = deadline {
+                if start.elapsed() >= deadline {
+                    report.timed_out = true;
+                    report.remaining = ids.len() - index;
+                    break;
+                }
+            }
+            match self.park(id) {
+                Ok(_) => report.parked += 1,
+                // A concurrent request already parked or deleted it.
+                Err(QfeError::UnknownSession { .. }) => {}
+                Err(e) => {
+                    report.failed += 1;
+                    report.first_error.get_or_insert(e);
+                }
+            }
         }
-        Ok(ids.len())
+        report
+    }
+
+    /// Parks every resident session — the drain-on-shutdown path. A thin
+    /// wrapper over [`SessionHost::park_all`] with no deadline, failing on
+    /// the first store error.
+    pub fn drain(&self) -> Result<usize> {
+        let report = self.park_all(None);
+        match report.first_error {
+            Some(e) => Err(e),
+            None => Ok(report.parked),
+        }
     }
 
     /// True when the session is resident or parked.
@@ -434,6 +522,78 @@ mod tests {
         let (session, target) = session_and_target(1);
         let id = host.create(&session).unwrap();
         assert_eq!(drive(&host, id, &target), target.label.clone().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_writes_through_without_evicting() {
+        let store = Arc::new(MemoryStore::new());
+        let host = SessionHost::open(
+            Arc::clone(&store) as Arc<dyn SnapshotStore>,
+            HostConfig::default(),
+        )
+        .unwrap();
+        let (session, target) = session_and_target(1);
+        let id = host.create(&session).unwrap();
+        let _ = host.step(id).unwrap();
+
+        let receipt = host.checkpoint(id).unwrap();
+        assert!(receipt.state_bytes > 0);
+        // The engine stays resident…
+        assert_eq!(host.resident_count(), 1);
+        // …and the stored copy is a full park: a fresh host over the same
+        // store (the crash-recovery path) resumes from the checkpoint.
+        let recovered = SessionHost::open(
+            Arc::clone(&store) as Arc<dyn SnapshotStore>,
+            HostConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            drive(&recovered, id, &target),
+            target.label.clone().unwrap()
+        );
+        // Checkpointing a parked session is UnknownSession (state already
+        // durable), not a panic.
+        host.park(id).unwrap();
+        assert!(matches!(
+            host.checkpoint(id),
+            Err(QfeError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn adopt_as_hosts_under_the_callers_id() {
+        let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+        let (session, target) = session_and_target(2);
+        let id = SessionId::from_u64(17);
+        host.adopt_as(id, session.start()).unwrap();
+        assert!(host.manager().contains(id));
+        // The id space advanced past the adopted id.
+        let (other, _) = session_and_target(0);
+        assert!(host.create(&other).unwrap().as_u64() > 17);
+        assert_eq!(drive(&host, id, &target), target.label.clone().unwrap());
+    }
+
+    #[test]
+    fn park_all_reports_progress_and_honors_the_deadline() {
+        let host = SessionHost::open(Arc::new(MemoryStore::new()), HostConfig::default()).unwrap();
+        let ids: Vec<SessionId> = (0..3)
+            .map(|i| host.create(&session_and_target(i % 3).0).unwrap())
+            .collect();
+        // An expired deadline parks nothing and reports every session left.
+        let stopped = host.park_all(Some(Duration::ZERO));
+        assert!(stopped.timed_out);
+        assert_eq!(stopped.parked, 0);
+        assert_eq!(stopped.remaining, ids.len());
+        assert!(!stopped.is_complete());
+        // A generous deadline parks everything.
+        let swept = host.park_all(Some(Duration::from_secs(30)));
+        assert_eq!(swept.parked, 3);
+        assert!(swept.is_complete() && !swept.timed_out);
+        assert!(swept.first_error.is_none());
+        assert_eq!(host.resident_count(), 0);
+        assert_eq!(host.parked_count().unwrap(), 3);
+        // Sweeping an empty host is a complete no-op.
+        assert!(host.park_all(None).is_complete());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod dir;
 mod fault;
 mod fsck;
@@ -58,10 +59,13 @@ mod log;
 mod park;
 mod store;
 
+pub use backend::SessionBackend;
 pub use dir::DirStore;
 pub use fault::{FaultAction, FaultPlan, FaultRule, FaultTrigger, FaultyStore, InjectedFault};
 pub use fsck::{FsckReport, QuarantinedRecord};
-pub use host::{HostConfig, SessionHost};
+pub use host::{
+    parse_session_store_key, session_store_key, HostConfig, ParkAllReport, SessionHost,
+};
 pub use log::LogStore;
 pub use park::{load_snapshot, park_snapshot, ParkReceipt};
 pub use store::{MemoryStore, SnapshotStore, StoreError, StoreResult};

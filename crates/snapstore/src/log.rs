@@ -407,6 +407,10 @@ impl SnapshotStore for LogStore {
     fn backend_name(&self) -> &'static str {
         "log"
     }
+
+    fn fsck(&self) -> StoreResult<FsckReport> {
+        LogStore::fsck(self)
+    }
 }
 
 #[cfg(test)]

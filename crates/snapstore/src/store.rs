@@ -4,6 +4,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
 
+use crate::fsck::FsckReport;
+
 /// A snapshot store operation failed. `context` names the operation and key
 /// (`"get_session s7"`), `message` the underlying cause — enough for an
 /// operator to locate the damaged record. Converts into
@@ -79,6 +81,23 @@ pub trait SnapshotStore: Send + Sync + fmt::Debug {
     /// readiness probe and operator-facing reports.
     fn backend_name(&self) -> &'static str {
         "custom"
+    }
+
+    /// Audits the backing storage: verifies record integrity, quarantines
+    /// damage, and reports what was found. Backends without durable bytes to
+    /// verify (the in-memory store) report a clean pass over their live
+    /// records; [`LogStore`](crate::LogStore) and
+    /// [`DirStore`](crate::DirStore) run their full rescans. Exposed through
+    /// the trait so operators can fsck whatever store a host happens to be
+    /// configured with (`qfe-server --fsck`, `GET /admin/fsck`).
+    fn fsck(&self) -> StoreResult<FsckReport> {
+        Ok(FsckReport {
+            backend: self.backend_name(),
+            records_scanned: self.session_keys()?.len() + self.workload_hashes()?.len(),
+            live_sessions: self.session_keys()?.len(),
+            live_workloads: self.workload_hashes()?.len(),
+            ..FsckReport::default()
+        })
     }
 }
 

@@ -34,6 +34,13 @@
 //!   memory watermark and rehydrates them on demand.
 //! * [`server`] — a dependency-free HTTP/1.1 frontend exposing sessions as
 //!   JSON endpoints, plus the matching client.
+//! * [`cluster`] — the sharded session fleet: a
+//!   [`ShardRouter`](cluster::ShardRouter) hashing sessions across N
+//!   [`SessionHost`](snapstore::SessionHost) shards that share one snapshot
+//!   store, with live migration, shard failover, heartbeat supervision and
+//!   graceful drain — behind the same
+//!   [`SessionBackend`](snapstore::SessionBackend) interface the server
+//!   serves, so the HTTP surface is identical at any shard count.
 //!
 //! The columnar mirror of a join is built **once per join** — when a
 //! `GenerationContext` is constructed and when a QBO verification pass
@@ -193,6 +200,65 @@
 //! `examples/interactive_session.rs --http` drives the same endpoints with
 //! the bundled [`HttpClient`](server::HttpClient).
 //!
+//! ## Running a sharded fleet
+//!
+//! One host saturates? Serve the same store from several. `--shards N`
+//! (N > 1) turns the binary into a fleet of N shard hosts behind one
+//! router, all sharing the one `--store`:
+//!
+//! ```text
+//! cargo run -p qfe-server --release -- \
+//!     --addr 127.0.0.1:7878 --store log:/var/lib/qfe/sessions.log \
+//!     --shards 4 --max-resident 128
+//! ```
+//!
+//! Every session API route is unchanged — clients cannot tell a fleet from
+//! a single host. Underneath, each session id hashes to a home shard, every
+//! state-changing verb writes a checkpoint through to the shared store
+//! before the response leaves, and three protocols keep the fleet honest
+//! (`--max-resident` becomes the *per-shard* watermark):
+//!
+//! * **Live migration** parks a session on its source shard, flips the one
+//!   routing entry, and rehydrates on the target — all under the session's
+//!   lock, so no request ever sees two owners.
+//! * **Failover**: when a shard dies, its sessions are recovered from their
+//!   last checkpoints onto the survivors — eagerly on a kill, lazily (one
+//!   session, next request) otherwise. At most the one uncheckpointed verb
+//!   rolls back; the engine re-presents that round and the normal retry
+//!   path re-answers it, deduplicated by the shared idempotency cache.
+//! * **Graceful drain** stops placements on a shard, parks its residents
+//!   (the same deadline-bounded sweep as single-node shutdown), re-homes
+//!   its routes, and takes it down — zero sessions lost.
+//!
+//! The fleet is administered over HTTP:
+//!
+//! ```text
+//! # Per-shard state, occupancy and health, plus fleet counters.
+//! curl -s localhost:7878/admin/shards
+//! #   {"shards":[{"index":0,"state":"up","resident":31,…},…],
+//! #    "routed_sessions":117,"migrations":4,"failovers":0,…}
+//!
+//! # Drain shard 2 (park + re-home everything, then down it); bring it back.
+//! curl -s -X POST localhost:7878/admin/shards/2/drain
+//! curl -s -X POST localhost:7878/admin/shards/2/restart
+//!
+//! # Simulate a crash (testing the failover path in staging).
+//! curl -s -X POST localhost:7878/admin/shards/2/kill
+//!
+//! # Audit the shared store offline: JSON FsckReport on stdout, exit 0/1.
+//! qfe-server --store log:/var/lib/qfe/sessions.log --fsck
+//! # …or online while serving:
+//! curl -s localhost:7878/admin/fsck
+//! ```
+//!
+//! The headline invariant — proven in `crates/cluster/tests/fleet.rs` over
+//! all three store backends — is **placement transparency**: a session's
+//! rounds and outcome are byte-identical whether it lives on one shard,
+//! migrates between every round, or survives a shard kill after every
+//! round. `experiments -- cluster` runs the fleet under store faults, flaky
+//! responses and a seeded shard killer, and writes `BENCH_cluster.json`;
+//! CI greps it for `"lost_sessions": 0` and `"duplicate_effects": 0`.
+//!
 //! ## Failure modes & recovery
 //!
 //! Every failure the stack claims to survive is provoked on purpose in the
@@ -254,6 +320,7 @@
 //! CI checks for the two zeros that matter: `lost_sessions` and
 //! `duplicate_answer_effects`.
 
+pub use qfe_cluster as cluster;
 pub use qfe_core as core;
 pub use qfe_datasets as datasets;
 pub use qfe_qbo as qbo;
@@ -265,6 +332,7 @@ pub use qfe_wire as wire;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use qfe_cluster::{Cluster, ClusterConfig, ShardRouter};
     pub use qfe_core::{
         AltCostModel, CostModelKind, CostParams, DatabaseGenerator, FeedbackUser, InteractiveUser,
         IterationStats, OracleUser, QfeEngine, QfeError, QfeOutcome, QfeSession, SessionId,
@@ -275,7 +343,7 @@ pub mod prelude {
     pub use qfe_relation::{DataType, Database, ForeignKey, Table, TableSchema, Tuple, Value};
     pub use qfe_server::{serve, HttpClient, ServerConfig, ServiceState};
     pub use qfe_snapstore::{
-        DirStore, HostConfig, LogStore, MemoryStore, SessionHost, SnapshotStore,
+        DirStore, HostConfig, LogStore, MemoryStore, SessionBackend, SessionHost, SnapshotStore,
     };
     pub use qfe_wire::{FromJson, Json, ToJson};
 }
